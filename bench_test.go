@@ -1,0 +1,318 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 5), plus ablations over the design choices called out in
+// DESIGN.md and micro-benchmarks of the hot substrates. Sizes are reduced
+// against the paper's full ranges so the suite finishes quickly; the
+// cmd/bugdoc-bench binary runs the same experiments at any size.
+package repro
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dbsherlock"
+	"repro/internal/dtree"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+	"repro/internal/provenance"
+	"repro/internal/synth"
+)
+
+var benchSynth = synth.Config{MinParams: 3, MaxParams: 5, MinValues: 4, MaxValues: 6}
+
+// BenchmarkTable2Shortcut regenerates the Table 1 → Table 2 walkthrough of
+// Example 1 (the Shortcut substitutions on the Figure 1 ML pipeline).
+func BenchmarkTable2Shortcut(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Tables12(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RootCause.String() != `LibraryVersion = "2.0"` {
+			b.Fatalf("root cause = %v", res.RootCause)
+		}
+	}
+}
+
+func benchFig2(b *testing.B, sc synth.Scenario) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig23(ctx, experiments.Fig23Config{
+			Scenario: sc, Pipelines: 2, Seed: int64(i + 1), Synth: benchSynth,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Single regenerates Figure 2a-c (FindOne, single triple).
+func BenchmarkFig2Single(b *testing.B) { benchFig2(b, synth.SingleTriple) }
+
+// BenchmarkFig2Conjunction regenerates Figure 2d-f (FindOne, conjunction).
+func BenchmarkFig2Conjunction(b *testing.B) { benchFig2(b, synth.SingleConjunction) }
+
+// BenchmarkFig2Disjunction regenerates Figure 2g-i (FindOne, disjunction).
+func BenchmarkFig2Disjunction(b *testing.B) { benchFig2(b, synth.Disjunction) }
+
+// BenchmarkFig3FindAll regenerates Figure 3a-c (FindAll, disjunction).
+func BenchmarkFig3FindAll(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig23(ctx, experiments.Fig23Config{
+			Scenario: synth.Disjunction, Pipelines: 2, Seed: int64(i + 1),
+			FindAll: true, Synth: benchSynth,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Conciseness regenerates Figure 4a-b.
+func BenchmarkFig4Conciseness(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig4(ctx, experiments.Fig4Config{
+			Pipelines: 2, Seed: int64(i + 1), Synth: benchSynth,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Instances regenerates Figure 5 (instances vs |P|).
+func BenchmarkFig5Instances(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(ctx, experiments.Fig5Config{
+			ParamCounts: []int{3, 6, 9}, PipelinesPer: 2, Seed: int64(i + 1),
+			MinValues: 4, MaxValues: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		curve := res.Curves[experiments.MethodShortcut]
+		if curve[len(curve)-1].Instances > 9 {
+			b.Fatalf("Shortcut exceeded |P| instances: %+v", curve)
+		}
+	}
+}
+
+// BenchmarkFig6Parallel regenerates Figure 6 (parallel scale-up).
+func BenchmarkFig6Parallel(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(ctx, experiments.Fig6Config{
+			Workers: []int{1, 4}, Latency: 2 * time.Millisecond,
+			Seed: int64(i + 1), Synth: benchSynth,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Points[1].Speedup <= 1 {
+			b.Fatalf("no speedup: %+v", res.Points)
+		}
+	}
+}
+
+// BenchmarkFig7RealWorld regenerates Figure 7 (real-world pipelines).
+func BenchmarkFig7RealWorld(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Fig7(ctx, experiments.Fig7Config{
+			Seed: int64(i + 1), DBSherlockClasses: 1,
+			Corpus: dbsherlock.Config{NormalWindows: 80, AnomalousPerClass: 20},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDBSherlockAccuracy regenerates the Section 5.3 accuracy claim
+// (the paper reports 98%).
+func BenchmarkDBSherlockAccuracy(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DBSherlockAccuracy(ctx, experiments.DBSherlockConfig{
+			Seed: int64(i + 1), Classes: 2,
+			Corpus: dbsherlock.Config{NormalWindows: 80, AnomalousPerClass: 20},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Mean < 0.80 {
+			b.Fatalf("accuracy %.2f collapsed", res.Mean)
+		}
+	}
+}
+
+// --- Ablations over DESIGN.md design choices -------------------------------
+
+// newBenchProblem seeds one synthetic disjunction pipeline.
+func newBenchProblem(b *testing.B, seed int64) (*synth.Pipeline, *exec.Executor) {
+	b.Helper()
+	r := rand.New(rand.NewSource(seed))
+	sp, err := synth.Generate(r, benchSynth, synth.Disjunction)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := exec.New(sp.Oracle(), provenance.NewStore(sp.Space))
+	if err := core.SeedHistory(context.Background(), ex, r, 500); err != nil {
+		b.Fatal(err)
+	}
+	return sp, ex
+}
+
+// BenchmarkAblationSuspectTests contrasts DDT verification depth: few
+// samples confirm suspects cheaply but risk false assertions, many samples
+// cost more executions.
+func BenchmarkAblationSuspectTests(b *testing.B) {
+	for _, tests := range []int{4, 16} {
+		b.Run(map[int]string{4: "tests=4", 16: "tests=16"}[tests], func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				_, ex := newBenchProblemPair(b, int64(i+1))
+				_, err := core.DebugDecisionTrees(ctx, ex, core.DDTOptions{
+					Rand: rand.New(rand.NewSource(int64(i))), FindAll: true,
+					MaxSuspectTests: tests,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func newBenchProblemPair(b *testing.B, seed int64) (*synth.Pipeline, *exec.Executor) {
+	return newBenchProblem(b, seed)
+}
+
+// BenchmarkAblationSimplify measures the Quine-McCluskey simplification
+// step in isolation against leaving DDT output raw.
+func BenchmarkAblationSimplify(b *testing.B) {
+	ctx := context.Background()
+	sp, ex := newBenchProblem(b, 7)
+	raw, err := core.DebugDecisionTrees(ctx, ex, core.DDTOptions{
+		Rand: rand.New(rand.NewSource(7)), FindAll: true, Simplify: false,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predicate.SimplifyDNF(sp.Space, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStackedGoods contrasts Stacked Shortcut with k=1 (plain
+// Shortcut) and k=4 disjoint goods.
+func BenchmarkAblationStackedGoods(b *testing.B) {
+	for _, k := range []int{1, 4} {
+		b.Run(map[int]string{1: "k=1", 4: "k=4"}[k], func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				_, ex := newBenchProblem(b, int64(i+1))
+				if _, err := core.StackedShortcut(ctx, ex, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the substrates ------------------------------------
+
+// BenchmarkTreeBuild measures full decision-tree construction over a
+// realistic provenance size.
+func BenchmarkTreeBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	sp, err := synth.Generate(r, synth.Config{MinParams: 8, MaxParams: 8, MinValues: 6, MaxValues: 8}, synth.Disjunction)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var examples []dtree.Example
+	for i := 0; i < 300; i++ {
+		in := sp.Space.RandomInstance(r)
+		out := pipeline.Succeed
+		if sp.Truth.Satisfied(in) {
+			out = pipeline.Fail
+		}
+		examples = append(examples, dtree.Example{Instance: in, Outcome: out})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := dtree.Build(sp.Space, examples)
+		if tree == nil {
+			b.Fatal("nil tree")
+		}
+	}
+}
+
+// BenchmarkRegionImplies measures the exact implication check that the
+// metrics and the simplifier lean on.
+func BenchmarkRegionImplies(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	sp, err := synth.Generate(r, synth.Config{MinParams: 10, MaxParams: 10}, synth.Disjunction)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sp.Minimal[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := predicate.Implies(sp.Space, c, sp.Truth)
+		if err != nil || !ok {
+			b.Fatalf("implication broken: %v, %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkExecutorMemoized measures the memoized evaluation fast path.
+func BenchmarkExecutorMemoized(b *testing.B) {
+	sp, ex := newBenchProblem(b, 11)
+	in := sp.Space.RandomInstance(rand.New(rand.NewSource(1)))
+	ctx := context.Background()
+	if _, err := ex.Evaluate(ctx, in); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Evaluate(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShortcutLinear measures one full Shortcut pass on a 10-parameter
+// pipeline (the paper's headline cost: linear in |P|).
+func BenchmarkShortcutLinear(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i + 1)))
+		sp, err := synth.Generate(r, synth.Config{MinParams: 10, MaxParams: 10, MinValues: 4, MaxValues: 6}, synth.SingleTriple)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ex := exec.New(sp.Oracle(), provenance.NewStore(sp.Space))
+		if err := core.SeedHistory(ctx, ex, r, 500); err != nil {
+			b.Fatal(err)
+		}
+		seeded := ex.Spent()
+		if _, err := core.ShortcutAuto(ctx, ex); err != nil {
+			b.Fatal(err)
+		}
+		if ex.Spent()-seeded > 10 {
+			b.Fatalf("Shortcut spent %d instances on 10 parameters", ex.Spent()-seeded)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package bugdoc is the public API of this BugDoc reproduction (Lourenço,
+// Freire, Shasha: "BugDoc: Algorithms to Debug Computational Processes",
+// SIGMOD 2020). It finds minimal definitive root causes of failures in
+// black-box computational pipelines by analyzing previously-run instances
+// and selectively executing new ones.
+//
+// The core workflow:
+//
+//	space := bugdoc.MustSpace(
+//	    bugdoc.Parameter{Name: "estimator", Kind: bugdoc.Categorical, Domain: ...},
+//	    ...)
+//	session, err := bugdoc.NewSession(space, oracle,
+//	    bugdoc.WithWorkers(4), bugdoc.WithBudget(100))
+//	causes, err := session.FindAll(ctx, bugdoc.DebuggingDecisionTrees)
+//
+// An Oracle runs one pipeline instance and reports Succeed or Fail; the
+// Session memoizes every execution in a provenance store, enforces the
+// instance budget, and dispatches independent executions across workers.
+// Results are predicate.DNF values: disjunctions of conjunctions of
+// (parameter, comparator, value) triples, simplified with Quine-McCluskey.
+package bugdoc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+	"repro/internal/provenance"
+)
+
+// Re-exported model types: see the internal packages for full
+// documentation.
+type (
+	// Space is an ordered parameter space.
+	Space = pipeline.Space
+	// Parameter declares one manipulable parameter.
+	Parameter = pipeline.Parameter
+	// Value is an ordinal or categorical parameter value.
+	Value = pipeline.Value
+	// Kind discriminates ordinal from categorical values.
+	Kind = pipeline.Kind
+	// Instance is one pipeline instance (full assignment).
+	Instance = pipeline.Instance
+	// Assignment is one (parameter, value) pair.
+	Assignment = pipeline.Assignment
+	// Outcome is an evaluation result.
+	Outcome = pipeline.Outcome
+	// Oracle runs one instance and evaluates it.
+	Oracle = exec.Oracle
+	// OracleFunc adapts a function to Oracle.
+	OracleFunc = exec.OracleFunc
+	// Triple is a parameter-comparator-value condition.
+	Triple = predicate.Triple
+	// Comparator is one of =, !=, <=, >.
+	Comparator = predicate.Comparator
+	// Conjunction is a root cause: a conjunction of triples.
+	Conjunction = predicate.Conjunction
+	// DNF is a disjunction of root causes.
+	DNF = predicate.DNF
+	// Store is the provenance log of executed instances.
+	Store = provenance.Store
+	// Record is one provenance entry.
+	Record = provenance.Record
+)
+
+// Value kinds.
+const (
+	Ordinal     = pipeline.Ordinal
+	Categorical = pipeline.Categorical
+)
+
+// Outcomes.
+const (
+	Succeed = pipeline.Succeed
+	Fail    = pipeline.Fail
+)
+
+// Comparators.
+const (
+	Eq  = predicate.Eq
+	Neq = predicate.Neq
+	Le  = predicate.Le
+	Gt  = predicate.Gt
+)
+
+// Constructors re-exported from the model packages.
+var (
+	// Ord builds an ordinal value.
+	Ord = pipeline.Ord
+	// Cat builds a categorical value.
+	Cat = pipeline.Cat
+	// NewSpace validates and builds a parameter space.
+	NewSpace = pipeline.NewSpace
+	// MustSpace is NewSpace or panic.
+	MustSpace = pipeline.MustSpace
+	// NewInstance builds an instance from values in space order.
+	NewInstance = pipeline.NewInstance
+	// MustInstance is NewInstance or panic.
+	MustInstance = pipeline.MustInstance
+	// T builds a triple.
+	T = predicate.T
+	// NewStore builds an empty provenance store.
+	NewStore = provenance.NewStore
+	// LatencyOracle wraps an oracle with per-run latency.
+	LatencyOracle = exec.LatencyOracle
+)
+
+// Algorithm selects a debugging algorithm.
+type Algorithm = core.Algorithm
+
+// The three BugDoc algorithms.
+const (
+	// Shortcut is Algorithm 1: a single linear substitution pass.
+	Shortcut = core.AlgoShortcut
+	// StackedShortcut is Algorithm 2: shortcut against k disjoint goods.
+	StackedShortcut = core.AlgoStackedShortcut
+	// DebuggingDecisionTrees is the Section 4.2 algorithm.
+	DebuggingDecisionTrees = core.AlgoDDT
+)
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithBudget caps the number of new pipeline executions (the paper's cost
+// measure); n < 0 means unlimited (the default).
+func WithBudget(n int) Option {
+	return func(s *Session) { s.budget = n }
+}
+
+// WithWorkers sets the parallel dispatch pool size (Section 4.3).
+func WithWorkers(n int) Option {
+	return func(s *Session) { s.workers = n }
+}
+
+// WithSeed fixes the randomness used for instance sampling.
+func WithSeed(seed int64) Option {
+	return func(s *Session) { s.seed = seed }
+}
+
+// WithHistory pre-populates the provenance with previously-run instances
+// G = CP_1..CP_k; their evaluations are free.
+func WithHistory(records []Record) Option {
+	return func(s *Session) { s.history = append(s.history, records...) }
+}
+
+// Session is a debugging session over one pipeline: an oracle, a provenance
+// store, and budgeted, parallel execution.
+type Session struct {
+	space   *Space
+	ex      *exec.Executor
+	seed    int64
+	budget  int
+	workers int
+	history []Record
+}
+
+// NewSession builds a session for the pipeline described by space whose
+// instances are executed by oracle.
+func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
+	if space == nil {
+		return nil, fmt.Errorf("bugdoc: nil space")
+	}
+	if oracle == nil {
+		return nil, fmt.Errorf("bugdoc: nil oracle")
+	}
+	s := &Session{space: space, seed: 1, budget: -1, workers: 1}
+	for _, o := range opts {
+		o(s)
+	}
+	st := provenance.NewStore(space)
+	for _, r := range s.history {
+		if err := st.Add(r.Instance, r.Outcome, r.Source); err != nil {
+			return nil, fmt.Errorf("bugdoc: history: %w", err)
+		}
+	}
+	s.ex = exec.New(oracle, st,
+		exec.WithBudget(s.budget), exec.WithWorkers(s.workers))
+	return s, nil
+}
+
+// Store exposes the session's provenance.
+func (s *Session) Store() *Store { return s.ex.Store() }
+
+// Spent reports how many new instances the session has executed.
+func (s *Session) Spent() int { return s.ex.Spent() }
+
+// Seed ensures the provenance holds at least one failing and one
+// succeeding instance (sampling random instances as needed) — the
+// precondition of every algorithm. Sessions whose history already contains
+// both outcomes pay nothing.
+func (s *Session) Seed(ctx context.Context) error {
+	return core.SeedHistory(ctx, s.ex, rand.New(rand.NewSource(s.seed)), 0)
+}
+
+// FindOne looks for at least one minimal definitive root cause with the
+// selected algorithm (goal (i) of the paper's problem definition). The
+// result may be empty when the algorithm refutes its assertion or the
+// budget runs out.
+func (s *Session) FindOne(ctx context.Context, algo Algorithm) (DNF, error) {
+	return core.FindOne(ctx, s.ex, algo, s.coreOptions())
+}
+
+// FindAll looks for all minimal definitive root causes (goal (ii)); only
+// DebuggingDecisionTrees can assert more than one.
+func (s *Session) FindAll(ctx context.Context, algo Algorithm) (DNF, error) {
+	return core.FindAll(ctx, s.ex, algo, s.coreOptions())
+}
+
+func (s *Session) coreOptions() core.Options {
+	return core.Options{Rand: rand.New(rand.NewSource(s.seed))}
+}
+
+// Explain renders causes for human debuggers, one per line.
+func Explain(causes DNF) string {
+	if len(causes) == 0 {
+		return "no definitive root cause asserted\n"
+	}
+	out := ""
+	for i, c := range causes {
+		out += fmt.Sprintf("root cause %d: %s\n", i+1, c)
+	}
+	return out
+}

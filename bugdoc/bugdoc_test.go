@@ -1,0 +1,129 @@
+package bugdoc_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/bugdoc"
+)
+
+func lrSpace(t *testing.T) *bugdoc.Space {
+	t.Helper()
+	return bugdoc.MustSpace(
+		bugdoc.Parameter{Name: "lr", Kind: bugdoc.Ordinal, Domain: []bugdoc.Value{
+			bugdoc.Ord(0.001), bugdoc.Ord(0.01), bugdoc.Ord(0.1), bugdoc.Ord(1),
+		}},
+		bugdoc.Parameter{Name: "opt", Kind: bugdoc.Categorical, Domain: []bugdoc.Value{
+			bugdoc.Cat("sgd"), bugdoc.Cat("adam"), bugdoc.Cat("rmsprop"),
+		}},
+	)
+}
+
+// diverges fails when the learning rate is too high.
+func diverges(_ context.Context, in bugdoc.Instance) (bugdoc.Outcome, error) {
+	if lr, _ := in.ByName("lr"); lr.Num() > 0.01 {
+		return bugdoc.Fail, nil
+	}
+	return bugdoc.Succeed, nil
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	s := lrSpace(t)
+	session, err := bugdoc.NewSession(s, bugdoc.OracleFunc(diverges),
+		bugdoc.WithSeed(5), bugdoc.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := session.Seed(ctx); err != nil {
+		t.Fatal(err)
+	}
+	causes, err := session.FindAll(ctx, bugdoc.DebuggingDecisionTrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(causes) == 0 {
+		t.Fatal("no causes asserted")
+	}
+	// Every asserted cause must only cover failing instances.
+	for _, c := range causes {
+		succ, fail := session.Store().CountSatisfying(c)
+		if succ != 0 || fail == 0 {
+			t.Fatalf("cause %v covers %d successes and %d failures", c, succ, fail)
+		}
+	}
+	out := bugdoc.Explain(causes)
+	if !strings.Contains(out, "root cause 1:") {
+		t.Fatalf("Explain = %q", out)
+	}
+}
+
+func TestSessionBudget(t *testing.T) {
+	s := lrSpace(t)
+	session, err := bugdoc.NewSession(s, bugdoc.OracleFunc(diverges),
+		bugdoc.WithSeed(5), bugdoc.WithBudget(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_ = session.Seed(ctx) // may exhaust budget; that's fine
+	_, err = session.FindOne(ctx, bugdoc.Shortcut)
+	// Budget exhaustion surfaces as empty results or missing seeds, never
+	// as a panic; spent can never exceed the budget.
+	if spent := session.Spent(); spent > 4 {
+		t.Fatalf("spent %d > budget 4 (err %v)", spent, err)
+	}
+}
+
+func TestSessionHistory(t *testing.T) {
+	s := lrSpace(t)
+	failing := bugdoc.MustInstance(s, bugdoc.Ord(1), bugdoc.Cat("sgd"))
+	good := bugdoc.MustInstance(s, bugdoc.Ord(0.001), bugdoc.Cat("adam"))
+	session, err := bugdoc.NewSession(s, bugdoc.OracleFunc(diverges),
+		bugdoc.WithHistory([]bugdoc.Record{
+			{Instance: failing, Outcome: bugdoc.Fail, Source: "history"},
+			{Instance: good, Outcome: bugdoc.Succeed, Source: "history"},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	causes, err := session.FindOne(ctx, bugdoc.Shortcut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(causes) != 1 {
+		t.Fatalf("causes = %v", causes)
+	}
+	want := bugdoc.T("lr", bugdoc.Eq, bugdoc.Ord(1))
+	if len(causes[0]) != 1 || causes[0][0] != want {
+		t.Fatalf("cause = %v, want {%v}", causes[0], want)
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := bugdoc.NewSession(nil, bugdoc.OracleFunc(diverges)); err == nil {
+		t.Fatal("nil space must fail")
+	}
+	if _, err := bugdoc.NewSession(lrSpace(t), nil); err == nil {
+		t.Fatal("nil oracle must fail")
+	}
+	// Duplicate history records are rejected.
+	s := lrSpace(t)
+	in := bugdoc.MustInstance(s, bugdoc.Ord(1), bugdoc.Cat("sgd"))
+	_, err := bugdoc.NewSession(s, bugdoc.OracleFunc(diverges),
+		bugdoc.WithHistory([]bugdoc.Record{
+			{Instance: in, Outcome: bugdoc.Fail},
+			{Instance: in, Outcome: bugdoc.Fail},
+		}))
+	if err == nil {
+		t.Fatal("duplicate history must fail")
+	}
+}
+
+func TestExplainEmpty(t *testing.T) {
+	if got := bugdoc.Explain(nil); !strings.Contains(got, "no definitive root cause") {
+		t.Fatalf("Explain(nil) = %q", got)
+	}
+}

@@ -1,0 +1,46 @@
+package bugdoc_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/bugdoc"
+)
+
+// ExampleSession debugs a tiny training pipeline whose runs diverge when
+// the learning rate is too high.
+func ExampleSession() {
+	space := bugdoc.MustSpace(
+		bugdoc.Parameter{Name: "lr", Kind: bugdoc.Ordinal, Domain: []bugdoc.Value{
+			bugdoc.Ord(0.001), bugdoc.Ord(0.01), bugdoc.Ord(0.1), bugdoc.Ord(1),
+		}},
+		bugdoc.Parameter{Name: "optimizer", Kind: bugdoc.Categorical, Domain: []bugdoc.Value{
+			bugdoc.Cat("sgd"), bugdoc.Cat("adam"),
+		}},
+	)
+	oracle := bugdoc.OracleFunc(func(_ context.Context, in bugdoc.Instance) (bugdoc.Outcome, error) {
+		if lr, _ := in.ByName("lr"); lr.Num() > 0.01 {
+			return bugdoc.Fail, nil // training diverges
+		}
+		return bugdoc.Succeed, nil
+	})
+
+	session, err := bugdoc.NewSession(space, oracle, bugdoc.WithSeed(7))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ctx := context.Background()
+	if err := session.Seed(ctx); err != nil {
+		fmt.Println(err)
+		return
+	}
+	causes, err := session.FindAll(ctx, bugdoc.DebuggingDecisionTrees)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(bugdoc.Explain(causes))
+	// Output:
+	// root cause 1: lr > 0.01
+}

@@ -1,0 +1,149 @@
+// Command bugdoc-bench regenerates the tables and figures of the BugDoc
+// paper's evaluation (Section 5) on this reproduction's simulators.
+//
+//	bugdoc-bench -exp tables              # Tables 1 and 2 walkthrough
+//	bugdoc-bench -exp fig2 -scenario single|conjunction|disjunction
+//	bugdoc-bench -exp fig3                # FindAll, disjunction scenario
+//	bugdoc-bench -exp fig4                # conciseness
+//	bugdoc-bench -exp fig5                # instances vs |P|
+//	bugdoc-bench -exp fig6                # parallel scale-up
+//	bugdoc-bench -exp fig7                # real-world pipelines
+//	bugdoc-bench -exp dbsherlock          # classifier accuracy (paper: 98%)
+//	bugdoc-bench -exp all
+//
+// The -full flag uses the paper's parameter ranges (slower); the default
+// uses reduced ranges that finish in seconds while preserving the shapes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bugdoc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp       = flag.String("exp", "all", "experiment: tables | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | dbsherlock | all")
+		scenario  = flag.String("scenario", "single", "fig2 scenario: single | conjunction | disjunction")
+		pipelines = flag.Int("pipelines", 0, "synthetic pipelines per cell (0 = default)")
+		seed      = flag.Int64("seed", 1, "randomness seed")
+		full      = flag.Bool("full", false, "use the paper's full parameter ranges")
+	)
+	flag.Parse()
+
+	synthCfg := synth.Config{MinParams: 3, MaxParams: 6, MinValues: 4, MaxValues: 8}
+	if *full {
+		synthCfg = synth.Config{} // paper defaults: 3-15 params, 5-30 values
+	}
+	ctx := context.Background()
+
+	runOne := func(name string) error {
+		switch name {
+		case "tables":
+			res, err := experiments.Tables12(ctx)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig2":
+			sc, err := parseScenario(*scenario)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.Fig23(ctx, experiments.Fig23Config{
+				Scenario: sc, Pipelines: *pipelines, Seed: *seed, Synth: synthCfg,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig3":
+			res, err := experiments.Fig23(ctx, experiments.Fig23Config{
+				Scenario: synth.Disjunction, Pipelines: *pipelines, Seed: *seed,
+				FindAll: true, Synth: synthCfg,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig4":
+			res, err := experiments.Fig4(ctx, experiments.Fig4Config{
+				Pipelines: *pipelines, Seed: *seed, Synth: synthCfg,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig5":
+			cfg := experiments.Fig5Config{Seed: *seed}
+			if *full {
+				cfg.MinValues, cfg.MaxValues = 5, 30
+			}
+			res, err := experiments.Fig5(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig6":
+			res, err := experiments.Fig6(ctx, experiments.Fig6Config{Seed: *seed, Synth: synthCfg})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig7":
+			cfg := experiments.Fig7Config{Seed: *seed}
+			if *full {
+				cfg.DBSherlockClasses = 10
+			}
+			res, err := experiments.Fig7(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "dbsherlock":
+			res, err := experiments.DBSherlockAccuracy(ctx, experiments.DBSherlockConfig{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"tables", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "dbsherlock"} {
+			fmt.Printf("==== %s ====\n", name)
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return runOne(*exp)
+}
+
+func parseScenario(s string) (synth.Scenario, error) {
+	switch s {
+	case "single":
+		return synth.SingleTriple, nil
+	case "conjunction":
+		return synth.SingleConjunction, nil
+	case "disjunction":
+		return synth.Disjunction, nil
+	default:
+		return 0, fmt.Errorf("unknown scenario %q", s)
+	}
+}

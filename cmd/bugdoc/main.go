@@ -1,0 +1,165 @@
+// Command bugdoc debugs a computational pipeline from the command line.
+//
+// Two modes:
+//
+//	# Historical mode: debug a provenance log (no new executions possible).
+//	bugdoc -spec pipeline.json -provenance runs.csv -algo ddt -goal all
+//
+//	# Demo mode: debug one of the built-in simulated pipelines live.
+//	bugdoc -demo ml -algo shortcut
+//	bugdoc -demo polygamy -algo ddt -goal all
+//	bugdoc -demo gan -algo stacked
+//
+// The spec file declares the parameter space (see internal/spec); the
+// provenance CSV has one column per parameter plus an "outcome" column with
+// values "succeed"/"fail".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gansim"
+	"repro/internal/mlsim"
+	"repro/internal/pipeline"
+	"repro/internal/polygamy"
+	"repro/internal/provenance"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bugdoc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		specPath = flag.String("spec", "", "pipeline spec JSON (historical mode)")
+		provPath = flag.String("provenance", "", "provenance CSV (historical mode)")
+		demo     = flag.String("demo", "", "built-in pipeline: ml | polygamy | gan")
+		algoName = flag.String("algo", "ddt", "algorithm: shortcut | stacked | ddt")
+		goal     = flag.String("goal", "one", "goal: one | all")
+		budget   = flag.Int("budget", -1, "max new pipeline executions (-1 = unlimited)")
+		workers  = flag.Int("workers", 4, "parallel execution workers")
+		seed     = flag.Int64("seed", 1, "randomness seed")
+	)
+	flag.Parse()
+
+	var algo core.Algorithm
+	switch *algoName {
+	case "shortcut":
+		algo = core.AlgoShortcut
+	case "stacked":
+		algo = core.AlgoStackedShortcut
+	case "ddt":
+		algo = core.AlgoDDT
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algoName)
+	}
+
+	var (
+		st     *provenance.Store
+		oracle exec.Oracle
+		err    error
+	)
+	switch {
+	case *demo != "":
+		st, oracle, err = demoPipeline(*demo)
+	case *specPath != "" && *provPath != "":
+		st, oracle, err = historical(*specPath, *provPath)
+	default:
+		return fmt.Errorf("need either -demo, or -spec with -provenance")
+	}
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	ex := exec.New(oracle, st, exec.WithBudget(*budget), exec.WithWorkers(*workers))
+	r := rand.New(rand.NewSource(*seed))
+	if err := core.SeedHistory(ctx, ex, r, 0); err != nil {
+		return fmt.Errorf("seeding history: %w", err)
+	}
+	opts := core.Options{Rand: r}
+	var causes interface{ String() string }
+	if *goal == "all" {
+		causes, err = core.FindAll(ctx, ex, algo, opts)
+	} else {
+		causes, err = core.FindOne(ctx, ex, algo, opts)
+	}
+	if err != nil {
+		return err
+	}
+	succ, fail := st.Outcomes()
+	fmt.Printf("algorithm:       %v\n", algo)
+	fmt.Printf("provenance:      %d instances (%d succeed, %d fail)\n", st.Len(), succ, fail)
+	fmt.Printf("new executions:  %d\n", ex.Spent())
+	fmt.Printf("root causes:     %v\n", causes)
+	return nil
+}
+
+// historical loads the spec and provenance and replays the log.
+func historical(specPath, provPath string) (*provenance.Store, exec.Oracle, error) {
+	sf, err := os.Open(specPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sf.Close()
+	space, err := spec.Read(sf)
+	if err != nil {
+		return nil, nil, err
+	}
+	pf, err := os.Open(provPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pf.Close()
+	st, err := provenance.ReadCSV(space, pf, "csv")
+	if err != nil {
+		return nil, nil, err
+	}
+	var ins []pipeline.Instance
+	var outs []pipeline.Outcome
+	for _, rec := range st.Records() {
+		ins = append(ins, rec.Instance)
+		outs = append(outs, rec.Outcome)
+	}
+	oracle, err := exec.NewHistoricalOracle(ins, outs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, oracle, nil
+}
+
+// demoPipeline instantiates one of the built-in simulators.
+func demoPipeline(name string) (*provenance.Store, exec.Oracle, error) {
+	switch name {
+	case "ml":
+		p, err := mlsim.New()
+		if err != nil {
+			return nil, nil, err
+		}
+		return provenance.NewStore(p.Space), p.Oracle(), nil
+	case "polygamy":
+		p, err := polygamy.New()
+		if err != nil {
+			return nil, nil, err
+		}
+		return provenance.NewStore(p.Space), p.Oracle(), nil
+	case "gan":
+		p, err := gansim.New()
+		if err != nil {
+			return nil, nil, err
+		}
+		return provenance.NewStore(p.Space), p.Oracle(), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown demo %q (want ml, polygamy, or gan)", name)
+	}
+}

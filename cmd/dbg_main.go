@@ -1,0 +1,35 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/exec"
+	"repro/internal/mlsim"
+	"repro/internal/provenance"
+)
+
+func main() {
+	ctx := context.Background()
+	ml, _ := mlsim.New()
+	st := provenance.NewStore(ml.Space)
+	ex := exec.New(ml.Oracle(), st)
+	core.SeedHistory(ctx, ex, rand.New(rand.NewSource(3)), 0)
+	got, err := core.DebugDecisionTrees(ctx, ex, core.DDTOptions{Rand: rand.New(rand.NewSource(3)), FindAll: true, Simplify: true})
+	fmt.Println("ddt:", got, err)
+	// Build the final tree and show suspects
+	var exs []dtree.Example
+	for _, r := range st.Records() {
+		exs = append(exs, dtree.Example{Instance: r.Instance, Outcome: r.Outcome})
+	}
+	tree := dtree.Build(ml.Space, exs)
+	fmt.Print(tree.String())
+	for _, s := range tree.Suspects() {
+		fmt.Println("suspect:", s.Path, s.Support)
+	}
+	s, f := st.Outcomes()
+	fmt.Println("records:", st.Len(), "succ:", s, "fail:", f)
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "BugDoc: Algorithms to
+// Debug Computational Processes" (Lourenço, Freire, Shasha; SIGMOD 2020).
+//
+// The public API lives in package repro/bugdoc; the algorithms and
+// substrates live under internal/ (see DESIGN.md for the inventory); the
+// benchmark harness that regenerates every table and figure of the paper's
+// evaluation is cmd/bugdoc-bench, with Go benchmarks in bench_test.go.
+package repro

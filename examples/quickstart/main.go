@@ -1,0 +1,68 @@
+// Quickstart: the paper's Example 1 end to end. A machine-learning pipeline
+// (Figure 1) sometimes produces low F-measure scores; starting from the
+// three previously-run instances of Table 1, BugDoc's Shortcut algorithm
+// executes the substitutions of Table 2 and asserts the minimal definitive
+// root cause — the buggy library version 2.0.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/bugdoc"
+	"repro/internal/experiments"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// The full walkthrough with the paper's tables:
+	res, err := experiments.Tables12(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+
+	// The same investigation through the public API: declare the space,
+	// provide the oracle, replay the history, ask for one root cause.
+	space := bugdoc.MustSpace(
+		bugdoc.Parameter{Name: "Dataset", Kind: bugdoc.Categorical, Domain: []bugdoc.Value{
+			bugdoc.Cat("Iris"), bugdoc.Cat("Digits"), bugdoc.Cat("Images"),
+		}},
+		bugdoc.Parameter{Name: "Estimator", Kind: bugdoc.Categorical, Domain: []bugdoc.Value{
+			bugdoc.Cat("Logistic Regression"), bugdoc.Cat("Decision Tree"), bugdoc.Cat("Gradient Boosting"),
+		}},
+		bugdoc.Parameter{Name: "LibraryVersion", Kind: bugdoc.Categorical, Domain: []bugdoc.Value{
+			bugdoc.Cat("1.0"), bugdoc.Cat("2.0"),
+		}},
+	)
+	// A black-box oracle: in real use this runs your pipeline; here the
+	// bug is that library 2.0 tanks every score below the 0.6 threshold.
+	oracle := bugdoc.OracleFunc(func(_ context.Context, in bugdoc.Instance) (bugdoc.Outcome, error) {
+		if v, _ := in.ByName("LibraryVersion"); v == bugdoc.Cat("2.0") {
+			return bugdoc.Fail, nil
+		}
+		if est, _ := in.ByName("Estimator"); est == bugdoc.Cat("Gradient Boosting") {
+			if ds, _ := in.ByName("Dataset"); ds != bugdoc.Cat("Images") {
+				return bugdoc.Fail, nil
+			}
+		}
+		return bugdoc.Succeed, nil
+	})
+	session, err := bugdoc.NewSession(space, oracle, bugdoc.WithHistory([]bugdoc.Record{
+		{Instance: bugdoc.MustInstance(space, bugdoc.Cat("Iris"), bugdoc.Cat("Logistic Regression"), bugdoc.Cat("1.0")), Outcome: bugdoc.Succeed, Source: "table1"},
+		{Instance: bugdoc.MustInstance(space, bugdoc.Cat("Digits"), bugdoc.Cat("Decision Tree"), bugdoc.Cat("1.0")), Outcome: bugdoc.Succeed, Source: "table1"},
+		{Instance: bugdoc.MustInstance(space, bugdoc.Cat("Iris"), bugdoc.Cat("Gradient Boosting"), bugdoc.Cat("2.0")), Outcome: bugdoc.Fail, Source: "table1"},
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	causes, err := session.FindOne(ctx, bugdoc.Shortcut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Public API result:")
+	fmt.Print(bugdoc.Explain(causes))
+	fmt.Printf("(%d new pipeline executions)\n", session.Spent())
+}

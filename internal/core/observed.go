@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// This file implements the enrichment extension from the paper's related
+// work and conclusion: "an interesting direction for future work would be to
+// consider variables (or predicates) that can be observed but not
+// manipulated in our formalism to generate potentially richer explanations".
+// Observed variables (e.g. memory high-water marks, intermediate row counts,
+// library-reported warnings) cannot be set when deriving new instances, but
+// their correlation with an asserted root cause tells the human debugger
+// where to look inside the black box.
+
+// Observation carries the observed (non-manipulable) variables recorded for
+// one executed instance, as name -> value.
+type Observation struct {
+	Instance pipeline.Instance
+	Values   map[string]pipeline.Value
+	Outcome  pipeline.Outcome
+}
+
+// ObservedPredicate is one enrichment: an observed variable condition that
+// separates the failing instances matching a root cause from the succeeding
+// instances, with its support counts.
+type ObservedPredicate struct {
+	Triple predicate.Triple
+	// MatchFail counts cause-matching failing observations satisfying the
+	// predicate; MatchTotal is all cause-matching failing observations.
+	MatchFail, MatchTotal int
+	// OtherSucceed counts succeeding observations satisfying the predicate
+	// (lower is a sharper signal); OtherTotal is all succeeding ones.
+	OtherSucceed, OtherTotal int
+}
+
+// Coverage is the fraction of cause-matching failures the predicate holds
+// on.
+func (p ObservedPredicate) Coverage() float64 {
+	if p.MatchTotal == 0 {
+		return 0
+	}
+	return float64(p.MatchFail) / float64(p.MatchTotal)
+}
+
+// Leakage is the fraction of succeeding runs the predicate also holds on.
+func (p ObservedPredicate) Leakage() float64 {
+	if p.OtherTotal == 0 {
+		return 0
+	}
+	return float64(p.OtherSucceed) / float64(p.OtherTotal)
+}
+
+// String renders the enrichment for humans.
+func (p ObservedPredicate) String() string {
+	return fmt.Sprintf("%v [holds on %d/%d matching failures, %d/%d successes]",
+		p.Triple, p.MatchFail, p.MatchTotal, p.OtherSucceed, p.OtherTotal)
+}
+
+// Enrich derives observed-variable predicates for one asserted root cause:
+// conditions on observed variables that hold on (almost) every failing
+// instance satisfying the cause while holding on few succeeding instances.
+// Candidates are equality tests for categorical observations and threshold
+// tests (<=, >) at observed values for ordinal ones; predicates are ranked
+// by coverage minus leakage and returned above the given thresholds.
+func Enrich(cause predicate.Conjunction, observations []Observation,
+	minCoverage, maxLeakage float64) ([]ObservedPredicate, error) {
+	if minCoverage <= 0 {
+		minCoverage = 0.9
+	}
+	if maxLeakage <= 0 {
+		maxLeakage = 0.25
+	}
+	var matchFail []Observation
+	var succeed []Observation
+	for _, ob := range observations {
+		switch {
+		case ob.Outcome == pipeline.Fail && cause.Satisfied(ob.Instance):
+			matchFail = append(matchFail, ob)
+		case ob.Outcome == pipeline.Succeed:
+			succeed = append(succeed, ob)
+		}
+	}
+	if len(matchFail) == 0 {
+		return nil, fmt.Errorf("core: no failing observation matches cause %v", cause)
+	}
+
+	// Split points come from all observations: a threshold separating the
+	// failure values from the success values usually sits at a success
+	// value (e.g. memory > max-healthy-usage).
+	candidates := observedCandidates(append(append([]Observation{}, matchFail...), succeed...))
+	var out []ObservedPredicate
+	for _, t := range candidates {
+		p := ObservedPredicate{Triple: t, MatchTotal: len(matchFail), OtherTotal: len(succeed)}
+		for _, ob := range matchFail {
+			if holdsObserved(t, ob) {
+				p.MatchFail++
+			}
+		}
+		for _, ob := range succeed {
+			if holdsObserved(t, ob) {
+				p.OtherSucceed++
+			}
+		}
+		if p.Coverage() >= minCoverage && p.Leakage() <= maxLeakage {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si := out[i].Coverage() - out[i].Leakage()
+		sj := out[j].Coverage() - out[j].Leakage()
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Triple.Less(out[j].Triple)
+	})
+	return out, nil
+}
+
+// observedCandidates enumerates predicate candidates from the observed
+// values of the matching failures.
+func observedCandidates(obs []Observation) []predicate.Triple {
+	type key struct {
+		name  string
+		value pipeline.Value
+	}
+	seen := make(map[key]bool)
+	var names []string
+	nameSeen := make(map[string]bool)
+	for _, ob := range obs {
+		for name, v := range ob.Values {
+			if !nameSeen[name] {
+				nameSeen[name] = true
+				names = append(names, name)
+			}
+			seen[key{name, v}] = true
+		}
+	}
+	sort.Strings(names)
+	var out []predicate.Triple
+	for _, name := range names {
+		var vals []pipeline.Value
+		for k := range seen {
+			if k.name == name {
+				vals = append(vals, k.value)
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].Less(vals[j]) })
+		for _, v := range vals {
+			if v.Kind() == pipeline.Categorical {
+				out = append(out, predicate.T(name, predicate.Eq, v))
+				continue
+			}
+			out = append(out, predicate.T(name, predicate.Le, v))
+			out = append(out, predicate.T(name, predicate.Gt, v))
+		}
+	}
+	return out
+}
+
+// holdsObserved evaluates a triple against an observation's recorded
+// variables; missing or kind-mismatched variables do not satisfy anything.
+func holdsObserved(t predicate.Triple, ob Observation) bool {
+	v, ok := ob.Values[t.Param]
+	if !ok || v.Kind() != t.Value.Kind() {
+		return false
+	}
+	return t.Holds(v)
+}

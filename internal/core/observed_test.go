@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// observedFixture: the cause is version=2.0; failing runs under that cause
+// report high peak memory and a "deprecated API" warning, while succeeding
+// runs report low memory and no warning.
+func observedFixture(t *testing.T) (predicate.Conjunction, []Observation) {
+	t.Helper()
+	s := pipeline.MustSpace(
+		pipeline.Parameter{Name: "version", Kind: pipeline.Categorical,
+			Domain: catDomain("1.0", "2.0")},
+		pipeline.Parameter{Name: "dataset", Kind: pipeline.Categorical,
+			Domain: catDomain("a", "b", "c")},
+	)
+	cause := predicate.And(predicate.T("version", predicate.Eq, pipeline.Cat("2.0")))
+	mk := func(ver, ds string, out pipeline.Outcome, mem float64, warn string) Observation {
+		return Observation{
+			Instance: pipeline.MustInstance(s, pipeline.Cat(ver), pipeline.Cat(ds)),
+			Outcome:  out,
+			Values: map[string]pipeline.Value{
+				"peak_memory_mb": pipeline.Ord(mem),
+				"warning":        pipeline.Cat(warn),
+			},
+		}
+	}
+	obs := []Observation{
+		mk("2.0", "a", pipeline.Fail, 4096, "deprecated API"),
+		mk("2.0", "b", pipeline.Fail, 3900, "deprecated API"),
+		mk("2.0", "c", pipeline.Fail, 4200, "deprecated API"),
+		mk("1.0", "a", pipeline.Succeed, 512, "none"),
+		mk("1.0", "b", pipeline.Succeed, 480, "none"),
+		mk("1.0", "c", pipeline.Succeed, 530, "none"),
+	}
+	return cause, obs
+}
+
+func TestEnrichFindsSeparatingPredicates(t *testing.T) {
+	cause, obs := observedFixture(t)
+	got, err := Enrich(cause, obs, 0.9, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no enrichments found")
+	}
+	// The warning equality must appear with full coverage and no leakage.
+	foundWarning := false
+	for _, p := range got {
+		if p.Triple.Param == "warning" && p.Triple.Cmp == predicate.Eq &&
+			p.Triple.Value == pipeline.Cat("deprecated API") {
+			foundWarning = true
+			if p.Coverage() != 1.0 || p.Leakage() != 0.0 {
+				t.Fatalf("warning predicate stats: %+v", p)
+			}
+		}
+		// Thresholds must be respected by every returned predicate.
+		if p.Coverage() < 0.9 || p.Leakage() > 0.25 {
+			t.Fatalf("predicate %v violates thresholds", p)
+		}
+	}
+	if !foundWarning {
+		t.Fatalf("warning predicate missing from %v", got)
+	}
+	// A memory threshold separating 4096-ish from 512-ish must appear.
+	foundMem := false
+	for _, p := range got {
+		if p.Triple.Param == "peak_memory_mb" && p.Triple.Cmp == predicate.Gt {
+			foundMem = true
+		}
+	}
+	if !foundMem {
+		t.Fatalf("memory threshold missing from %v", got)
+	}
+}
+
+func TestEnrichRanksByCoverageMinusLeakage(t *testing.T) {
+	cause, obs := observedFixture(t)
+	// Add a noisy observed variable that leaks onto successes.
+	for i := range obs {
+		obs[i].Values["noise"] = pipeline.Cat("x")
+	}
+	got, err := Enrich(cause, obs, 0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		prev := got[i-1].Coverage() - got[i-1].Leakage()
+		cur := got[i].Coverage() - got[i].Leakage()
+		if cur > prev {
+			t.Fatalf("ranking broken at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+	// The noise predicate (full leakage) must rank below the warning one.
+	if got[0].Triple.Param == "noise" {
+		t.Fatalf("noise ranked first: %v", got)
+	}
+}
+
+func TestEnrichNoMatchingFailures(t *testing.T) {
+	cause, obs := observedFixture(t)
+	other := predicate.And(predicate.T("version", predicate.Eq, pipeline.Cat("1.0")))
+	if _, err := Enrich(other, obs, 0, 0); err == nil {
+		t.Fatal("cause matching no failures must error")
+	}
+	_ = cause
+}
+
+func TestEnrichMissingVariablesTolerated(t *testing.T) {
+	cause, obs := observedFixture(t)
+	// Drop the warning variable from one failing observation: coverage for
+	// the warning predicate falls to 2/3 and the default threshold (0.9)
+	// filters it out.
+	delete(obs[0].Values, "warning")
+	got, err := Enrich(cause, obs, 0.9, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range got {
+		if p.Triple.Param == "warning" && p.Triple.Cmp == predicate.Eq {
+			t.Fatalf("warning predicate should be filtered: %v", p)
+		}
+	}
+}
+
+func TestObservedPredicateString(t *testing.T) {
+	p := ObservedPredicate{
+		Triple:    predicate.T("mem", predicate.Gt, pipeline.Ord(1024)),
+		MatchFail: 3, MatchTotal: 3, OtherSucceed: 0, OtherTotal: 5,
+	}
+	s := p.String()
+	if !strings.Contains(s, "mem > 1024") || !strings.Contains(s, "3/3") || !strings.Contains(s, "0/5") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,125 @@
+// Package core implements BugDoc's debugging algorithms (Section 4 of the
+// paper): the Shortcut algorithm (Algorithm 1), the Stacked Shortcut
+// algorithm (Algorithm 2), and the Debugging Decision Trees algorithm,
+// together with the FindOne/FindAll drivers and explanation simplification.
+//
+// All algorithms observe pipelines strictly through an exec.Executor: they
+// read the provenance of previously-run instances and selectively execute
+// new ones, which is the paper's cost measure.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// Shortcut runs Algorithm 1: starting from failing instance cpf and a
+// succeeding instance cpg (ideally disjoint from cpf — the Disjointness
+// Condition), it substitutes cpg's value into each parameter in turn and
+// keeps the substitution whenever the modified instance still fails. The
+// parameter-values of cpf remaining in the final instance form the asserted
+// minimal definitive root cause D.
+//
+// Per the algorithm's final sanity check, Shortcut returns an empty
+// conjunction when some already-executed successful instance contains D
+// (it then found only a proper subset of a real root cause).
+//
+// Execution errors are tolerated per the black-box model: an instance that
+// cannot be run (exhausted budget, absent from historical data) simply
+// leaves the current parameter untested, keeping cpf's value. A nil error
+// with an empty conjunction therefore means "refuted by the sanity check",
+// never "could not run".
+func Shortcut(ctx context.Context, ex *exec.Executor, cpf, cpg pipeline.Instance) (predicate.Conjunction, error) {
+	s := cpf.Space()
+	if cpg.Space() != s {
+		return nil, fmt.Errorf("core: cpf and cpg belong to different spaces")
+	}
+	if out, ok := ex.Store().Lookup(cpf); !ok || out != pipeline.Fail {
+		return nil, fmt.Errorf("core: cpf %v is not a recorded failing instance", cpf)
+	}
+	if out, ok := ex.Store().Lookup(cpg); !ok || out != pipeline.Succeed {
+		return nil, fmt.Errorf("core: cpg %v is not a recorded succeeding instance", cpg)
+	}
+
+	current := cpf
+	for i := 0; i < s.Len(); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		gv := cpg.Value(i)
+		if current.Value(i) == gv {
+			// Non-disjoint pair (heuristic mode): nothing to substitute.
+			continue
+		}
+		candidate := current.With(i, gv)
+		out, err := ex.Evaluate(ctx, candidate)
+		switch {
+		case err == nil:
+			if out == pipeline.Fail {
+				// cpf's value for this parameter did not cause the failure.
+				current = candidate
+			}
+		case errors.Is(err, exec.ErrBudgetExhausted),
+			errors.Is(err, exec.ErrUnknownInstance):
+			// Untestable: keep the current value and move on.
+		default:
+			return nil, err
+		}
+	}
+
+	// D <- current ∩ cpf: the surviving parameter-value pairs of cpf.
+	var d predicate.Conjunction
+	for i := 0; i < s.Len(); i++ {
+		if current.Value(i) == cpf.Value(i) {
+			d = append(d, predicate.T(s.At(i).Name, predicate.Eq, cpf.Value(i)))
+		}
+	}
+	// Sanity check: a successful execution containing D refutes it.
+	if _, found := ex.Store().AnySucceedingSatisfying(d); found {
+		return predicate.Conjunction{}, nil
+	}
+	return d.Canonical(), nil
+}
+
+// PickFailing selects CP_f from provenance: the earliest failing instance.
+func PickFailing(ex *exec.Executor) (pipeline.Instance, error) {
+	cpf, ok := ex.Store().FirstFailing()
+	if !ok {
+		return pipeline.Instance{}, fmt.Errorf("core: provenance has no failing instance")
+	}
+	return cpf, nil
+}
+
+// PickDisjointGood selects CP_g for a given CP_f: a recorded succeeding
+// instance disjoint from cpf when one exists, otherwise the succeeding
+// instance differing on the most parameters (the paper's heuristic fallback
+// when the Disjointness Condition does not hold).
+func PickDisjointGood(ex *exec.Executor, cpf pipeline.Instance) (cpg pipeline.Instance, disjoint bool, err error) {
+	if ds := ex.Store().DisjointSucceeding(cpf); len(ds) > 0 {
+		return ds[0], true, nil
+	}
+	md, ok := ex.Store().MostDifferentSucceeding(cpf)
+	if !ok {
+		return pipeline.Instance{}, false, fmt.Errorf("core: provenance has no succeeding instance")
+	}
+	return md, false, nil
+}
+
+// ShortcutAuto is the common driver: pick CP_f and CP_g from provenance and
+// run Shortcut.
+func ShortcutAuto(ctx context.Context, ex *exec.Executor) (predicate.Conjunction, error) {
+	cpf, err := PickFailing(ex)
+	if err != nil {
+		return nil, err
+	}
+	cpg, _, err := PickDisjointGood(ex, cpf)
+	if err != nil {
+		return nil, err
+	}
+	return Shortcut(ctx, ex, cpf, cpg)
+}

@@ -1,0 +1,148 @@
+package dataxray
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+	"repro/internal/provenance"
+)
+
+func ordDomain(vals ...float64) []pipeline.Value {
+	out := make([]pipeline.Value, len(vals))
+	for i, v := range vals {
+		out[i] = pipeline.Ord(v)
+	}
+	return out
+}
+
+func testSpace(t *testing.T) *pipeline.Space {
+	t.Helper()
+	return pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: ordDomain(1, 2, 3, 4)},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Ordinal, Domain: ordDomain(1, 2, 3, 4)},
+	)
+}
+
+// fillStore enumerates the whole space and labels it with the truth DNF.
+func fillStore(t *testing.T, s *pipeline.Space, truth predicate.DNF) *provenance.Store {
+	t.Helper()
+	st := provenance.NewStore(s)
+	s.Enumerate(func(in pipeline.Instance) bool {
+		out := pipeline.Succeed
+		if truth.Satisfied(in) {
+			out = pipeline.Fail
+		}
+		if err := st.Add(in, out, "full"); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	return st
+}
+
+func TestDiagnoseCoversAllFailures(t *testing.T) {
+	s := testSpace(t)
+	truth := predicate.Or(predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1))))
+	st := fillStore(t, s, truth)
+	got, err := Diagnose(s, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no diagnosis produced")
+	}
+	// Every failing instance must be covered (the high-recall behaviour).
+	for _, in := range st.Failing() {
+		if !got.Satisfied(in) {
+			t.Fatalf("failing instance %v not covered by %v", in, got)
+		}
+	}
+	// The single-cause case should be found exactly.
+	if len(got) != 1 {
+		t.Fatalf("diagnosis = %v, want single feature", got)
+	}
+	eq, err := predicate.Equivalent(s, got[0], truth[0])
+	if err != nil || !eq {
+		t.Fatalf("diagnosis = %v, want equivalent to %v", got[0], truth[0])
+	}
+}
+
+func TestDiagnoseDisjunction(t *testing.T) {
+	s := testSpace(t)
+	truth := predicate.Or(
+		predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1))),
+		predicate.And(predicate.T("b", predicate.Eq, pipeline.Ord(4))),
+	)
+	st := fillStore(t, s, truth)
+	got, err := Diagnose(s, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range st.Failing() {
+		if !got.Satisfied(in) {
+			t.Fatalf("failing instance %v not covered", in)
+		}
+	}
+	if len(got) < 2 {
+		t.Fatalf("diagnosis = %v, want at least two features", got)
+	}
+}
+
+func TestDiagnoseEmptyHistory(t *testing.T) {
+	s := testSpace(t)
+	got, err := Diagnose(s, provenance.NewStore(s), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("diagnosis of empty history = %v", got)
+	}
+}
+
+func TestDiagnoseConjunctionUsesPairFeature(t *testing.T) {
+	s := testSpace(t)
+	truth := predicate.Or(predicate.And(
+		predicate.T("a", predicate.Eq, pipeline.Ord(2)),
+		predicate.T("b", predicate.Eq, pipeline.Ord(3)),
+	))
+	st := fillStore(t, s, truth)
+	got, err := Diagnose(s, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("diagnosis = %v", got)
+	}
+	eq, err := predicate.Equivalent(s, got[0], truth[0])
+	if err != nil || !eq {
+		t.Fatalf("diagnosis = %v, want %v", got[0], truth[0])
+	}
+}
+
+func TestDiagnoseOnSparseHistoryOverfits(t *testing.T) {
+	// With only a couple of records, Data X-Ray picks whatever cheap
+	// feature covers the failure — not necessarily a true cause. This is
+	// the documented low-precision behaviour; the test just pins that a
+	// cover is still produced.
+	s := testSpace(t)
+	st := provenance.NewStore(s)
+	fail := pipeline.MustInstance(s, pipeline.Ord(1), pipeline.Ord(2))
+	ok := pipeline.MustInstance(s, pipeline.Ord(3), pipeline.Ord(4))
+	if err := st.Add(fail, pipeline.Fail, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(ok, pipeline.Succeed, "t"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Diagnose(s, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("sparse history must still produce a cover")
+	}
+	if !got.Satisfied(fail) {
+		t.Fatalf("failing instance not covered by %v", got)
+	}
+}

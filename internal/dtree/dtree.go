@@ -1,0 +1,265 @@
+// Package dtree builds the debugging decision trees of BugDoc Section 4.2:
+// full (unpruned) binary decision trees over pipeline parameters, with the
+// instance evaluation (succeed/fail) as the target. Inner nodes test one
+// parameter-comparator-value triple; categorical parameters split on
+// equality, ordinal parameters on thresholds, so root-to-leaf paths are
+// conjunctions of triples that may contain inequalities.
+//
+// BugDoc uses the tree unusually: not to predict untested configurations,
+// but to discover short paths ending in pure-fail leaves. Those paths are
+// the "suspects" the Debugging Decision Trees algorithm then verifies by
+// executing new instances.
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// Example is one labelled training point: an executed instance and its
+// evaluation.
+type Example struct {
+	Instance pipeline.Instance
+	Outcome  pipeline.Outcome
+}
+
+// Node is one node of a debugging decision tree. Leaves have Yes == No ==
+// nil; inner nodes route instances satisfying Split to Yes and the rest to
+// No. Counts cover the training examples that reached the node.
+type Node struct {
+	Split    predicate.Triple
+	Yes, No  *Node
+	NSucceed int
+	NFail    int
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Yes == nil && n.No == nil }
+
+// PureFail reports whether the node saw only failing examples.
+func (n *Node) PureFail() bool { return n.NFail > 0 && n.NSucceed == 0 }
+
+// PureSucceed reports whether the node saw only succeeding examples.
+func (n *Node) PureSucceed() bool { return n.NSucceed > 0 && n.NFail == 0 }
+
+// Build grows a full decision tree (no pruning, per the paper: "we build a
+// complete decision tree") over the examples. Splitting stops only when a
+// node is pure or no candidate split separates its examples — such impure
+// unsplittable leaves are the paper's "mixed" leaves.
+func Build(s *pipeline.Space, examples []Example) *Node {
+	return build(s, examples)
+}
+
+func build(s *pipeline.Space, examples []Example) *Node {
+	n := &Node{}
+	for _, ex := range examples {
+		switch ex.Outcome {
+		case pipeline.Succeed:
+			n.NSucceed++
+		case pipeline.Fail:
+			n.NFail++
+		}
+	}
+	if n.NSucceed == 0 || n.NFail == 0 || len(examples) < 2 {
+		return n
+	}
+	split, ok := bestSplit(s, examples)
+	if !ok {
+		return n
+	}
+	var yes, no []Example
+	for _, ex := range examples {
+		if split.Satisfied(ex.Instance) {
+			yes = append(yes, ex)
+		} else {
+			no = append(no, ex)
+		}
+	}
+	n.Split = split
+	n.Yes = build(s, yes)
+	n.No = build(s, no)
+	return n
+}
+
+// bestSplit evaluates every candidate triple and returns the one with the
+// highest information gain, breaking ties by the canonical triple order so
+// the tree is deterministic. Because the paper builds a *complete* tree,
+// zero-gain splits are still taken when they separate the examples (greedy
+// gain alone deadlocks on XOR-structured data, leaving pure-fail regions
+// undiscovered); ok is false only when no candidate separates the examples
+// at all.
+func bestSplit(s *pipeline.Space, examples []Example) (predicate.Triple, bool) {
+	total := float64(len(examples))
+	baseH := entropy(examples)
+	best := predicate.Triple{}
+	bestGain := -1.0
+	consider := func(t predicate.Triple) {
+		var yes, no []Example
+		for _, ex := range examples {
+			if t.Satisfied(ex.Instance) {
+				yes = append(yes, ex)
+			} else {
+				no = append(no, ex)
+			}
+		}
+		if len(yes) == 0 || len(no) == 0 {
+			return
+		}
+		gain := baseH -
+			float64(len(yes))/total*entropy(yes) -
+			float64(len(no))/total*entropy(no)
+		if gain > bestGain+1e-12 ||
+			(math.Abs(gain-bestGain) <= 1e-12 && bestGain >= 0 && t.Less(best)) {
+			best, bestGain = t, gain
+		}
+	}
+	for i := 0; i < s.Len(); i++ {
+		p := s.At(i)
+		values := observedValues(examples, i)
+		switch p.Kind {
+		case pipeline.Categorical:
+			for _, v := range values {
+				consider(predicate.T(p.Name, predicate.Eq, v))
+			}
+		case pipeline.Ordinal:
+			// Thresholds between consecutive observed values: testing
+			// "<= v" for each observed v except the largest covers them all.
+			for k := 0; k < len(values)-1; k++ {
+				consider(predicate.T(p.Name, predicate.Le, values[k]))
+			}
+		}
+	}
+	// A separating split always exists unless the examples coincide on
+	// every parameter (bestGain stays -1 in that case).
+	if bestGain < 0 {
+		return predicate.Triple{}, false
+	}
+	return best, true
+}
+
+// observedValues returns the distinct values of parameter i among the
+// examples, sorted.
+func observedValues(examples []Example, i int) []pipeline.Value {
+	seen := make(map[pipeline.Value]bool)
+	var out []pipeline.Value
+	for _, ex := range examples {
+		v := ex.Instance.Value(i)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	return out
+}
+
+// entropy is the Shannon entropy of the succeed/fail label distribution.
+func entropy(examples []Example) float64 {
+	var s, f float64
+	for _, ex := range examples {
+		if ex.Outcome == pipeline.Succeed {
+			s++
+		} else {
+			f++
+		}
+	}
+	total := s + f
+	h := 0.0
+	for _, c := range []float64{s, f} {
+		if c > 0 {
+			p := c / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// Suspect is a root-to-leaf path ending in a pure-fail leaf: a conjunction
+// of triples that, on the evidence so far, always fails. Support counts the
+// failing examples in the leaf.
+type Suspect struct {
+	Path    predicate.Conjunction
+	Support int
+}
+
+// Suspects extracts all pure-fail paths, shortest first (ties broken by
+// higher support, then lexicographically) — the order in which the
+// Debugging Decision Trees algorithm tests them, since shorter paths make
+// more concise root causes.
+func (n *Node) Suspects() []Suspect {
+	var out []Suspect
+	var walk func(node *Node, path predicate.Conjunction)
+	walk = func(node *Node, path predicate.Conjunction) {
+		if node.IsLeaf() {
+			if node.PureFail() {
+				out = append(out, Suspect{Path: path.Canonical(), Support: node.NFail})
+			}
+			return
+		}
+		walk(node.Yes, append(path.Clone(), node.Split))
+		walk(node.No, append(path.Clone(), node.Split.Negated()))
+	}
+	walk(n, nil)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Path) != len(out[j].Path) {
+			return len(out[i].Path) < len(out[j].Path)
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Path.String() < out[j].Path.String()
+	})
+	return out
+}
+
+// MixedLeaves counts impure leaves, a diagnostic for how separable the
+// provenance currently is.
+func (n *Node) MixedLeaves() int {
+	if n.IsLeaf() {
+		if !n.PureFail() && !n.PureSucceed() {
+			return 1
+		}
+		return 0
+	}
+	return n.Yes.MixedLeaves() + n.No.MixedLeaves()
+}
+
+// Depth returns the height of the tree (leaves have depth 1).
+func (n *Node) Depth() int {
+	if n.IsLeaf() {
+		return 1
+	}
+	d := n.Yes.Depth()
+	if nd := n.No.Depth(); nd > d {
+		d = nd
+	}
+	return d + 1
+}
+
+// String renders the tree with indentation, for debugging and examples.
+func (n *Node) String() string {
+	var b strings.Builder
+	var walk func(node *Node, indent string, label string)
+	walk = func(node *Node, indent, label string) {
+		if node.IsLeaf() {
+			state := "mixed"
+			if node.PureFail() {
+				state = "fail"
+			} else if node.PureSucceed() {
+				state = "succeed"
+			}
+			fmt.Fprintf(&b, "%s%s[%s: %d succeed, %d fail]\n", indent, label, state, node.NSucceed, node.NFail)
+			return
+		}
+		fmt.Fprintf(&b, "%s%s%s?\n", indent, label, node.Split)
+		walk(node.Yes, indent+"  ", "yes: ")
+		walk(node.No, indent+"  ", "no:  ")
+	}
+	walk(n, "", "")
+	return b.String()
+}

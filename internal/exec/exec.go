@@ -1,0 +1,250 @@
+// Package exec is BugDoc's execution engine: it runs pipeline instances
+// through a black-box Oracle, memoizes results in a provenance store,
+// enforces an execution budget (the paper's cost measure is the number of
+// *new* instances executed), and dispatches independent instances across a
+// pool of workers (Section 4.3, "each pipeline instance is independent;
+// hence different instances can be run in parallel").
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/provenance"
+)
+
+// Oracle runs one pipeline instance and evaluates its result (the
+// composition of executing CP_i and applying the evaluation procedure E of
+// Definition 2). Implementations must be safe for concurrent use.
+type Oracle interface {
+	Run(ctx context.Context, in pipeline.Instance) (pipeline.Outcome, error)
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(ctx context.Context, in pipeline.Instance) (pipeline.Outcome, error)
+
+// Run implements Oracle.
+func (f OracleFunc) Run(ctx context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+	return f(ctx, in)
+}
+
+// ErrBudgetExhausted is returned when evaluating an instance would exceed
+// the executor's budget of new executions.
+var ErrBudgetExhausted = errors.New("exec: instance budget exhausted")
+
+// ErrUnknownInstance is returned by replay-only oracles (historical logs)
+// for instances that were never recorded; algorithms treat it as "this
+// hypothesis cannot be tested" and move on, matching the paper's DBSherlock
+// methodology ("an early stop when the pipeline instance to be tested was
+// not present").
+var ErrUnknownInstance = errors.New("exec: instance not present in historical data")
+
+// Option configures an Executor.
+type Option func(*Executor)
+
+// WithBudget caps the number of new instance executions; n < 0 means
+// unlimited. Instances already in the provenance store are free.
+func WithBudget(n int) Option {
+	return func(e *Executor) { e.budget = n }
+}
+
+// WithWorkers sets the size of the parallel dispatch pool (minimum 1).
+func WithWorkers(n int) Option {
+	return func(e *Executor) {
+		if n < 1 {
+			n = 1
+		}
+		e.workers = n
+	}
+}
+
+// Executor mediates every instance execution for the debugging algorithms.
+// It is safe for concurrent use.
+type Executor struct {
+	oracle  Oracle
+	store   *provenance.Store
+	workers int
+
+	mu     sync.Mutex
+	budget int // remaining new executions; negative = unlimited
+	spent  int
+}
+
+// New builds an executor over the oracle and provenance store. The store
+// may be pre-populated with the previously-run instances G = CP_1..CP_k;
+// those evaluations are served from provenance without consuming budget.
+func New(oracle Oracle, store *provenance.Store, opts ...Option) *Executor {
+	e := &Executor{oracle: oracle, store: store, workers: 1, budget: -1}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Store returns the provenance store backing the executor.
+func (e *Executor) Store() *provenance.Store { return e.store }
+
+// Spent returns the number of new instance executions so far.
+func (e *Executor) Spent() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.spent
+}
+
+// Remaining returns the remaining budget and whether it is bounded.
+func (e *Executor) Remaining() (int, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.budget < 0 {
+		return 0, false
+	}
+	return e.budget, true
+}
+
+// reserve atomically claims budget for one new execution.
+func (e *Executor) reserve() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.budget == 0 {
+		return ErrBudgetExhausted
+	}
+	if e.budget > 0 {
+		e.budget--
+	}
+	e.spent++
+	return nil
+}
+
+// release returns one reserved unit (the oracle failed, nothing recorded).
+func (e *Executor) release() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.budget >= 0 {
+		e.budget++
+	}
+	e.spent--
+}
+
+// Evaluate returns the outcome of one instance: from provenance when
+// already known, otherwise by running the oracle (consuming budget) and
+// recording the result. Evaluation is deterministic per Definition 2, so
+// memoization is sound.
+func (e *Executor) Evaluate(ctx context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+	if out, ok := e.store.Lookup(in); ok {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return pipeline.OutcomeUnknown, err
+	}
+	if err := e.reserve(); err != nil {
+		return pipeline.OutcomeUnknown, err
+	}
+	out, err := e.oracle.Run(ctx, in)
+	if err != nil {
+		e.release()
+		return pipeline.OutcomeUnknown, fmt.Errorf("exec: run %v: %w", in, err)
+	}
+	if out != pipeline.Succeed && out != pipeline.Fail {
+		e.release()
+		return pipeline.OutcomeUnknown, fmt.Errorf("exec: oracle returned %v for %v", out, in)
+	}
+	if err := e.store.Add(in, out, "executor"); err != nil {
+		// A concurrent evaluation of the same instance won the race; its
+		// result is authoritative and our duplicate execution was wasted
+		// budget (the paper accepts this: parallelism "may lead to the
+		// execution of pipelines that are ultimately unnecessary").
+		if prev, ok := e.store.Lookup(in); ok {
+			return prev, nil
+		}
+		e.release()
+		return pipeline.OutcomeUnknown, err
+	}
+	return out, nil
+}
+
+// Result pairs an instance with its evaluation or error from EvaluateAll.
+type Result struct {
+	Instance pipeline.Instance
+	Outcome  pipeline.Outcome
+	Err      error
+}
+
+// EvaluateAll evaluates the instances concurrently on the worker pool and
+// returns results in input order. Individual failures (budget exhaustion,
+// unknown historical instances, oracle errors) are reported per-result so
+// callers can use partial information, mirroring how the dispatcher keeps
+// other workers busy when one instance fails.
+func (e *Executor) EvaluateAll(ctx context.Context, ins []pipeline.Instance) []Result {
+	results := make([]Result, len(ins))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.workers
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out, err := e.Evaluate(ctx, ins[i])
+				results[i] = Result{Instance: ins[i], Outcome: out, Err: err}
+			}
+		}()
+	}
+	for i := range ins {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// LatencyOracle wraps an oracle with a fixed per-run latency, simulating
+// expensive pipeline executions (the paper's real pipelines take 20 minutes
+// to 10 hours per instance); it drives the parallel scalability experiment.
+func LatencyOracle(o Oracle, d time.Duration) Oracle {
+	return OracleFunc(func(ctx context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+		select {
+		case <-ctx.Done():
+			return pipeline.OutcomeUnknown, ctx.Err()
+		case <-time.After(d):
+		}
+		return o.Run(ctx, in)
+	})
+}
+
+// HistoricalOracle replays a fixed instance→outcome mapping and returns
+// ErrUnknownInstance for anything else. It models datasets where new
+// pipeline instances cannot be executed (DBSherlock logs, Section 5.3).
+type HistoricalOracle struct {
+	outcomes map[string]pipeline.Outcome
+}
+
+// NewHistoricalOracle builds a replay oracle from instances and outcomes.
+func NewHistoricalOracle(ins []pipeline.Instance, outs []pipeline.Outcome) (*HistoricalOracle, error) {
+	if len(ins) != len(outs) {
+		return nil, fmt.Errorf("exec: %d instances but %d outcomes", len(ins), len(outs))
+	}
+	m := make(map[string]pipeline.Outcome, len(ins))
+	for i, in := range ins {
+		m[in.Key()] = outs[i]
+	}
+	return &HistoricalOracle{outcomes: m}, nil
+}
+
+// Run implements Oracle.
+func (h *HistoricalOracle) Run(_ context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+	out, ok := h.outcomes[in.Key()]
+	if !ok {
+		return pipeline.OutcomeUnknown, ErrUnknownInstance
+	}
+	return out, nil
+}
+
+// Len returns the number of replayable instances.
+func (h *HistoricalOracle) Len() int { return len(h.outcomes) }

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dbsherlock"
+	"repro/internal/exec"
+	"repro/internal/gansim"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/polygamy"
+	"repro/internal/predicate"
+)
+
+// Fig7Config configures the real-world comparison (Figure 7).
+type Fig7Config struct {
+	Seed int64
+	// DBSherlockClasses bounds how many anomaly classes run (default 3 to
+	// keep the harness quick; the paper uses all 10 — see the DBSherlock
+	// accuracy experiment for the full study).
+	DBSherlockClasses int
+	// Corpus controls the DBSherlock log generation.
+	Corpus dbsherlock.Config
+}
+
+// Fig7Row is one (pipeline, method) measurement.
+type Fig7Row struct {
+	Pipeline  string
+	Method    Method
+	Precision float64
+	Recall    float64
+}
+
+// Fig7Result is the real-world comparison grid.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// MethodBugDocCombined is BugDoc as evaluated in Figure 7: Stacked Shortcut
+// and Debugging Decision Trees combined.
+const MethodBugDocCombined Method = "BugDoc (Stacked+DDT)"
+
+// Fig7Methods are the approaches compared in Figure 7; the paper omits the
+// weaker SMAC-fed configurations here, so the baselines read the
+// BugDoc-generated instances.
+var Fig7Methods = []Method{MethodBugDocCombined, MethodXRayBD, MethodETBD}
+
+// Fig7 runs BugDoc and the explanation baselines on the three simulated
+// real-world pipelines. For Data Polygamy and GAN training the judgement is
+// exact (planted ground truth); for the replay-only DBSherlock logs,
+// precision is the fraction of asserted causes consistent with the full
+// dataset (no succeeding instance satisfies them) and recall is the
+// fraction of failing instances covered, since the paper's manual ground
+// truth is unavailable by construction.
+func Fig7(ctx context.Context, cfg Fig7Config) (*Fig7Result, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.DBSherlockClasses <= 0 {
+		cfg.DBSherlockClasses = 3
+	}
+	if cfg.DBSherlockClasses > len(dbsherlock.AnomalyClasses) {
+		cfg.DBSherlockClasses = len(dbsherlock.AnomalyClasses)
+	}
+	rgen := newSeedSequence(cfg.Seed)
+	res := &Fig7Result{}
+
+	poly, err := polygamy.New()
+	if err != nil {
+		return nil, err
+	}
+	if err := res.addExact(ctx, "Data Polygamy", poly.Space, poly.Oracle(), poly.Truth, poly.Minimal, rgen); err != nil {
+		return nil, err
+	}
+
+	gan, err := gansim.New()
+	if err != nil {
+		return nil, err
+	}
+	if err := res.addExact(ctx, "GAN Training", gan.Space, gan.Oracle(), gan.Truth, gan.Minimal, rgen); err != nil {
+		return nil, err
+	}
+
+	if err := res.addDBSherlock(ctx, cfg, rgen); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runCombined runs BugDoc the Figure 7 way: Stacked Shortcut first, then
+// Debugging Decision Trees over the same (growing) provenance; the union of
+// assertions is simplified into the final answer.
+func runCombined(ctx context.Context, ex *exec.Executor, seed int64) (predicate.DNF, error) {
+	var combined predicate.DNF
+	stacked, err := core.StackedShortcut(ctx, ex, core.DefaultStackedGoods)
+	if err != nil {
+		return nil, err
+	}
+	if len(stacked) > 0 {
+		combined = append(combined, stacked)
+	}
+	ddt, err := core.DebugDecisionTrees(ctx, ex, core.DDTOptions{
+		Rand: rand.New(rand.NewSource(seed)), FindAll: true, Simplify: false,
+	})
+	if err != nil {
+		return nil, err
+	}
+	combined = append(combined, ddt...)
+	return predicate.SimplifyDNF(ex.Store().Space(), combined)
+}
+
+// addExact measures the three Figure 7 methods on a simulator with planted
+// ground truth, judging with the exact region metrics.
+func (res *Fig7Result) addExact(ctx context.Context, name string, space *pipeline.Space,
+	oracle exec.Oracle, truth predicate.DNF, minimal []predicate.Conjunction, rgen *seedSequence) error {
+	// Real pipelines arrive with an execution log; 300 prior runs mirror
+	// the paper's setting (e.g. 300+ datasets for Data Polygamy).
+	prob, err := newProblemWithHistory(ctx, space, oracle, truth, minimal, rgen.next(), 300)
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	ex, err := prob.executor(-1, 1)
+	if err != nil {
+		return err
+	}
+	combined, err := runCombined(ctx, ex, rgen.next())
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	for _, m := range Fig7Methods {
+		var asserted predicate.DNF
+		if m == MethodBugDocCombined {
+			asserted = combined
+		} else {
+			// Baselines read the instances BugDoc generated.
+			asserted, err = explain(m, prob.space, ex.Store(), rgen.next())
+			if err != nil {
+				return err
+			}
+		}
+		ev, err := metrics.Judge(prob.space, asserted, truth, minimal)
+		if err != nil {
+			return err
+		}
+		var prec float64
+		if ev.TotalAsserted > 0 {
+			prec = float64(ev.TrueAsserted) / float64(ev.TotalAsserted)
+		}
+		var rec float64
+		if ev.TotalActual > 0 {
+			rec = float64(ev.MatchedActual) / float64(ev.TotalActual)
+		}
+		res.Rows = append(res.Rows, Fig7Row{Pipeline: name, Method: m, Precision: prec, Recall: rec})
+	}
+	return nil
+}
+
+// addDBSherlock measures the methods on the replay-only log datasets,
+// averaging over anomaly classes. Consistency-based judgement: an asserted
+// cause is "correct" when no instance of the full dataset that satisfies it
+// succeeds; recall is the fraction of failing instances explained.
+func (res *Fig7Result) addDBSherlock(ctx context.Context, cfg Fig7Config, rgen *seedSequence) error {
+	corpus := dbsherlock.GenerateCorpus(rgen.rand(), cfg.Corpus)
+	sums := make(map[Method]*Fig7Row)
+	for _, m := range Fig7Methods {
+		sums[m] = &Fig7Row{Pipeline: "DBSherlock (OLTP logs)", Method: m}
+	}
+	for class := 0; class < cfg.DBSherlockClasses; class++ {
+		ds, err := corpus.DatasetFor(class, rgen.rand())
+		if err != nil {
+			return err
+		}
+		st, oracle, err := ds.Setup()
+		if err != nil {
+			return err
+		}
+		ex := exec.New(oracle, st)
+		combined, err := runCombined(ctx, ex, rgen.next())
+		if err != nil {
+			return err
+		}
+		for _, m := range Fig7Methods {
+			var asserted predicate.DNF
+			if m == MethodBugDocCombined {
+				asserted = combined
+			} else {
+				asserted, err = explain(m, ds.Space, ex.Store(), rgen.next())
+				if err != nil {
+					return err
+				}
+			}
+			p, r := datasetPrecisionRecall(ds, asserted)
+			sums[m].Precision += p
+			sums[m].Recall += r
+		}
+	}
+	for _, m := range Fig7Methods {
+		row := sums[m]
+		row.Precision /= float64(cfg.DBSherlockClasses)
+		row.Recall /= float64(cfg.DBSherlockClasses)
+		res.Rows = append(res.Rows, *row)
+	}
+	return nil
+}
+
+// datasetPrecisionRecall judges assertions against a finite labelled
+// dataset: precision = consistent causes / asserted causes; recall =
+// failing instances covered / failing instances.
+func datasetPrecisionRecall(ds *dbsherlock.Dataset, asserted predicate.DNF) (float64, float64) {
+	if len(asserted) == 0 {
+		return 0, 0
+	}
+	consistent := 0
+	for _, c := range asserted {
+		ok := true
+		for i, in := range ds.Instances {
+			if ds.Outcomes[i] == pipeline.Succeed && c.Satisfied(in) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			consistent++
+		}
+	}
+	var failing, covered float64
+	for i, in := range ds.Instances {
+		if ds.Outcomes[i] != pipeline.Fail {
+			continue
+		}
+		failing++
+		if asserted.Satisfied(in) {
+			covered++
+		}
+	}
+	prec := float64(consistent) / float64(len(asserted))
+	rec := 0.0
+	if failing > 0 {
+		rec = covered / failing
+	}
+	return prec, rec
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/textplot"
+)
+
+// Render prints the Figure 2/3 grid as one table per budget group.
+func (r *Fig23Result) Render() string {
+	var b strings.Builder
+	goal := "FindOne"
+	figure := "Figure 2"
+	if r.Config.FindAll {
+		goal = "FindAll"
+		figure = "Figure 3"
+	}
+	fmt.Fprintf(&b, "%s — %s on synthetic pipelines, root cause: %v (%d pipelines)\n\n",
+		figure, goal, r.Config.Scenario, r.Config.Pipelines)
+	for _, g := range AllGroups {
+		fmt.Fprintf(&b, "%s (avg %.1f instances)\n", g, r.AvgBudget[g])
+		rows := make([][]string, 0, len(AllMethods))
+		for _, m := range AllMethods {
+			c := r.Cells[g][m]
+			rows = append(rows, []string{
+				string(m),
+				fmt.Sprintf("%.3f", c.Precision),
+				fmt.Sprintf("%.3f", c.Recall),
+				fmt.Sprintf("%.3f", c.F),
+			})
+		}
+		b.WriteString(textplot.Table([]string{"Method", "Precision", "Recall", "F-measure"}, rows))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render prints the Figure 4 conciseness bars.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4a — average parameters per asserted root cause\n")
+	labels := make([]string, len(AllMethods))
+	values := make([]float64, len(AllMethods))
+	for i, m := range AllMethods {
+		labels[i] = string(m)
+		values[i] = r.ParamsPerCause[m]
+	}
+	b.WriteString(textplot.Bars(labels, values, 40))
+	b.WriteString("\nFigure 4b — mean log10(asserted / actual root causes)\n")
+	rows := make([][]string, len(AllMethods))
+	for i, m := range AllMethods {
+		rows[i] = []string{string(m), fmt.Sprintf("%+.3f", r.LogAssertedPerActual[m])}
+	}
+	b.WriteString(textplot.Table([]string{"Method", "log10(asserted/actual)"}, rows))
+	return b.String()
+}
+
+// Render prints the Figure 5 scaling curves.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — new instances executed vs number of parameters\n")
+	methods := []Method{MethodShortcut, MethodStacked, MethodDDT}
+	header := []string{"|P|"}
+	for _, m := range methods {
+		header = append(header, string(m))
+	}
+	nPoints := 0
+	for _, m := range methods {
+		if len(r.Curves[m]) > nPoints {
+			nPoints = len(r.Curves[m])
+		}
+	}
+	rows := make([][]string, 0, nPoints)
+	for i := 0; i < nPoints; i++ {
+		row := []string{""}
+		for mi, m := range methods {
+			curve := r.Curves[m]
+			if i < len(curve) {
+				if mi == 0 {
+					row[0] = fmt.Sprintf("%d", curve[i].Params)
+				}
+				row = append(row, fmt.Sprintf("%.1f", curve[i].Instances))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(textplot.Table(header, rows))
+	return b.String()
+}
+
+// Render prints the Figure 6 scale-up table.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — DDT FindAll scale-up with parallel workers\n")
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{
+			fmt.Sprintf("%d", p.Workers),
+			p.Elapsed.Round(1e6).String(),
+			fmt.Sprintf("%d", p.Instances),
+			fmt.Sprintf("%.2fx", p.Speedup),
+		}
+	}
+	b.WriteString(textplot.Table([]string{"Workers", "Elapsed", "Instances", "Speedup"}, rows))
+	return b.String()
+}
+
+// Render prints the Figure 7 grid.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — real-world pipelines (simulated substrates)\n")
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Pipeline, string(row.Method),
+			fmt.Sprintf("%.3f", row.Precision),
+			fmt.Sprintf("%.3f", row.Recall),
+		}
+	}
+	b.WriteString(textplot.Table([]string{"Pipeline", "Method", "Precision", "Recall"}, rows))
+	return b.String()
+}
+
+// Render prints the DBSherlock accuracy table.
+func (r *DBSherlockResult) Render() string {
+	var b strings.Builder
+	b.WriteString("DBSherlock — asserted root causes as failure classifier (holdout accuracy)\n")
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Class,
+			fmt.Sprintf("%d", row.Causes),
+			fmt.Sprintf("%.1f%%", 100*row.Accuracy),
+		}
+	}
+	b.WriteString(textplot.Table([]string{"Anomaly class", "Causes", "Accuracy"}, rows))
+	fmt.Fprintf(&b, "Mean accuracy: %.1f%% (paper: 98%%)\n", 100*r.Mean)
+	return b.String()
+}

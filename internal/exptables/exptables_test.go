@@ -1,0 +1,137 @@
+package exptables
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+	"repro/internal/provenance"
+)
+
+func ordDomain(vals ...float64) []pipeline.Value {
+	out := make([]pipeline.Value, len(vals))
+	for i, v := range vals {
+		out[i] = pipeline.Ord(v)
+	}
+	return out
+}
+
+func testSpace(t *testing.T) *pipeline.Space {
+	t.Helper()
+	return pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: ordDomain(1, 2, 3, 4)},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Ordinal, Domain: ordDomain(1, 2, 3, 4)},
+	)
+}
+
+func fillStore(t *testing.T, s *pipeline.Space, truth predicate.DNF) *provenance.Store {
+	t.Helper()
+	st := provenance.NewStore(s)
+	s.Enumerate(func(in pipeline.Instance) bool {
+		out := pipeline.Succeed
+		if truth.Satisfied(in) {
+			out = pipeline.Fail
+		}
+		if err := st.Add(in, out, "full"); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	return st
+}
+
+func TestExplainFindsPurePattern(t *testing.T) {
+	s := testSpace(t)
+	truth := predicate.Or(predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1))))
+	st := fillStore(t, s, truth)
+	table := Explain(s, st, Options{Rand: rand.New(rand.NewSource(1))})
+	if len(table) == 0 {
+		t.Fatal("empty explanation table")
+	}
+	causes := AsCauses(table)
+	if len(causes) == 0 {
+		t.Fatalf("no pure pattern found in table %v", table)
+	}
+	eq, err := predicate.Equivalent(s, causes[0], truth[0])
+	if err != nil || !eq {
+		t.Fatalf("top cause = %v, want %v (err %v)", causes[0], truth[0], err)
+	}
+}
+
+func TestExplainHighPrecision(t *testing.T) {
+	// Patterns asserted as causes must have a perfect fail rate on the
+	// provenance — the high-precision behaviour the paper reports.
+	s := testSpace(t)
+	truth := predicate.Or(
+		predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(2)),
+			predicate.T("b", predicate.Eq, pipeline.Ord(2))),
+	)
+	st := fillStore(t, s, truth)
+	table := Explain(s, st, Options{Rand: rand.New(rand.NewSource(2))})
+	for _, c := range AsCauses(table) {
+		succ, fail := st.CountSatisfying(c)
+		if succ != 0 || fail == 0 {
+			t.Fatalf("asserted pattern %v covers %d successes, %d failures", c, succ, fail)
+		}
+	}
+}
+
+func TestExplainEmptyStore(t *testing.T) {
+	s := testSpace(t)
+	if table := Explain(s, provenance.NewStore(s), Options{}); table != nil {
+		t.Fatalf("empty store must give nil table, got %v", table)
+	}
+}
+
+func TestExplainAllSucceedGivesNoCauses(t *testing.T) {
+	s := testSpace(t)
+	st := fillStore(t, s, predicate.DNF{}) // nothing fails
+	table := Explain(s, st, Options{Rand: rand.New(rand.NewSource(3))})
+	if causes := AsCauses(table); len(causes) != 0 {
+		t.Fatalf("no failures but causes asserted: %v", causes)
+	}
+}
+
+func TestExplainRespectsMaxPatterns(t *testing.T) {
+	s := testSpace(t)
+	truth := predicate.Or(
+		predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1))),
+		predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(2))),
+		predicate.And(predicate.T("b", predicate.Eq, pipeline.Ord(3))),
+	)
+	st := fillStore(t, s, truth)
+	table := Explain(s, st, Options{Rand: rand.New(rand.NewSource(4)), MaxPatterns: 2})
+	if len(table) > 2 {
+		t.Fatalf("table size %d exceeds MaxPatterns", len(table))
+	}
+}
+
+func TestExplainDeterministicPerSeed(t *testing.T) {
+	s := testSpace(t)
+	truth := predicate.Or(predicate.And(predicate.T("b", predicate.Eq, pipeline.Ord(4))))
+	st := fillStore(t, s, truth)
+	render := func() string {
+		out := ""
+		for _, p := range Explain(s, st, Options{Rand: rand.New(rand.NewSource(5))}) {
+			out += p.Conj.String() + ";"
+		}
+		return out
+	}
+	if render() != render() {
+		t.Fatal("Explain must be deterministic per seed")
+	}
+}
+
+func TestKLBernoulliProperties(t *testing.T) {
+	if klBernoulli(0.5, 0.5) > 1e-9 {
+		t.Fatal("KL(p||p) must be ~0")
+	}
+	if klBernoulli(1, 0.1) <= klBernoulli(1, 0.9) {
+		t.Fatal("KL must penalize worse estimates more")
+	}
+	// Clamping keeps extreme values finite.
+	if k := klBernoulli(1, 0); k <= 0 || k != k {
+		t.Fatalf("clamped KL = %v", k)
+	}
+}

@@ -1,0 +1,241 @@
+// Package forest implements random-forest regression over mixed
+// ordinal/categorical pipeline parameters: bagged CART trees with random
+// feature subsets and variance estimates across trees. It is the surrogate
+// model substrate for the SMAC baseline (sequential model-based algorithm
+// configuration uses random-forest surrogates; Hutter et al., LION 2011).
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/pipeline"
+)
+
+// Config controls forest training; zero values take defaults.
+type Config struct {
+	// Trees is the ensemble size (default 16).
+	Trees int
+	// MinLeaf is the minimum examples per leaf (default 2).
+	MinLeaf int
+	// MaxDepth bounds tree depth (default 16).
+	MaxDepth int
+	// Rand drives bootstrap and feature sampling; deterministic default.
+	Rand *rand.Rand
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trees <= 0 {
+		c.Trees = 16
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 16
+	}
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(1))
+	}
+	return c
+}
+
+// Forest is a trained ensemble.
+type Forest struct {
+	space *pipeline.Space
+	trees []*node
+}
+
+type node struct {
+	// Split: param index and test. For ordinal parameters the test is
+	// value <= threshold; for categorical, value == category.
+	param     int
+	threshold float64
+	category  string
+	ordinal   bool
+
+	yes, no *node
+	mean    float64
+}
+
+// Train fits a forest to instances xs with targets ys.
+func Train(s *pipeline.Space, xs []pipeline.Instance, ys []float64, cfg Config) *Forest {
+	cfg = cfg.withDefaults()
+	f := &Forest{space: s}
+	if len(xs) == 0 {
+		return f
+	}
+	mtry := int(math.Ceil(math.Sqrt(float64(s.Len()))))
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, len(xs))
+		for i := range idx {
+			idx[i] = cfg.Rand.Intn(len(xs))
+		}
+		f.trees = append(f.trees, grow(s, xs, ys, idx, cfg, mtry, 0))
+	}
+	return f
+}
+
+func grow(s *pipeline.Space, xs []pipeline.Instance, ys []float64, idx []int, cfg Config, mtry, depth int) *node {
+	n := &node{mean: mean(ys, idx)}
+	if len(idx) < 2*cfg.MinLeaf || depth >= cfg.MaxDepth || pure(ys, idx) {
+		return n
+	}
+	// Random feature subset.
+	feats := cfg.Rand.Perm(s.Len())
+	if len(feats) > mtry {
+		feats = feats[:mtry]
+	}
+	bestVar := math.Inf(1)
+	found := false
+	for _, pi := range feats {
+		p := s.At(pi)
+		vals := distinctValues(xs, idx, pi)
+		if len(vals) < 2 {
+			continue
+		}
+		if p.Kind == pipeline.Ordinal {
+			for k := 0; k < len(vals)-1; k++ {
+				thr := vals[k].Num()
+				v := splitVariance(xs, ys, idx, func(in pipeline.Instance) bool {
+					return in.Value(pi).Num() <= thr
+				}, cfg.MinLeaf)
+				if v < bestVar {
+					bestVar, found = v, true
+					n.param, n.threshold, n.ordinal = pi, thr, true
+				}
+			}
+		} else {
+			for _, val := range vals {
+				cat := val.Str()
+				v := splitVariance(xs, ys, idx, func(in pipeline.Instance) bool {
+					return in.Value(pi).Str() == cat
+				}, cfg.MinLeaf)
+				if v < bestVar {
+					bestVar, found = v, true
+					n.param, n.category, n.ordinal = pi, cat, false
+				}
+			}
+		}
+	}
+	if !found {
+		return n
+	}
+	var yesIdx, noIdx []int
+	for _, i := range idx {
+		if n.test(xs[i]) {
+			yesIdx = append(yesIdx, i)
+		} else {
+			noIdx = append(noIdx, i)
+		}
+	}
+	if len(yesIdx) == 0 || len(noIdx) == 0 {
+		return n
+	}
+	n.yes = grow(s, xs, ys, yesIdx, cfg, mtry, depth+1)
+	n.no = grow(s, xs, ys, noIdx, cfg, mtry, depth+1)
+	return n
+}
+
+func (n *node) test(in pipeline.Instance) bool {
+	v := in.Value(n.param)
+	if n.ordinal {
+		return v.Num() <= n.threshold
+	}
+	return v.Kind() == pipeline.Categorical && v.Str() == n.category
+}
+
+func (n *node) predict(in pipeline.Instance) float64 {
+	for n.yes != nil && n.no != nil {
+		if n.test(in) {
+			n = n.yes
+		} else {
+			n = n.no
+		}
+	}
+	return n.mean
+}
+
+// Predict returns the ensemble mean and variance for one instance. An
+// empty forest predicts (0, 0).
+func (f *Forest) Predict(in pipeline.Instance) (mu, variance float64) {
+	if len(f.trees) == 0 {
+		return 0, 0
+	}
+	preds := make([]float64, len(f.trees))
+	for i, t := range f.trees {
+		preds[i] = t.predict(in)
+		mu += preds[i]
+	}
+	mu /= float64(len(f.trees))
+	for _, p := range preds {
+		variance += (p - mu) * (p - mu)
+	}
+	variance /= float64(len(f.trees))
+	return mu, variance
+}
+
+// Len returns the number of trees.
+func (f *Forest) Len() int { return len(f.trees) }
+
+func mean(ys []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		s += ys[i]
+	}
+	return s / float64(len(idx))
+}
+
+func pure(ys []float64, idx []int) bool {
+	for k := 1; k < len(idx); k++ {
+		if ys[idx[k]] != ys[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+func distinctValues(xs []pipeline.Instance, idx []int, pi int) []pipeline.Value {
+	seen := make(map[pipeline.Value]bool)
+	var out []pipeline.Value
+	for _, i := range idx {
+		v := xs[i].Value(pi)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	return out
+}
+
+// splitVariance is the weighted child variance of a candidate split, or
+// +Inf when a side falls under minLeaf.
+func splitVariance(xs []pipeline.Instance, ys []float64, idx []int, test func(pipeline.Instance) bool, minLeaf int) float64 {
+	var yes, no []int
+	for _, i := range idx {
+		if test(xs[i]) {
+			yes = append(yes, i)
+		} else {
+			no = append(no, i)
+		}
+	}
+	if len(yes) < minLeaf || len(no) < minLeaf {
+		return math.Inf(1)
+	}
+	return sse(ys, yes) + sse(ys, no)
+}
+
+func sse(ys []float64, idx []int) float64 {
+	m := mean(ys, idx)
+	s := 0.0
+	for _, i := range idx {
+		d := ys[i] - m
+		s += d * d
+	}
+	return s
+}

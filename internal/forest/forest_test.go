@@ -1,0 +1,114 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func ordDomain(vals ...float64) []pipeline.Value {
+	out := make([]pipeline.Value, len(vals))
+	for i, v := range vals {
+		out[i] = pipeline.Ord(v)
+	}
+	return out
+}
+
+func catDomain(vals ...string) []pipeline.Value {
+	out := make([]pipeline.Value, len(vals))
+	for i, v := range vals {
+		out[i] = pipeline.Cat(v)
+	}
+	return out
+}
+
+func testSpace(t *testing.T) *pipeline.Space {
+	t.Helper()
+	return pipeline.MustSpace(
+		pipeline.Parameter{Name: "x", Kind: pipeline.Ordinal, Domain: ordDomain(1, 2, 3, 4, 5, 6)},
+		pipeline.Parameter{Name: "c", Kind: pipeline.Categorical, Domain: catDomain("a", "b", "c")},
+	)
+}
+
+func dataset(s *pipeline.Space, f func(pipeline.Instance) float64) (xs []pipeline.Instance, ys []float64) {
+	s.Enumerate(func(in pipeline.Instance) bool {
+		xs = append(xs, in)
+		ys = append(ys, f(in))
+		return true
+	})
+	return
+}
+
+func TestTrainEmpty(t *testing.T) {
+	s := testSpace(t)
+	f := Train(s, nil, nil, Config{})
+	if f.Len() != 0 {
+		t.Fatalf("empty forest has %d trees", f.Len())
+	}
+	mu, v := f.Predict(pipeline.MustInstance(s, pipeline.Ord(1), pipeline.Cat("a")))
+	if mu != 0 || v != 0 {
+		t.Fatalf("empty forest Predict = %v, %v", mu, v)
+	}
+}
+
+func TestForestLearnsThreshold(t *testing.T) {
+	s := testSpace(t)
+	xs, ys := dataset(s, func(in pipeline.Instance) float64 {
+		if v, _ := in.ByName("x"); v.Num() <= 3 {
+			return 1
+		}
+		return 0
+	})
+	f := Train(s, xs, ys, Config{Trees: 24, Rand: rand.New(rand.NewSource(1))})
+	if f.Len() != 24 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	low, _ := f.Predict(pipeline.MustInstance(s, pipeline.Ord(2), pipeline.Cat("b")))
+	high, _ := f.Predict(pipeline.MustInstance(s, pipeline.Ord(5), pipeline.Cat("b")))
+	if low < 0.7 || high > 0.3 {
+		t.Fatalf("Predict(x=2) = %v, Predict(x=5) = %v; want near 1 and 0", low, high)
+	}
+}
+
+func TestForestLearnsCategorical(t *testing.T) {
+	s := testSpace(t)
+	xs, ys := dataset(s, func(in pipeline.Instance) float64 {
+		if v, _ := in.ByName("c"); v.Str() == "b" {
+			return 1
+		}
+		return 0
+	})
+	f := Train(s, xs, ys, Config{Trees: 24, Rand: rand.New(rand.NewSource(2))})
+	hit, _ := f.Predict(pipeline.MustInstance(s, pipeline.Ord(3), pipeline.Cat("b")))
+	miss, _ := f.Predict(pipeline.MustInstance(s, pipeline.Ord(3), pipeline.Cat("a")))
+	if hit < 0.7 || miss > 0.3 {
+		t.Fatalf("Predict(c=b) = %v, Predict(c=a) = %v", hit, miss)
+	}
+}
+
+func TestForestVarianceSmallOnConstantTarget(t *testing.T) {
+	s := testSpace(t)
+	xs, ys := dataset(s, func(pipeline.Instance) float64 { return 0.5 })
+	f := Train(s, xs, ys, Config{Trees: 8, Rand: rand.New(rand.NewSource(3))})
+	mu, v := f.Predict(pipeline.MustInstance(s, pipeline.Ord(1), pipeline.Cat("a")))
+	if mu != 0.5 || v != 0 {
+		t.Fatalf("constant target: Predict = %v, %v", mu, v)
+	}
+}
+
+func TestForestDeterministicPerSeed(t *testing.T) {
+	s := testSpace(t)
+	xs, ys := dataset(s, func(in pipeline.Instance) float64 {
+		v, _ := in.ByName("x")
+		return v.Num() / 6
+	})
+	in := pipeline.MustInstance(s, pipeline.Ord(4), pipeline.Cat("c"))
+	f1 := Train(s, xs, ys, Config{Trees: 8, Rand: rand.New(rand.NewSource(7))})
+	f2 := Train(s, xs, ys, Config{Trees: 8, Rand: rand.New(rand.NewSource(7))})
+	m1, v1 := f1.Predict(in)
+	m2, v2 := f2.Predict(in)
+	if m1 != m2 || v1 != v2 {
+		t.Fatalf("forest not deterministic: (%v,%v) vs (%v,%v)", m1, v1, m2, v2)
+	}
+}

@@ -1,0 +1,105 @@
+package gansim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+func TestSpaceShape(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Space.Len() != 6 {
+		t.Fatalf("space has %d parameters, want 6", p.Space.Len())
+	}
+	for i := 0; i < p.Space.Len(); i++ {
+		if n := len(p.Space.At(i).Domain); n != 5 {
+			t.Fatalf("parameter %q has %d values, want 5", p.Space.At(i).Name, n)
+		}
+	}
+	if n, _ := p.Space.NumInstances(); n != 15625 {
+		t.Fatalf("space size = %d, want 5^6", n)
+	}
+}
+
+// The FID threshold rule must agree with the planted ground truth on every
+// one of the 15625 configurations.
+func TestOracleEquivalentToTruthExhaustively(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := p.Oracle()
+	fails, succeeds := 0, 0
+	p.Space.Enumerate(func(in pipeline.Instance) bool {
+		out, err := oracle.Run(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pipeline.Succeed
+		if p.Truth.Satisfied(in) {
+			want = pipeline.Fail
+		}
+		if out != want {
+			t.Fatalf("FID rule and ground truth disagree on %v: FID=%.1f, truth=%v",
+				in, p.FID(in), want)
+		}
+		if out == pipeline.Fail {
+			fails++
+		} else {
+			succeeds++
+		}
+		return true
+	})
+	if fails == 0 || succeeds == 0 {
+		t.Fatalf("degenerate simulator: %d fails, %d succeeds", fails, succeeds)
+	}
+}
+
+func TestFIDImprovesWithTraining(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(steps float64) pipeline.Instance {
+		return pipeline.MustInstance(p.Space,
+			pipeline.Ord(1e-4), pipeline.Ord(1e-4), pipeline.Ord(steps),
+			pipeline.Ord(64), pipeline.Ord(0.0), pipeline.Cat("spectral"))
+	}
+	if p.FID(mk(100000)) >= p.FID(mk(20000)) {
+		t.Fatal("FID must improve with more training steps")
+	}
+}
+
+func TestGroundTruthMinimal(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range p.Minimal {
+		minimal, err := predicate.Minimal(p.Space, m, p.Truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !minimal {
+			t.Fatalf("ground-truth cause %v is not minimal", m)
+		}
+	}
+}
+
+func TestHealthyConfigurationsExist(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := pipeline.MustInstance(p.Space,
+		pipeline.Ord(1e-4), pipeline.Ord(5e-4), pipeline.Ord(100000),
+		pipeline.Ord(256), pipeline.Ord(0.0), pipeline.Cat("spectral"))
+	if fid := p.FID(healthy); fid > Threshold {
+		t.Fatalf("reference healthy configuration has FID %.1f > threshold", fid)
+	}
+}

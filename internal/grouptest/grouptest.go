@@ -1,0 +1,148 @@
+// Package grouptest implements the group-testing extension sketched in the
+// paper's conclusion: "we would like to explore group testing to identify
+// problematic data elements when a dataset has been identified as a root
+// cause". When BugDoc asserts that an input dataset causes the failure, the
+// next question is *which rows* of that dataset are to blame; re-running the
+// pipeline once per row is prohibitive, so adaptive group testing runs it on
+// row subsets instead.
+//
+// The tester assumes the standard group-testing premise, which matches
+// BugDoc's definitive-cause semantics: a run over a subset of elements fails
+// iff the subset contains at least one defective element. Under that
+// premise, adaptive binary splitting finds all d defectives among n
+// elements in O(d log n) pipeline runs.
+package grouptest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Tester evaluates the pipeline on a subset of data elements (identified by
+// index) and reports whether the run fails. It must be deterministic: a
+// subset fails iff it contains a defective element.
+type Tester interface {
+	Test(ctx context.Context, elements []int) (fails bool, err error)
+}
+
+// TesterFunc adapts a function to Tester.
+type TesterFunc func(ctx context.Context, elements []int) (bool, error)
+
+// Test implements Tester.
+func (f TesterFunc) Test(ctx context.Context, elements []int) (bool, error) {
+	return f(ctx, elements)
+}
+
+// ErrBudgetExhausted is returned when the test budget runs out before every
+// defective element is isolated.
+var ErrBudgetExhausted = errors.New("grouptest: test budget exhausted")
+
+// Options bounds a search.
+type Options struct {
+	// MaxTests caps the number of Tester invocations (<= 0: unlimited).
+	MaxTests int
+}
+
+// Result reports the search outcome.
+type Result struct {
+	// Defective lists the isolated defective element indices, sorted.
+	Defective []int
+	// Tests is the number of Tester invocations used.
+	Tests int
+}
+
+// FindDefectives isolates every defective element among n elements by
+// adaptive binary splitting: test the whole range; if it fails, split it and
+// recurse into each failing half, skipping halves that test clean. Each
+// defective costs O(log n) tests; clean regions are discarded wholesale.
+func FindDefectives(ctx context.Context, t Tester, n int, opts Options) (*Result, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("grouptest: negative element count %d", n)
+	}
+	res := &Result{}
+	if n == 0 {
+		return res, nil
+	}
+	run := func(lo, hi int) (bool, error) {
+		if opts.MaxTests > 0 && res.Tests >= opts.MaxTests {
+			return false, ErrBudgetExhausted
+		}
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		res.Tests++
+		elems := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			elems = append(elems, i)
+		}
+		return t.Test(ctx, elems)
+	}
+	var search func(lo, hi int) error
+	search = func(lo, hi int) error {
+		fails, err := run(lo, hi)
+		if err != nil {
+			return err
+		}
+		if !fails {
+			return nil
+		}
+		if hi-lo == 1 {
+			res.Defective = append(res.Defective, lo)
+			return nil
+		}
+		mid := lo + (hi-lo)/2
+		if err := search(lo, mid); err != nil {
+			return err
+		}
+		return search(mid, hi)
+	}
+	if err := search(0, n); err != nil {
+		sort.Ints(res.Defective)
+		return res, err
+	}
+	sort.Ints(res.Defective)
+	return res, nil
+}
+
+// FindFirstDefective isolates one defective element (the lowest-indexed one
+// reachable by bisection) in O(log n) tests — the FindOne analogue for data
+// elements. ok is false when the full set tests clean.
+func FindFirstDefective(ctx context.Context, t Tester, n int, opts Options) (idx int, ok bool, tests int, err error) {
+	if n <= 0 {
+		return 0, false, 0, nil
+	}
+	run := func(lo, hi int) (bool, error) {
+		if opts.MaxTests > 0 && tests >= opts.MaxTests {
+			return false, ErrBudgetExhausted
+		}
+		if e := ctx.Err(); e != nil {
+			return false, e
+		}
+		tests++
+		elems := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			elems = append(elems, i)
+		}
+		return t.Test(ctx, elems)
+	}
+	fails, err := run(0, n)
+	if err != nil || !fails {
+		return 0, false, tests, err
+	}
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		leftFails, err := run(lo, mid)
+		if err != nil {
+			return 0, false, tests, err
+		}
+		if leftFails {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, true, tests, nil
+}

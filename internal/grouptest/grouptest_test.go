@@ -1,0 +1,141 @@
+package grouptest
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// defectiveTester fails iff the tested subset intersects the defective set.
+func defectiveTester(defective map[int]bool, counter *int) Tester {
+	return TesterFunc(func(_ context.Context, elements []int) (bool, error) {
+		if counter != nil {
+			*counter++
+		}
+		for _, e := range elements {
+			if defective[e] {
+				return true, nil
+			}
+		}
+		return false, nil
+	})
+}
+
+func TestFindDefectivesBasic(t *testing.T) {
+	def := map[int]bool{3: true, 17: true, 18: true}
+	res, err := FindDefectives(context.Background(), defectiveTester(def, nil), 32, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Defective) != 3 || res.Defective[0] != 3 || res.Defective[1] != 17 || res.Defective[2] != 18 {
+		t.Fatalf("Defective = %v", res.Defective)
+	}
+}
+
+func TestFindDefectivesCleanSet(t *testing.T) {
+	res, err := FindDefectives(context.Background(), defectiveTester(nil, nil), 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Defective) != 0 || res.Tests != 1 {
+		t.Fatalf("clean set: %+v", res)
+	}
+}
+
+func TestFindDefectivesEmptyAndInvalid(t *testing.T) {
+	res, err := FindDefectives(context.Background(), defectiveTester(nil, nil), 0, Options{})
+	if err != nil || res.Tests != 0 {
+		t.Fatalf("empty set: %+v, %v", res, err)
+	}
+	if _, err := FindDefectives(context.Background(), defectiveTester(nil, nil), -1, Options{}); err == nil {
+		t.Fatal("negative n must fail")
+	}
+}
+
+func TestFindDefectivesBudget(t *testing.T) {
+	def := map[int]bool{0: true, 999: true}
+	res, err := FindDefectives(context.Background(), defectiveTester(def, nil), 1000, Options{MaxTests: 5})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Tests > 5 {
+		t.Fatalf("Tests = %d exceeds budget", res.Tests)
+	}
+}
+
+func TestFindDefectivesCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FindDefectives(ctx, defectiveTester(map[int]bool{1: true}, nil), 8, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: every defective set is recovered exactly, within the
+// O(d log n) test bound.
+func TestFindDefectivesProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := 1 + r.Intn(200)
+		d := r.Intn(6)
+		def := map[int]bool{}
+		for len(def) < d && len(def) < n {
+			def[r.Intn(n)] = true
+		}
+		count := 0
+		res, err := FindDefectives(context.Background(), defectiveTester(def, &count), n, Options{})
+		if err != nil {
+			return false
+		}
+		if len(res.Defective) != len(def) {
+			return false
+		}
+		for _, e := range res.Defective {
+			if !def[e] {
+				return false
+			}
+		}
+		// Adaptive splitting bound: ~ 2d(log2(n)+1) + 1 tests.
+		bound := 1 + 2*float64(len(def))*(math.Log2(float64(n))+2)
+		return float64(res.Tests) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindFirstDefective(t *testing.T) {
+	def := map[int]bool{42: true, 77: true}
+	idx, ok, tests, err := FindFirstDefective(context.Background(), defectiveTester(def, nil), 128, Options{})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if idx != 42 {
+		t.Fatalf("idx = %d, want 42 (bisection finds the left-most)", idx)
+	}
+	// O(log n): full-set test + 7 bisection steps for n=128.
+	if tests > 9 {
+		t.Fatalf("tests = %d, want <= 9", tests)
+	}
+}
+
+func TestFindFirstDefectiveClean(t *testing.T) {
+	_, ok, tests, err := FindFirstDefective(context.Background(), defectiveTester(nil, nil), 64, Options{})
+	if err != nil || ok || tests != 1 {
+		t.Fatalf("clean: ok=%v tests=%d err=%v", ok, tests, err)
+	}
+	if _, ok, _, _ := FindFirstDefective(context.Background(), defectiveTester(nil, nil), 0, Options{}); ok {
+		t.Fatal("empty set has no defectives")
+	}
+}
+
+func TestFindFirstDefectiveBudget(t *testing.T) {
+	def := map[int]bool{1000: true}
+	_, _, _, err := FindFirstDefective(context.Background(), defectiveTester(def, nil), 2048, Options{MaxTests: 3})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package metrics implements the evaluation criteria of Section 5:
+// precision, recall and F-measure for the FindOne and FindAll goals, plus
+// the conciseness measures of Figure 4. Correctness of an asserted root
+// cause is decided exactly with the region algebra: an assertion is a true
+// minimal definitive root cause iff it is definitive for the ground-truth
+// failure condition (Definition 4) and minimal (Definition 5).
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// PipelineEval is the judgement of one algorithm's output on one pipeline.
+type PipelineEval struct {
+	// TotalAsserted counts asserted root causes (deduplicated by region).
+	TotalAsserted int
+	// TrueAsserted counts asserted causes that are minimal definitive.
+	TrueAsserted int
+	// FalseAsserted = TotalAsserted - TrueAsserted (the |A(CP) - R(CP)|
+	// term of the FindOne precision).
+	FalseAsserted int
+	// TotalActual counts the planted minimal definitive root causes R(CP).
+	TotalActual int
+	// MatchedActual counts planted causes matched by a region-equivalent
+	// asserted cause (the |A(CP) ∩ R(CP)| term for FindAll recall).
+	MatchedActual int
+	// ParamsAsserted sums the number of distinct parameters over asserted
+	// causes (Figure 4a numerator).
+	ParamsAsserted int
+}
+
+// Judge evaluates asserted causes against the pipeline's ground truth.
+func Judge(s *pipeline.Space, asserted predicate.DNF, truth predicate.DNF, actual []predicate.Conjunction) (PipelineEval, error) {
+	var ev PipelineEval
+	ev.TotalActual = len(actual)
+
+	// Deduplicate assertions by region so repeated equivalents do not
+	// inflate counts in either direction.
+	var regions []predicate.Region
+	var distinct predicate.DNF
+	for _, c := range asserted {
+		r, err := predicate.RegionOf(s, c)
+		if err != nil {
+			return ev, err
+		}
+		dup := false
+		for _, prev := range regions {
+			if prev.Equal(r) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			regions = append(regions, r)
+			distinct = append(distinct, c)
+		}
+	}
+
+	ev.TotalAsserted = len(distinct)
+	for _, c := range distinct {
+		ev.ParamsAsserted += len(c.Params())
+		minimal, err := predicate.Minimal(s, c, truth)
+		if err != nil {
+			return ev, err
+		}
+		if minimal {
+			ev.TrueAsserted++
+		} else {
+			ev.FalseAsserted++
+		}
+	}
+	for _, a := range actual {
+		for _, c := range distinct {
+			eq, err := predicate.Equivalent(s, a, c)
+			if err != nil {
+				return ev, err
+			}
+			if eq {
+				ev.MatchedActual++
+				break
+			}
+		}
+	}
+	return ev, nil
+}
+
+// FoundOne reports whether at least one true minimal definitive root cause
+// was asserted — the per-pipeline hit of the FindOne goal.
+func (ev PipelineEval) FoundOne() bool { return ev.TrueAsserted > 0 }
+
+// Aggregate accumulates judgements over a set of pipelines UCP and derives
+// the paper's metrics.
+type Aggregate struct {
+	Pipelines int
+	// Hits counts pipelines where FoundOne held.
+	Hits int
+	// FalsePositives sums FalseAsserted over pipelines (FindOne precision
+	// denominator term).
+	FalsePositives int
+	// Asserted/TrueCauses/MatchedActual/ActualCauses sum the FindAll terms.
+	Asserted      int
+	TrueCauses    int
+	MatchedActual int
+	ActualCauses  int
+	// ParamsAsserted sums parameters over all asserted causes.
+	ParamsAsserted int
+	// logRatios collects log10(asserted/actual) per pipeline with at least
+	// one assertion (Figure 4b).
+	logRatios []float64
+}
+
+// Add incorporates one pipeline's judgement.
+func (ag *Aggregate) Add(ev PipelineEval) {
+	ag.Pipelines++
+	if ev.FoundOne() {
+		ag.Hits++
+	}
+	ag.FalsePositives += ev.FalseAsserted
+	ag.Asserted += ev.TotalAsserted
+	ag.TrueCauses += ev.TrueAsserted
+	ag.MatchedActual += ev.MatchedActual
+	ag.ActualCauses += ev.TotalActual
+	ag.ParamsAsserted += ev.ParamsAsserted
+	if ev.TotalAsserted > 0 && ev.TotalActual > 0 {
+		ag.logRatios = append(ag.logRatios,
+			math.Log10(float64(ev.TotalAsserted)/float64(ev.TotalActual)))
+	}
+}
+
+// FindOnePrecision is Σ hit / (Σ hit + Σ |A - R|), per Section 5.
+func (ag Aggregate) FindOnePrecision() float64 {
+	den := float64(ag.Hits + ag.FalsePositives)
+	if den == 0 {
+		return 0
+	}
+	return float64(ag.Hits) / den
+}
+
+// FindOneRecall is Σ hit / |UCP|.
+func (ag Aggregate) FindOneRecall() float64 {
+	if ag.Pipelines == 0 {
+		return 0
+	}
+	return float64(ag.Hits) / float64(ag.Pipelines)
+}
+
+// FindOneF is the harmonic mean of FindOne precision and recall.
+func (ag Aggregate) FindOneF() float64 {
+	return fmeasure(ag.FindOnePrecision(), ag.FindOneRecall())
+}
+
+// FindAllPrecision is Σ |A ∩ R| / Σ |A|, counting an asserted cause as
+// correct when it is a true minimal definitive root cause.
+func (ag Aggregate) FindAllPrecision() float64 {
+	if ag.Asserted == 0 {
+		return 0
+	}
+	return float64(ag.TrueCauses) / float64(ag.Asserted)
+}
+
+// FindAllRecall is Σ |A ∩ R| / Σ |R| over the planted causes.
+func (ag Aggregate) FindAllRecall() float64 {
+	if ag.ActualCauses == 0 {
+		return 0
+	}
+	return float64(ag.MatchedActual) / float64(ag.ActualCauses)
+}
+
+// FindAllF is the harmonic mean of FindAll precision and recall.
+func (ag Aggregate) FindAllF() float64 {
+	return fmeasure(ag.FindAllPrecision(), ag.FindAllRecall())
+}
+
+// ParamsPerCause is the average number of parameters per asserted root
+// cause (Figure 4a); 0 when nothing was asserted.
+func (ag Aggregate) ParamsPerCause() float64 {
+	if ag.Asserted == 0 {
+		return 0
+	}
+	return float64(ag.ParamsAsserted) / float64(ag.Asserted)
+}
+
+// LogAssertedPerActual is the mean of log10(|A|/|R|) over pipelines with at
+// least one assertion (Figure 4b): 0 means one assertion per actual cause,
+// positive means over-asserting.
+func (ag Aggregate) LogAssertedPerActual() float64 {
+	if len(ag.logRatios) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range ag.logRatios {
+		sum += x
+	}
+	return sum / float64(len(ag.logRatios))
+}
+
+func fmeasure(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+func ordDomain(vals ...float64) []pipeline.Value {
+	out := make([]pipeline.Value, len(vals))
+	for i, v := range vals {
+		out[i] = pipeline.Ord(v)
+	}
+	return out
+}
+
+func testSpace(t *testing.T) *pipeline.Space {
+	t.Helper()
+	return pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: ordDomain(1, 2, 3, 4)},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Ordinal, Domain: ordDomain(1, 2, 3, 4)},
+	)
+}
+
+func TestJudgeExactMatch(t *testing.T) {
+	s := testSpace(t)
+	cause := predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1)))
+	truth := predicate.Or(cause)
+	ev, err := Judge(s, predicate.DNF{cause}, truth, []predicate.Conjunction{cause})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.FoundOne() || ev.TrueAsserted != 1 || ev.FalseAsserted != 0 || ev.MatchedActual != 1 {
+		t.Fatalf("Judge = %+v", ev)
+	}
+}
+
+func TestJudgeEquivalentFormsMatch(t *testing.T) {
+	s := testSpace(t)
+	// a <= 1 equals a = 1 on domain {1,2,3,4}.
+	truth := predicate.Or(predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1))))
+	asserted := predicate.DNF{predicate.And(predicate.T("a", predicate.Le, pipeline.Ord(1)))}
+	actual := []predicate.Conjunction{predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1)))}
+	ev, err := Judge(s, asserted, truth, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.TrueAsserted != 1 || ev.MatchedActual != 1 {
+		t.Fatalf("equivalent form not credited: %+v", ev)
+	}
+}
+
+func TestJudgeNonMinimalIsFalsePositive(t *testing.T) {
+	s := testSpace(t)
+	truth := predicate.Or(predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1))))
+	tooLong := predicate.And(
+		predicate.T("a", predicate.Eq, pipeline.Ord(1)),
+		predicate.T("b", predicate.Eq, pipeline.Ord(2)),
+	)
+	ev, err := Judge(s, predicate.DNF{tooLong}, truth,
+		[]predicate.Conjunction{predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1)))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.TrueAsserted != 0 || ev.FalseAsserted != 1 || ev.MatchedActual != 0 {
+		t.Fatalf("non-minimal assertion must be a false positive: %+v", ev)
+	}
+}
+
+func TestJudgeTruncatedIsFalsePositive(t *testing.T) {
+	s := testSpace(t)
+	truth := predicate.Or(predicate.And(
+		predicate.T("a", predicate.Eq, pipeline.Ord(1)),
+		predicate.T("b", predicate.Eq, pipeline.Ord(1)),
+	))
+	truncated := predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1)))
+	ev, err := Judge(s, predicate.DNF{truncated}, truth,
+		[]predicate.Conjunction{truth[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.TrueAsserted != 0 || ev.FalseAsserted != 1 {
+		t.Fatalf("truncated assertion must be a false positive: %+v", ev)
+	}
+}
+
+func TestJudgeDeduplicatesEquivalentAssertions(t *testing.T) {
+	s := testSpace(t)
+	truth := predicate.Or(predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1))))
+	asserted := predicate.DNF{
+		predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1))),
+		predicate.And(predicate.T("a", predicate.Le, pipeline.Ord(1))), // same region
+	}
+	ev, err := Judge(s, asserted, truth, []predicate.Conjunction{truth[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.TotalAsserted != 1 {
+		t.Fatalf("equivalent assertions must deduplicate: %+v", ev)
+	}
+}
+
+func TestAggregateFindOne(t *testing.T) {
+	var ag Aggregate
+	// Pipeline 1: hit with no false positives.
+	ag.Add(PipelineEval{TotalAsserted: 1, TrueAsserted: 1, TotalActual: 1, MatchedActual: 1})
+	// Pipeline 2: miss with one false positive.
+	ag.Add(PipelineEval{TotalAsserted: 1, FalseAsserted: 1, TotalActual: 1})
+	if got := ag.FindOnePrecision(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FindOnePrecision = %v, want 0.5", got)
+	}
+	if got := ag.FindOneRecall(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FindOneRecall = %v, want 0.5", got)
+	}
+	if got := ag.FindOneF(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FindOneF = %v, want 0.5", got)
+	}
+}
+
+func TestAggregateFindAll(t *testing.T) {
+	var ag Aggregate
+	// 3 asserted, 2 true; 2 actual causes, 1 matched.
+	ag.Add(PipelineEval{TotalAsserted: 3, TrueAsserted: 2, FalseAsserted: 1,
+		TotalActual: 2, MatchedActual: 1})
+	if got := ag.FindAllPrecision(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("FindAllPrecision = %v", got)
+	}
+	if got := ag.FindAllRecall(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FindAllRecall = %v", got)
+	}
+	p, r := 2.0/3.0, 0.5
+	if got := ag.FindAllF(); math.Abs(got-2*p*r/(p+r)) > 1e-12 {
+		t.Fatalf("FindAllF = %v", got)
+	}
+}
+
+func TestAggregateConciseness(t *testing.T) {
+	var ag Aggregate
+	ag.Add(PipelineEval{TotalAsserted: 2, ParamsAsserted: 6, TotalActual: 1, TrueAsserted: 1})
+	ag.Add(PipelineEval{TotalAsserted: 1, ParamsAsserted: 1, TotalActual: 1, TrueAsserted: 1})
+	if got := ag.ParamsPerCause(); math.Abs(got-7.0/3.0) > 1e-12 {
+		t.Fatalf("ParamsPerCause = %v", got)
+	}
+	want := (math.Log10(2) + math.Log10(1)) / 2
+	if got := ag.LogAssertedPerActual(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LogAssertedPerActual = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateEmptySafety(t *testing.T) {
+	var ag Aggregate
+	if ag.FindOnePrecision() != 0 || ag.FindOneRecall() != 0 || ag.FindOneF() != 0 {
+		t.Fatal("empty aggregate must report zeros")
+	}
+	if ag.FindAllPrecision() != 0 || ag.FindAllRecall() != 0 || ag.FindAllF() != 0 {
+		t.Fatal("empty aggregate must report zeros")
+	}
+	if ag.ParamsPerCause() != 0 || ag.LogAssertedPerActual() != 0 {
+		t.Fatal("empty aggregate must report zeros")
+	}
+}
+
+func TestJudgeEmptyAssertion(t *testing.T) {
+	s := testSpace(t)
+	truth := predicate.Or(predicate.And(predicate.T("a", predicate.Eq, pipeline.Ord(1))))
+	ev, err := Judge(s, predicate.DNF{}, truth, []predicate.Conjunction{truth[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.FoundOne() || ev.TotalAsserted != 0 || ev.MatchedActual != 0 {
+		t.Fatalf("empty assertion judgement = %+v", ev)
+	}
+}

@@ -1,0 +1,119 @@
+// Package mlsim simulates the machine-learning classification pipeline of
+// Figure 1: a template that reads a dataset, splits it, trains an
+// estimator, and reports a 10-fold cross-validation F-measure score. The
+// score model reproduces the paper's narrative — gradient boosting scores
+// low on Iris and Digits but high on Images, decision trees work well on
+// Iris and Digits, logistic regression shines on Iris — and a buggy
+// machine-learning library version 2.0 that tanks every score (the minimal
+// definitive root cause of Example 1).
+package mlsim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// ScoreThreshold is the evaluation cut-off: a run succeeds iff its score
+// is at least 0.6 ("an evaluation function that returns succeed if score
+// >= 0.6 and fail otherwise").
+const ScoreThreshold = 0.6
+
+// Pipeline is the simulated Figure 1 pipeline.
+type Pipeline struct {
+	Space *pipeline.Space
+	// Truth is the failure condition implied by the score model, verified
+	// exhaustively in tests.
+	Truth predicate.DNF
+}
+
+// New constructs the simulator.
+func New() (*Pipeline, error) {
+	cat := func(vals ...string) []pipeline.Value {
+		out := make([]pipeline.Value, len(vals))
+		for i, v := range vals {
+			out[i] = pipeline.Cat(v)
+		}
+		return out
+	}
+	s, err := pipeline.NewSpace(
+		pipeline.Parameter{Name: "Dataset", Kind: pipeline.Categorical,
+			Domain: cat("Iris", "Digits", "Images")},
+		pipeline.Parameter{Name: "Estimator", Kind: pipeline.Categorical,
+			Domain: cat("Logistic Regression", "Decision Tree", "Gradient Boosting")},
+		pipeline.Parameter{Name: "LibraryVersion", Kind: pipeline.Categorical,
+			Domain: cat("1.0", "2.0")},
+	)
+	if err != nil {
+		return nil, err
+	}
+	truth := predicate.DNF{
+		// The buggy library release fails everything.
+		predicate.And(predicate.T("LibraryVersion", predicate.Eq, pipeline.Cat("2.0"))),
+		// Gradient boosting under-fits the small datasets (Figure 1).
+		predicate.And(
+			predicate.T("Estimator", predicate.Eq, pipeline.Cat("Gradient Boosting")),
+			predicate.T("Dataset", predicate.Neq, pipeline.Cat("Images")),
+		),
+		// Logistic regression only reaches the threshold on Iris.
+		predicate.And(
+			predicate.T("Estimator", predicate.Eq, pipeline.Cat("Logistic Regression")),
+			predicate.T("Dataset", predicate.Neq, pipeline.Cat("Iris")),
+		),
+	}.Canonical()
+	return &Pipeline{Space: s, Truth: truth}, nil
+}
+
+// Score is the simulated cross-validation F-measure for a configuration.
+// The Table 1/2 rows of the paper come out exactly: (Iris, Logistic
+// Regression, 1.0) = 0.9, (Digits, Decision Tree, 1.0) = 0.8, (Iris,
+// Gradient Boosting, 2.0) = 0.2, (Digits, Gradient Boosting, 2.0) = 0.2,
+// (Digits, Decision Tree, 2.0) = 0.3.
+func (p *Pipeline) Score(in pipeline.Instance) (float64, error) {
+	ds, ok := in.ByName("Dataset")
+	if !ok {
+		return 0, fmt.Errorf("mlsim: missing Dataset")
+	}
+	est, ok := in.ByName("Estimator")
+	if !ok {
+		return 0, fmt.Errorf("mlsim: missing Estimator")
+	}
+	ver, ok := in.ByName("LibraryVersion")
+	if !ok {
+		return 0, fmt.Errorf("mlsim: missing LibraryVersion")
+	}
+	if ver.Str() == "2.0" {
+		// The regression in the new library release caps scores.
+		switch est.Str() {
+		case "Decision Tree":
+			return 0.3, nil
+		case "Logistic Regression":
+			return 0.25, nil
+		default:
+			return 0.2, nil
+		}
+	}
+	scores := map[string]map[string]float64{
+		"Logistic Regression": {"Iris": 0.9, "Digits": 0.55, "Images": 0.5},
+		"Decision Tree":       {"Iris": 0.85, "Digits": 0.8, "Images": 0.65},
+		"Gradient Boosting":   {"Iris": 0.4, "Digits": 0.45, "Images": 0.9},
+	}
+	return scores[est.Str()][ds.Str()], nil
+}
+
+// Oracle evaluates a configuration against the score threshold.
+func (p *Pipeline) Oracle() exec.Oracle {
+	return exec.OracleFunc(func(_ context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+		score, err := p.Score(in)
+		if err != nil {
+			return pipeline.OutcomeUnknown, err
+		}
+		if score >= ScoreThreshold {
+			return pipeline.Succeed, nil
+		}
+		return pipeline.Fail, nil
+	})
+}

@@ -1,0 +1,91 @@
+package mlsim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestTableOneScores(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ds, est, ver string
+		score        float64
+	}{
+		{"Iris", "Logistic Regression", "1.0", 0.9},
+		{"Digits", "Decision Tree", "1.0", 0.8},
+		{"Iris", "Gradient Boosting", "2.0", 0.2},
+		{"Digits", "Gradient Boosting", "2.0", 0.2},
+		{"Digits", "Decision Tree", "2.0", 0.3},
+	}
+	for _, c := range cases {
+		in := pipeline.MustInstance(p.Space,
+			pipeline.Cat(c.ds), pipeline.Cat(c.est), pipeline.Cat(c.ver))
+		got, err := p.Score(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.score {
+			t.Errorf("Score(%s, %s, %s) = %v, want %v", c.ds, c.est, c.ver, got, c.score)
+		}
+	}
+}
+
+// The score-threshold rule must agree with the declared failure DNF on all
+// 18 configurations.
+func TestOracleEquivalentToTruth(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := p.Oracle()
+	p.Space.Enumerate(func(in pipeline.Instance) bool {
+		out, err := oracle.Run(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pipeline.Succeed
+		if p.Truth.Satisfied(in) {
+			want = pipeline.Fail
+		}
+		if out != want {
+			score, _ := p.Score(in)
+			t.Fatalf("oracle(%v) = %v (score %.2f), truth says %v", in, out, score, want)
+		}
+		return true
+	})
+}
+
+func TestFigureOneNarrative(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(ds, est string) float64 {
+		in := pipeline.MustInstance(p.Space, pipeline.Cat(ds), pipeline.Cat(est), pipeline.Cat("1.0"))
+		s, err := p.Score(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// Gradient boosting: low on Iris and Digits, high on Images.
+	if score("Iris", "Gradient Boosting") >= ScoreThreshold ||
+		score("Digits", "Gradient Boosting") >= ScoreThreshold ||
+		score("Images", "Gradient Boosting") < ScoreThreshold {
+		t.Fatal("gradient boosting narrative broken")
+	}
+	// Decision trees work well for both Iris and Digits.
+	if score("Iris", "Decision Tree") < ScoreThreshold ||
+		score("Digits", "Decision Tree") < ScoreThreshold {
+		t.Fatal("decision tree narrative broken")
+	}
+	// Logistic regression leads to a high score for Iris.
+	if score("Iris", "Logistic Regression") < ScoreThreshold {
+		t.Fatal("logistic regression narrative broken")
+	}
+}

@@ -1,0 +1,197 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instance is a pipeline instance CP_i: an assignment of one value to every
+// parameter of a Space (Definition 1). Instances are immutable value types;
+// With returns modified copies. The zero Instance is invalid.
+type Instance struct {
+	space *Space
+	vals  []Value
+}
+
+// Assignment is one (parameter, value) pair of an instance.
+type Assignment struct {
+	Param string
+	Value Value
+}
+
+// NewInstance builds an instance over s from one value per parameter, in
+// space order. Values must match each parameter's kind; they need not be in
+// the declared domain (the universe is expandable), but note that domain-
+// exact reasoning (region algebra) only sees domain values.
+func NewInstance(s *Space, vals []Value) (Instance, error) {
+	if s == nil {
+		return Instance{}, fmt.Errorf("pipeline: nil space")
+	}
+	if len(vals) != s.Len() {
+		return Instance{}, fmt.Errorf("pipeline: instance has %d values for %d parameters",
+			len(vals), s.Len())
+	}
+	for i, v := range vals {
+		p := s.At(i)
+		if v.Kind() != p.Kind {
+			return Instance{}, fmt.Errorf("pipeline: parameter %q (%v) cannot hold %v value %v",
+				p.Name, p.Kind, v.Kind(), v)
+		}
+	}
+	cp := make([]Value, len(vals))
+	copy(cp, vals)
+	return Instance{space: s, vals: cp}, nil
+}
+
+// MustInstance is NewInstance that panics on error.
+func MustInstance(s *Space, vals ...Value) Instance {
+	in, err := NewInstance(s, vals)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// FromAssignments builds an instance from named assignments; every parameter
+// of s must be assigned exactly once.
+func FromAssignments(s *Space, as []Assignment) (Instance, error) {
+	if s == nil {
+		return Instance{}, fmt.Errorf("pipeline: nil space")
+	}
+	vals := make([]Value, s.Len())
+	set := make([]bool, s.Len())
+	for _, a := range as {
+		i, ok := s.Index(a.Param)
+		if !ok {
+			return Instance{}, fmt.Errorf("pipeline: unknown parameter %q", a.Param)
+		}
+		if set[i] {
+			return Instance{}, fmt.Errorf("pipeline: parameter %q assigned twice", a.Param)
+		}
+		set[i] = true
+		vals[i] = a.Value
+	}
+	for i, ok := range set {
+		if !ok {
+			return Instance{}, fmt.Errorf("pipeline: parameter %q not assigned", s.At(i).Name)
+		}
+	}
+	return NewInstance(s, vals)
+}
+
+// IsValid reports whether the instance was properly constructed.
+func (in Instance) IsValid() bool { return in.space != nil }
+
+// Space returns the parameter space the instance belongs to.
+func (in Instance) Space() *Space { return in.space }
+
+// Len returns the number of parameters.
+func (in Instance) Len() int { return len(in.vals) }
+
+// Value returns the value of the i-th parameter (CP_i[p] for p at index i).
+func (in Instance) Value(i int) Value { return in.vals[i] }
+
+// ByName returns the value of the named parameter.
+func (in Instance) ByName(name string) (Value, bool) {
+	i, ok := in.space.Index(name)
+	if !ok {
+		return Value{}, false
+	}
+	return in.vals[i], true
+}
+
+// With returns a copy of the instance with parameter i set to v.
+// It panics if v's kind does not match the parameter; callers substitute
+// values drawn from other instances of the same space, where kinds agree
+// by construction.
+func (in Instance) With(i int, v Value) Instance {
+	if v.Kind() != in.space.At(i).Kind {
+		panic(fmt.Sprintf("pipeline: parameter %q (%v) cannot hold %v value",
+			in.space.At(i).Name, in.space.At(i).Kind, v.Kind()))
+	}
+	vals := make([]Value, len(in.vals))
+	copy(vals, in.vals)
+	vals[i] = v
+	return Instance{space: in.space, vals: vals}
+}
+
+// Equal reports whether the two instances assign identical values over the
+// same space.
+func (in Instance) Equal(other Instance) bool {
+	if in.space != other.space || len(in.vals) != len(other.vals) {
+		return false
+	}
+	for i := range in.vals {
+		if in.vals[i] != other.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DisjointFrom reports whether the instances differ on every parameter
+// (Definition 6). Instances over different spaces are never disjoint.
+func (in Instance) DisjointFrom(other Instance) bool {
+	if in.space != other.space {
+		return false
+	}
+	for i := range in.vals {
+		if in.vals[i] == other.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffCount returns the number of parameters on which the instances differ;
+// it is used by the heuristic fallback of the Shortcut algorithm ("take an
+// instance that differs in as many parameter-values as possible").
+func (in Instance) DiffCount(other Instance) int {
+	n := 0
+	for i := range in.vals {
+		if in.vals[i] != other.vals[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Assignments returns the instance as (parameter, value) pairs in space
+// order (the paper's Pv_i list).
+func (in Instance) Assignments() []Assignment {
+	as := make([]Assignment, len(in.vals))
+	for i, v := range in.vals {
+		as[i] = Assignment{Param: in.space.At(i).Name, Value: v}
+	}
+	return as
+}
+
+// Key returns a canonical string identity for the instance within its
+// space; two instances have equal keys iff Equal reports true. Keys are
+// used for memoization and provenance lookups.
+func (in Instance) Key() string {
+	var b strings.Builder
+	for i, v := range in.vals {
+		if i > 0 {
+			b.WriteByte(0x1f) // ASCII unit separator: cannot appear in value keys
+		}
+		b.WriteString(v.key())
+	}
+	return b.String()
+}
+
+// String renders the instance as "{p1=v1, p2=v2, ...}".
+func (in Instance) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range in.vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(in.space.At(i).Name)
+		b.WriteByte('=')
+		b.WriteString(v.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

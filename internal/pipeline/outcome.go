@@ -1,0 +1,48 @@
+package pipeline
+
+import "fmt"
+
+// Outcome is the result of the evaluation procedure E applied to a pipeline
+// instance (Definition 2): Succeed when the result is acceptable, Fail
+// otherwise. The zero value OutcomeUnknown marks instances that have not
+// been evaluated (e.g. historical records outside the replay window).
+type Outcome uint8
+
+const (
+	// OutcomeUnknown means the instance has no recorded evaluation.
+	OutcomeUnknown Outcome = iota
+	// Succeed means E(CP_i) = succeed.
+	Succeed
+	// Fail means E(CP_i) = fail; a bug, in the paper's terms, is a set of
+	// instances that evaluate to Fail.
+	Fail
+)
+
+// String returns the paper's lower-case outcome labels.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeUnknown:
+		return "unknown"
+	case Succeed:
+		return "succeed"
+	case Fail:
+		return "fail"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// ParseOutcome converts the textual outcome labels back to Outcome values;
+// it accepts the String forms of the three constants.
+func ParseOutcome(s string) (Outcome, error) {
+	switch s {
+	case "unknown":
+		return OutcomeUnknown, nil
+	case "succeed":
+		return Succeed, nil
+	case "fail":
+		return Fail, nil
+	default:
+		return OutcomeUnknown, fmt.Errorf("pipeline: unknown outcome %q", s)
+	}
+}

@@ -1,0 +1,69 @@
+package pipeline
+
+import "math/rand"
+
+// RandomInstance draws an instance uniformly from the Cartesian product of
+// the parameter domains.
+func (s *Space) RandomInstance(r *rand.Rand) Instance {
+	vals := make([]Value, s.Len())
+	for i := range vals {
+		dom := s.params[i].Domain
+		vals[i] = dom[r.Intn(len(dom))]
+	}
+	return Instance{space: s, vals: vals}
+}
+
+// RandomDisjoint draws an instance uniformly among those disjoint from ref
+// (different value on every parameter, Definition 6). It returns ok=false
+// when some parameter has a single-value domain, in which case no disjoint
+// instance exists.
+func (s *Space) RandomDisjoint(r *rand.Rand, ref Instance) (Instance, bool) {
+	vals := make([]Value, s.Len())
+	for i := range vals {
+		dom := s.params[i].Domain
+		refIdx := s.DomainIndex(i, ref.Value(i))
+		n := len(dom)
+		if refIdx >= 0 {
+			n--
+		}
+		if n == 0 {
+			return Instance{}, false
+		}
+		j := r.Intn(n)
+		if refIdx >= 0 && j >= refIdx {
+			j++
+		}
+		vals[i] = dom[j]
+	}
+	return Instance{space: s, vals: vals}, true
+}
+
+// Enumerate calls yield for every instance in the Cartesian product, in
+// lexicographic domain order, stopping early if yield returns false.
+// It is intended for small spaces; callers should consult NumInstances.
+func (s *Space) Enumerate(yield func(Instance) bool) {
+	idx := make([]int, s.Len())
+	vals := make([]Value, s.Len())
+	for {
+		for i, j := range idx {
+			vals[i] = s.params[i].Domain[j]
+		}
+		cp := make([]Value, len(vals))
+		copy(cp, vals)
+		if !yield(Instance{space: s, vals: cp}) {
+			return
+		}
+		// Advance the mixed-radix counter.
+		i := s.Len() - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(s.params[i].Domain) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

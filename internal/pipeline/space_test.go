@@ -1,0 +1,161 @@
+package pipeline
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func ordDomain(vals ...float64) []Value {
+	out := make([]Value, len(vals))
+	for i, v := range vals {
+		out[i] = Ord(v)
+	}
+	return out
+}
+
+func catDomain(vals ...string) []Value {
+	out := make([]Value, len(vals))
+	for i, v := range vals {
+		out[i] = Cat(v)
+	}
+	return out
+}
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace(
+		Parameter{Name: "p1", Kind: Ordinal, Domain: ordDomain(1, 2, 3, 4)},
+		Parameter{Name: "p2", Kind: Categorical, Domain: catDomain("a", "b", "c")},
+		Parameter{Name: "p3", Kind: Ordinal, Domain: ordDomain(10, 20)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		params []Parameter
+		want   string
+	}{
+		{"empty", nil, "at least one parameter"},
+		{"noName", []Parameter{{Kind: Ordinal, Domain: ordDomain(1)}}, "empty name"},
+		{"dupName", []Parameter{
+			{Name: "x", Kind: Ordinal, Domain: ordDomain(1)},
+			{Name: "x", Kind: Ordinal, Domain: ordDomain(2)},
+		}, "duplicate"},
+		{"badKind", []Parameter{{Name: "x", Domain: ordDomain(1)}}, "invalid kind"},
+		{"emptyDomain", []Parameter{{Name: "x", Kind: Ordinal}}, "empty domain"},
+		{"kindMismatch", []Parameter{{Name: "x", Kind: Ordinal, Domain: catDomain("a")}}, "domain value"},
+		{"nan", []Parameter{{Name: "x", Kind: Ordinal, Domain: []Value{Ord(math.NaN())}}}, "non-finite"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewSpace(c.params...)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("NewSpace error = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSpaceDomainSortedDeduped(t *testing.T) {
+	s, err := NewSpace(Parameter{Name: "x", Kind: Ordinal, Domain: ordDomain(3, 1, 3, 2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := s.Domain("x")
+	want := ordDomain(1, 2, 3)
+	if len(dom) != len(want) {
+		t.Fatalf("domain = %v, want %v", dom, want)
+	}
+	for i := range dom {
+		if dom[i] != want[i] {
+			t.Fatalf("domain = %v, want %v", dom, want)
+		}
+	}
+}
+
+func TestSpaceLookups(t *testing.T) {
+	s := testSpace(t)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	i, ok := s.Index("p2")
+	if !ok || i != 1 {
+		t.Fatalf("Index(p2) = %d, %v", i, ok)
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Fatal("Index must report missing parameters")
+	}
+	if got := s.At(1).Name; got != "p2" {
+		t.Fatalf("At(1).Name = %q", got)
+	}
+	if d := s.Domain("nope"); d != nil {
+		t.Fatalf("Domain(nope) = %v, want nil", d)
+	}
+	if j := s.DomainIndex(0, Ord(3)); j != 2 {
+		t.Fatalf("DomainIndex(p1, 3) = %d", j)
+	}
+	if j := s.DomainIndex(0, Ord(99)); j != -1 {
+		t.Fatalf("DomainIndex(p1, 99) = %d", j)
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "p1" || names[2] != "p3" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestAddToDomain(t *testing.T) {
+	s := testSpace(t)
+	if err := s.AddToDomain("p1", Ord(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	if j := s.DomainIndex(0, Ord(2.5)); j != 2 {
+		t.Fatalf("expanded domain not sorted: index of 2.5 is %d, domain %v", j, s.Domain("p1"))
+	}
+	// Idempotent.
+	if err := s.AddToDomain("p1", Ord(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Domain("p1")); n != 5 {
+		t.Fatalf("domain length after duplicate add = %d", n)
+	}
+	if err := s.AddToDomain("p1", Cat("x")); err == nil {
+		t.Fatal("kind mismatch must fail")
+	}
+	if err := s.AddToDomain("nope", Ord(1)); err == nil {
+		t.Fatal("unknown parameter must fail")
+	}
+}
+
+func TestNumInstances(t *testing.T) {
+	s := testSpace(t)
+	n, exact := s.NumInstances()
+	if !exact || n != 4*3*2 {
+		t.Fatalf("NumInstances = %d, %v", n, exact)
+	}
+	// Overflow: 64 parameters with 4 values each is 2^128.
+	params := make([]Parameter, 64)
+	for i := range params {
+		params[i] = Parameter{Name: string(rune('A'+i%26)) + string(rune('a'+i/26)), Kind: Ordinal, Domain: ordDomain(1, 2, 3, 4)}
+	}
+	big, err := NewSpace(params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, exact := big.NumInstances(); exact {
+		t.Fatal("expected overflow to be reported")
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	s := testSpace(t)
+	want := "p1(ordinal:4), p2(categorical:3), p3(ordinal:2)"
+	if got := s.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,128 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	o := Ord(3.5)
+	if o.Kind() != Ordinal || !o.IsValid() {
+		t.Fatalf("Ord(3.5).Kind() = %v", o.Kind())
+	}
+	if o.Num() != 3.5 {
+		t.Fatalf("Ord(3.5).Num() = %v", o.Num())
+	}
+	c := Cat("red")
+	if c.Kind() != Categorical || !c.IsValid() {
+		t.Fatalf("Cat(red).Kind() = %v", c.Kind())
+	}
+	if c.Str() != "red" {
+		t.Fatalf("Cat(red).Str() = %q", c.Str())
+	}
+	var zero Value
+	if zero.IsValid() {
+		t.Fatal("zero Value must be invalid")
+	}
+}
+
+func TestValueEquality(t *testing.T) {
+	if Ord(1) != Ord(1) {
+		t.Fatal("equal ordinals must be ==")
+	}
+	if Ord(1) == Ord(2) {
+		t.Fatal("different ordinals must not be ==")
+	}
+	if Cat("a") != Cat("a") {
+		t.Fatal("equal categoricals must be ==")
+	}
+	if Cat("a") == Cat("b") {
+		t.Fatal("different categoricals must not be ==")
+	}
+	if Ord(0) == Cat("") {
+		t.Fatal("ordinal and categorical must never be ==")
+	}
+}
+
+func TestValueNumPanicsOnCategorical(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Num on categorical must panic")
+		}
+	}()
+	_ = Cat("x").Num()
+}
+
+func TestValueStrPanicsOnOrdinal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Str on ordinal must panic")
+		}
+	}()
+	_ = Ord(1).Str()
+}
+
+func TestValueLess(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Ord(1), Ord(2), true},
+		{Ord(2), Ord(1), false},
+		{Ord(1), Ord(1), false},
+		{Cat("a"), Cat("b"), true},
+		{Cat("b"), Cat("a"), false},
+		{Ord(99), Cat("a"), true}, // ordinal sorts before categorical
+		{Cat("a"), Ord(99), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if s := Ord(2.5).String(); s != "2.5" {
+		t.Errorf("Ord(2.5).String() = %q", s)
+	}
+	if s := Ord(4).String(); s != "4" {
+		t.Errorf("Ord(4).String() = %q", s)
+	}
+	if s := Cat("iris").String(); s != `"iris"` {
+		t.Errorf("Cat(iris).String() = %q", s)
+	}
+	var zero Value
+	if s := zero.String(); s != "<invalid>" {
+		t.Errorf("zero.String() = %q", s)
+	}
+}
+
+// Less must be a strict weak ordering: irreflexive and asymmetric.
+func TestValueLessProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	gen := func() Value {
+		if r.Intn(2) == 0 {
+			return Ord(float64(r.Intn(10)))
+		}
+		return Cat(string(rune('a' + r.Intn(10))))
+	}
+	f := func() bool {
+		a, b := gen(), gen()
+		if a.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		// Totality over distinct values.
+		if a != b && !a.Less(b) && !b.Less(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

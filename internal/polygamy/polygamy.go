@@ -1,0 +1,167 @@
+// Package polygamy simulates the Data Polygamy experiment pipeline of
+// Section 5.3: a VisTrails workflow that evaluates statistical-significance
+// methods over 300+ spatio-temporal datasets. The paper's pipeline has 12
+// parameters — 2 boolean, 3 categorical (3 to 10 values), 7 numerical —
+// and the debugging goal is to find parameter combinations that make the
+// execution *crash*.
+//
+// We cannot run the original 20-minute VisTrails instances, so the
+// simulator preserves what BugDoc observes: the exact parameter-space shape
+// and a staged execution (data cleaning, transformation, feature
+// identification, hypothesis testing) whose stages crash under planted
+// conditions. The union of the stage crash conditions is the documented
+// ground truth, exposed for evaluation.
+package polygamy
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// Pipeline is the simulated Data Polygamy experiment.
+type Pipeline struct {
+	Space *pipeline.Space
+	// Truth is the crash condition (ground truth for evaluation).
+	Truth predicate.DNF
+	// Minimal is R(CP), each conjunct minimized over the domains.
+	Minimal []predicate.Conjunction
+}
+
+// New constructs the simulator. The space and crash conditions are fixed
+// (the real pipeline is one specific workflow, not a random family).
+func New() (*Pipeline, error) {
+	ord := func(vals ...float64) []pipeline.Value {
+		out := make([]pipeline.Value, len(vals))
+		for i, v := range vals {
+			out[i] = pipeline.Ord(v)
+		}
+		return out
+	}
+	cat := func(vals ...string) []pipeline.Value {
+		out := make([]pipeline.Value, len(vals))
+		for i, v := range vals {
+			out[i] = pipeline.Cat(v)
+		}
+		return out
+	}
+	s, err := pipeline.NewSpace(
+		// 2 boolean parameters.
+		pipeline.Parameter{Name: "use_spatial_index", Kind: pipeline.Categorical, Domain: cat("false", "true")},
+		pipeline.Parameter{Name: "restrict_significance", Kind: pipeline.Categorical, Domain: cat("false", "true")},
+		// 3 categorical parameters (3-10 values).
+		pipeline.Parameter{Name: "temporal_resolution", Kind: pipeline.Categorical, Domain: cat("hour", "day", "week", "month")},
+		pipeline.Parameter{Name: "spatial_resolution", Kind: pipeline.Categorical, Domain: cat("gps", "neighborhood", "zip", "city")},
+		pipeline.Parameter{Name: "significance_method", Kind: pipeline.Categorical,
+			Domain: cat("none", "bonferroni", "bh_fdr", "by_fdr", "permutation", "bootstrap")},
+		// 7 numerical parameters.
+		pipeline.Parameter{Name: "alpha", Kind: pipeline.Ordinal, Domain: ord(0.001, 0.005, 0.01, 0.05, 0.1)},
+		pipeline.Parameter{Name: "num_datasets", Kind: pipeline.Ordinal, Domain: ord(10, 50, 100, 200, 300)},
+		pipeline.Parameter{Name: "num_permutations", Kind: pipeline.Ordinal, Domain: ord(0, 100, 500, 1000, 5000)},
+		pipeline.Parameter{Name: "feature_threshold", Kind: pipeline.Ordinal, Domain: ord(0.1, 0.25, 0.5, 0.75, 0.9)},
+		pipeline.Parameter{Name: "grid_size", Kind: pipeline.Ordinal, Domain: ord(8, 16, 32, 64, 128)},
+		pipeline.Parameter{Name: "window_size", Kind: pipeline.Ordinal, Domain: ord(1, 2, 4, 8, 16)},
+		pipeline.Parameter{Name: "seed", Kind: pipeline.Ordinal, Domain: ord(1, 2, 3, 4, 5)},
+	)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{Space: s}
+	// Ground truth = the union of the stage crash conditions below.
+	p.Truth = predicate.DNF{
+		// Transform stage: building the finest spatio-temporal grid blows
+		// the memory budget when the spatial index is disabled.
+		predicate.And(
+			predicate.T("use_spatial_index", predicate.Eq, pipeline.Cat("false")),
+			predicate.T("temporal_resolution", predicate.Eq, pipeline.Cat("hour")),
+			predicate.T("grid_size", predicate.Gt, pipeline.Ord(64)),
+		),
+		// Hypothesis-testing stage: permutation tests with zero
+		// permutations divide by zero.
+		predicate.And(
+			predicate.T("significance_method", predicate.Eq, pipeline.Cat("permutation")),
+			predicate.T("num_permutations", predicate.Le, pipeline.Ord(0)),
+		),
+	}.Canonical()
+	for _, c := range p.Truth {
+		m, err := predicate.Minimize(s, c, p.Truth)
+		if err != nil {
+			return nil, fmt.Errorf("polygamy: ground truth: %w", err)
+		}
+		p.Minimal = append(p.Minimal, m)
+	}
+	return p, nil
+}
+
+// Oracle simulates one experiment run: each stage inspects its parameters
+// and crashes (Fail) under its planted condition; otherwise the run
+// completes (Succeed). The stage structure mirrors the real pipeline; the
+// evaluation procedure of Definition 2 is "did the execution crash".
+func (p *Pipeline) Oracle() exec.Oracle {
+	return exec.OracleFunc(func(_ context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+		if err := p.clean(in); err != nil {
+			return pipeline.Fail, nil
+		}
+		if err := p.transform(in); err != nil {
+			return pipeline.Fail, nil
+		}
+		if err := p.identifyFeatures(in); err != nil {
+			return pipeline.Fail, nil
+		}
+		if err := p.testHypotheses(in); err != nil {
+			return pipeline.Fail, nil
+		}
+		return pipeline.Succeed, nil
+	})
+}
+
+func value(in pipeline.Instance, name string) pipeline.Value {
+	v, ok := in.ByName(name)
+	if !ok {
+		panic("polygamy: unknown parameter " + name)
+	}
+	return v
+}
+
+// clean simulates data cleaning; it never crashes in this configuration of
+// the experiment, but validates its inputs the way the real stage does.
+func (p *Pipeline) clean(in pipeline.Instance) error {
+	if value(in, "num_datasets").Num() <= 0 {
+		return fmt.Errorf("no datasets")
+	}
+	return nil
+}
+
+// transform simulates the spatio-temporal scaling stage.
+func (p *Pipeline) transform(in pipeline.Instance) error {
+	noIndex := value(in, "use_spatial_index").Str() == "false"
+	hourly := value(in, "temporal_resolution").Str() == "hour"
+	grid := value(in, "grid_size").Num()
+	if noIndex && hourly && grid > 64 {
+		return fmt.Errorf("out of memory: %0.f x hourly grid without index", grid)
+	}
+	return nil
+}
+
+// identifyFeatures simulates feature identification; thresholds in (0, 1)
+// are always valid in this experiment's domain.
+func (p *Pipeline) identifyFeatures(in pipeline.Instance) error {
+	thr := value(in, "feature_threshold").Num()
+	if thr <= 0 || thr >= 1 {
+		return fmt.Errorf("invalid threshold %v", thr)
+	}
+	return nil
+}
+
+// testHypotheses simulates the multiple-hypothesis-testing stage.
+func (p *Pipeline) testHypotheses(in pipeline.Instance) error {
+	method := value(in, "significance_method").Str()
+	perms := value(in, "num_permutations").Num()
+	if method == "permutation" && perms <= 0 {
+		return fmt.Errorf("division by zero: permutation test with %0.f permutations", perms)
+	}
+	return nil
+}

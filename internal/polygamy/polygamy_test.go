@@ -1,0 +1,128 @@
+package polygamy
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+func TestNewSpaceShape(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Space.Len() != 12 {
+		t.Fatalf("space has %d parameters, want 12 (2 boolean + 3 categorical + 7 numerical)", p.Space.Len())
+	}
+	booleans, categoricals, numericals := 0, 0, 0
+	for i := 0; i < p.Space.Len(); i++ {
+		param := p.Space.At(i)
+		switch {
+		case param.Kind == pipeline.Categorical && len(param.Domain) == 2:
+			booleans++
+		case param.Kind == pipeline.Categorical:
+			categoricals++
+			if len(param.Domain) < 3 || len(param.Domain) > 10 {
+				t.Fatalf("categorical %q has %d values, want 3..10", param.Name, len(param.Domain))
+			}
+		default:
+			numericals++
+		}
+	}
+	if booleans != 2 || categoricals != 3 || numericals != 7 {
+		t.Fatalf("parameter mix = %d boolean, %d categorical, %d numerical", booleans, categoricals, numericals)
+	}
+}
+
+// The staged oracle must agree with the declared ground truth everywhere
+// (sampled; full enumeration is 7.5M instances).
+func TestOracleMatchesGroundTruth(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := p.Oracle()
+	r := rand.New(rand.NewSource(1))
+	sawFail := false
+	for i := 0; i < 5000; i++ {
+		in := p.Space.RandomInstance(r)
+		out, err := oracle.Run(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pipeline.Succeed
+		if p.Truth.Satisfied(in) {
+			want = pipeline.Fail
+		}
+		if out != want {
+			t.Fatalf("oracle(%v) = %v, want %v", in, out, want)
+		}
+		if out == pipeline.Fail {
+			sawFail = true
+		}
+	}
+	if !sawFail {
+		// Force a failing configuration to make sure crashes are reachable.
+		in, ok := failingInstance(t, p)
+		if !ok {
+			t.Fatal("ground truth region is empty")
+		}
+		out, err := oracle.Run(context.Background(), in)
+		if err != nil || out != pipeline.Fail {
+			t.Fatalf("forced failing instance = %v, %v", out, err)
+		}
+	}
+}
+
+func failingInstance(t *testing.T, p *Pipeline) (pipeline.Instance, bool) {
+	t.Helper()
+	reg, err := predicate.RegionOf(p.Space, p.Truth[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg.AnyInstance()
+}
+
+func TestGroundTruthMinimal(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Minimal) != len(p.Truth) {
+		t.Fatalf("minimal causes = %d, truth conjuncts = %d", len(p.Minimal), len(p.Truth))
+	}
+	for _, m := range p.Minimal {
+		minimal, err := predicate.Minimal(p.Space, m, p.Truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !minimal {
+			t.Fatalf("ground-truth cause %v is not minimal", m)
+		}
+	}
+}
+
+func TestCrashesAreRare(t *testing.T) {
+	// The crash region must be a small fraction of the space, as with the
+	// real pipeline (otherwise seeding and debugging are trivial).
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := p.Space.NumInstances()
+	var failCount uint64
+	for _, c := range p.Truth {
+		reg, err := predicate.RegionOf(p.Space, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := reg.Count()
+		failCount += n
+	}
+	if frac := float64(failCount) / float64(total); frac > 0.10 {
+		t.Fatalf("crash region covers %.1f%% of the space, want < 10%%", 100*frac)
+	}
+}

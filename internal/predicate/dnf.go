@@ -1,0 +1,74 @@
+package predicate
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/pipeline"
+)
+
+// DNF is a disjunction of conjunctions — the shape of a multi-cause
+// explanation ("BugDoc can also discover disjunctive combinations of
+// configurations that lead to failure"). The empty DNF is unsatisfiable.
+type DNF []Conjunction
+
+// Or builds a DNF from conjunctions.
+func Or(cs ...Conjunction) DNF { return DNF(cs) }
+
+// Satisfied reports whether the instance satisfies at least one conjunct.
+func (d DNF) Satisfied(in pipeline.Instance) bool {
+	for _, c := range d {
+		if c.Satisfied(in) {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks every conjunct against the space.
+func (d DNF) Validate(s *pipeline.Space) error {
+	for _, c := range d {
+		if err := c.Validate(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Canonical returns a copy with each conjunct canonicalized, syntactic
+// duplicates removed, and conjuncts sorted deterministically.
+func (d DNF) Canonical() DNF {
+	out := make(DNF, 0, len(d))
+	for _, c := range d {
+		out = append(out, c.Canonical())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	dedup := out[:0]
+	for i, c := range out {
+		if i == 0 || c.String() != out[i-1].String() {
+			dedup = append(dedup, c)
+		}
+	}
+	return dedup
+}
+
+// Clone returns a deep copy of the DNF.
+func (d DNF) Clone() DNF {
+	out := make(DNF, len(d))
+	for i, c := range d {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// String renders the DNF as "(c1) OR (c2) OR ...", or "FALSE" when empty.
+func (d DNF) String() string {
+	if len(d) == 0 {
+		return "FALSE"
+	}
+	parts := make([]string, len(d))
+	for i, c := range d {
+		parts[i] = "(" + c.String() + ")"
+	}
+	return strings.Join(parts, " OR ")
+}

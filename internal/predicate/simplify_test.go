@@ -1,0 +1,232 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pipeline"
+)
+
+func TestSimplifyMergesComplementaryTriples(t *testing.T) {
+	s := testSpace(t)
+	// (p1<=2 AND p2=a) OR (p1>2 AND p2=a) == p2=a.
+	d := Or(
+		And(T("p1", Le, pipeline.Ord(2)), T("p2", Eq, pipeline.Cat("a"))),
+		And(T("p1", Gt, pipeline.Ord(2)), T("p2", Eq, pipeline.Cat("a"))),
+	)
+	got, err := SimplifyDNF(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Or(And(T("p2", Eq, pipeline.Cat("a"))))
+	if len(got) != 1 || !got[0].EqualSyntactic(want[0]) {
+		t.Fatalf("SimplifyDNF = %v, want %v", got, want)
+	}
+}
+
+func TestSimplifyAbsorption(t *testing.T) {
+	s := testSpace(t)
+	// p1=2 is inside p1<=3: the longer conjunct must be absorbed.
+	d := Or(
+		And(T("p1", Le, pipeline.Ord(3))),
+		And(T("p1", Eq, pipeline.Ord(2)), T("p2", Eq, pipeline.Cat("b"))),
+	)
+	got, err := SimplifyDNF(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].EqualSyntactic(And(T("p1", Le, pipeline.Ord(3)))) {
+		t.Fatalf("SimplifyDNF = %v", got)
+	}
+}
+
+func TestSimplifyDropsUnsatisfiable(t *testing.T) {
+	s := testSpace(t)
+	d := Or(
+		And(T("p1", Gt, pipeline.Ord(4))), // empty on domain {1..4}
+		And(T("p2", Eq, pipeline.Cat("b"))),
+	)
+	got, err := SimplifyDNF(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0].Param != "p2" {
+		t.Fatalf("SimplifyDNF = %v", got)
+	}
+}
+
+func TestSimplifyLiteralReduction(t *testing.T) {
+	s := testSpace(t)
+	// p1 <= 4 covers the whole domain: the triple is vacuous inside a
+	// conjunction with a real constraint.
+	d := Or(And(T("p1", Le, pipeline.Ord(4)), T("p2", Eq, pipeline.Cat("c"))))
+	got, err := SimplifyDNF(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0].Param != "p2" {
+		t.Fatalf("SimplifyDNF = %v", got)
+	}
+}
+
+func TestSimplifyEmptyAndFalse(t *testing.T) {
+	s := testSpace(t)
+	got, err := SimplifyDNF(s, DNF{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("SimplifyDNF(FALSE) = %v, %v", got, err)
+	}
+	got, err = SimplifyDNF(s, Or(And(T("p1", Gt, pipeline.Ord(4)))))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("unsatisfiable DNF must simplify to FALSE: %v, %v", got, err)
+	}
+}
+
+func TestSimplifyBinaryUsesClassicQMC(t *testing.T) {
+	// All-binary parameters: the classic QMC path produces the exact
+	// two-level minimum a=1 (from (a=1,b=0) OR (a=1,b=1)).
+	s := pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1)},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1)},
+	)
+	d := Or(
+		And(T("a", Eq, pipeline.Ord(1)), T("b", Eq, pipeline.Ord(0))),
+		And(T("a", Eq, pipeline.Ord(1)), T("b", Eq, pipeline.Ord(1))),
+	)
+	got, err := SimplifyDNF(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := And(T("a", Eq, pipeline.Ord(1)))
+	if len(got) != 1 || !got[0].EqualSyntactic(want) {
+		t.Fatalf("SimplifyDNF = %v, want (%v)", got, want)
+	}
+}
+
+// Property: simplification preserves semantics and never grows the number
+// of conjuncts.
+func TestSimplifyPreservesEquivalence(t *testing.T) {
+	s := testSpace(t)
+	r := rand.New(rand.NewSource(31))
+	pool := []Triple{
+		T("p1", Eq, pipeline.Ord(2)),
+		T("p1", Le, pipeline.Ord(2)),
+		T("p1", Gt, pipeline.Ord(2)),
+		T("p1", Le, pipeline.Ord(3)),
+		T("p1", Neq, pipeline.Ord(1)),
+		T("p2", Eq, pipeline.Cat("a")),
+		T("p2", Eq, pipeline.Cat("b")),
+		T("p2", Neq, pipeline.Cat("c")),
+		T("p3", Le, pipeline.Ord(10)),
+		T("p3", Gt, pipeline.Ord(10)),
+	}
+	f := func() bool {
+		nConj := 1 + r.Intn(4)
+		var d DNF
+		for i := 0; i < nConj; i++ {
+			var c Conjunction
+			for _, tr := range pool {
+				if r.Intn(5) == 0 {
+					c = append(c, tr)
+				}
+			}
+			d = append(d, c)
+		}
+		got, err := SimplifyDNF(s, d)
+		if err != nil {
+			return false
+		}
+		if len(got) > len(d) {
+			return false
+		}
+		eq, err := EquivalentDNF(s, got, d)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property on an all-binary space: SimplifyDNF output is equivalent to the
+// input (exercised through the classic QMC path).
+func TestSimplifyBinaryEquivalenceProperty(t *testing.T) {
+	s := pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1)},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1)},
+		pipeline.Parameter{Name: "c", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1)},
+	)
+	r := rand.New(rand.NewSource(37))
+	names := []string{"a", "b", "c"}
+	f := func() bool {
+		var d DNF
+		for i := 0; i < 1+r.Intn(3); i++ {
+			var c Conjunction
+			for _, n := range names {
+				switch r.Intn(3) {
+				case 0:
+					c = append(c, T(n, Eq, pipeline.Ord(float64(r.Intn(2)))))
+				case 1:
+					c = append(c, T(n, Neq, pipeline.Ord(float64(r.Intn(2)))))
+				}
+			}
+			d = append(d, c)
+		}
+		got, err := SimplifyDNF(s, d)
+		if err != nil {
+			return false
+		}
+		eq, err := EquivalentDNF(s, got, d)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConjunctionCanonicalAndString(t *testing.T) {
+	c := And(
+		T("p2", Eq, pipeline.Cat("a")),
+		T("p1", Le, pipeline.Ord(3)),
+		T("p2", Eq, pipeline.Cat("a")), // duplicate
+	)
+	canon := c.Canonical()
+	if len(canon) != 2 {
+		t.Fatalf("Canonical = %v", canon)
+	}
+	if canon[0].Param != "p1" {
+		t.Fatalf("Canonical not sorted: %v", canon)
+	}
+	if Conjunction(nil).String() != "TRUE" {
+		t.Fatal("empty conjunction renders TRUE")
+	}
+	if DNF(nil).String() != "FALSE" {
+		t.Fatal("empty DNF renders FALSE")
+	}
+	got := Or(And(T("p1", Eq, pipeline.Ord(1)))).String()
+	if got != "(p1 = 1)" {
+		t.Fatalf("DNF String = %q", got)
+	}
+}
+
+func TestDNFCanonicalDedup(t *testing.T) {
+	d := Or(
+		And(T("p1", Eq, pipeline.Ord(1))),
+		And(T("p1", Eq, pipeline.Ord(1))),
+		And(T("p1", Eq, pipeline.Ord(2))),
+	)
+	if got := d.Canonical(); len(got) != 2 {
+		t.Fatalf("Canonical dedup = %v", got)
+	}
+}
+
+func TestConjunctionParams(t *testing.T) {
+	c := And(
+		T("z", Eq, pipeline.Ord(1)),
+		T("a", Eq, pipeline.Ord(1)),
+		T("z", Neq, pipeline.Ord(2)),
+	)
+	got := c.Params()
+	if len(got) != 2 || got[0] != "a" || got[1] != "z" {
+		t.Fatalf("Params = %v", got)
+	}
+}

@@ -1,0 +1,264 @@
+// Package provenance stores the execution history of a pipeline: which
+// instances ran, in what order, and how each one evaluated. The BugDoc
+// algorithms both read provenance (to find failing instances, disjoint
+// successful instances, and counterexamples) and extend it as they execute
+// new instances.
+package provenance
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// Record is one provenance entry: an executed instance, its evaluation, the
+// component that ran it, and its position in the log.
+type Record struct {
+	Seq      int
+	Instance pipeline.Instance
+	Outcome  pipeline.Outcome
+	Source   string
+}
+
+// Store is an append-only, thread-safe provenance log over a single
+// parameter space. Duplicate instances are rejected: the evaluation model
+// is deterministic (Definition 2), so one record per instance suffices.
+type Store struct {
+	mu    sync.RWMutex
+	space *pipeline.Space
+	byKey map[string]int
+	log   []Record
+}
+
+// NewStore creates an empty store for instances of space s.
+func NewStore(s *pipeline.Space) *Store {
+	return &Store{space: s, byKey: make(map[string]int)}
+}
+
+// Space returns the parameter space the store records instances of.
+func (st *Store) Space() *pipeline.Space { return st.space }
+
+// Add appends a record. It fails for instances of a different space, for
+// unknown outcomes, and for instances already recorded (deterministic
+// evaluation makes duplicates meaningless).
+func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) error {
+	if in.Space() != st.space {
+		return fmt.Errorf("provenance: instance belongs to a different space")
+	}
+	if out != pipeline.Succeed && out != pipeline.Fail {
+		return fmt.Errorf("provenance: cannot record outcome %v", out)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	key := in.Key()
+	if _, dup := st.byKey[key]; dup {
+		return fmt.Errorf("provenance: instance %v already recorded", in)
+	}
+	st.byKey[key] = len(st.log)
+	st.log = append(st.log, Record{Seq: len(st.log), Instance: in, Outcome: out, Source: source})
+	return nil
+}
+
+// Lookup returns the recorded outcome for the instance, if any.
+func (st *Store) Lookup(in pipeline.Instance) (pipeline.Outcome, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	i, ok := st.byKey[in.Key()]
+	if !ok {
+		return pipeline.OutcomeUnknown, false
+	}
+	return st.log[i].Outcome, true
+}
+
+// Len returns the number of records.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.log)
+}
+
+// Records returns a snapshot of the log in execution order.
+func (st *Store) Records() []Record {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]Record, len(st.log))
+	copy(out, st.log)
+	return out
+}
+
+// Outcomes counts succeeding and failing records.
+func (st *Store) Outcomes() (succeed, fail int) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, r := range st.log {
+		switch r.Outcome {
+		case pipeline.Succeed:
+			succeed++
+		case pipeline.Fail:
+			fail++
+		}
+	}
+	return
+}
+
+// Failing returns the failing instances in execution order.
+func (st *Store) Failing() []pipeline.Instance {
+	return st.withOutcome(pipeline.Fail)
+}
+
+// Succeeding returns the succeeding instances in execution order.
+func (st *Store) Succeeding() []pipeline.Instance {
+	return st.withOutcome(pipeline.Succeed)
+}
+
+func (st *Store) withOutcome(want pipeline.Outcome) []pipeline.Instance {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []pipeline.Instance
+	for _, r := range st.log {
+		if r.Outcome == want {
+			out = append(out, r.Instance)
+		}
+	}
+	return out
+}
+
+// FirstFailing returns the earliest failing instance, the natural CP_f for
+// the Shortcut algorithms.
+func (st *Store) FirstFailing() (pipeline.Instance, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, r := range st.log {
+		if r.Outcome == pipeline.Fail {
+			return r.Instance, true
+		}
+	}
+	return pipeline.Instance{}, false
+}
+
+// DisjointSucceeding returns the succeeding instances disjoint from ref
+// (Definition 6), in execution order.
+func (st *Store) DisjointSucceeding(ref pipeline.Instance) []pipeline.Instance {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []pipeline.Instance
+	for _, r := range st.log {
+		if r.Outcome == pipeline.Succeed && r.Instance.DisjointFrom(ref) {
+			out = append(out, r.Instance)
+		}
+	}
+	return out
+}
+
+// MostDifferentSucceeding returns the succeeding instance differing from
+// ref on the most parameters — the heuristic stand-in for a disjoint good
+// instance when the Disjointness Condition does not hold.
+func (st *Store) MostDifferentSucceeding(ref pipeline.Instance) (pipeline.Instance, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	best, bestDiff := pipeline.Instance{}, -1
+	for _, r := range st.log {
+		if r.Outcome != pipeline.Succeed {
+			continue
+		}
+		if d := r.Instance.DiffCount(ref); d > bestDiff {
+			best, bestDiff = r.Instance, d
+		}
+	}
+	return best, bestDiff >= 0
+}
+
+// MutuallyDisjointSucceeding greedily selects up to k succeeding instances
+// that are disjoint from ref and pairwise disjoint, in execution order
+// (the CP_G set of the Stacked Shortcut algorithm). When fewer than k fully
+// disjoint instances exist it pads, if allowed, with the most-different
+// remaining succeeding instances, reflecting the paper's "mutually disjoint
+// if possible".
+func (st *Store) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad bool) []pipeline.Instance {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var chosen []pipeline.Instance
+	used := make(map[string]bool)
+	for _, r := range st.log {
+		if len(chosen) >= k {
+			return chosen
+		}
+		if r.Outcome != pipeline.Succeed || !r.Instance.DisjointFrom(ref) {
+			continue
+		}
+		ok := true
+		for _, c := range chosen {
+			if !r.Instance.DisjointFrom(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, r.Instance)
+			used[r.Instance.Key()] = true
+		}
+	}
+	if !pad {
+		return chosen
+	}
+	// Pad with most-different succeeding instances not yet chosen.
+	type cand struct {
+		in   pipeline.Instance
+		diff int
+		seq  int
+	}
+	var cands []cand
+	for _, r := range st.log {
+		if r.Outcome != pipeline.Succeed || used[r.Instance.Key()] {
+			continue
+		}
+		cands = append(cands, cand{r.Instance, r.Instance.DiffCount(ref), r.Seq})
+	}
+	for len(chosen) < k && len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].diff > cands[best].diff ||
+				(cands[i].diff == cands[best].diff && cands[i].seq < cands[best].seq) {
+				best = i
+			}
+		}
+		chosen = append(chosen, cands[best].in)
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return chosen
+}
+
+// AnySucceedingSatisfying returns a succeeding instance whose parameter
+// values satisfy the conjunction, if one exists — the Shortcut sanity check
+// ("whether any superset of the hypothetical root cause is in an already
+// executed successful execution").
+func (st *Store) AnySucceedingSatisfying(c predicate.Conjunction) (pipeline.Instance, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, r := range st.log {
+		if r.Outcome == pipeline.Succeed && c.Satisfied(r.Instance) {
+			return r.Instance, true
+		}
+	}
+	return pipeline.Instance{}, false
+}
+
+// CountSatisfying counts recorded instances satisfying c, split by outcome.
+func (st *Store) CountSatisfying(c predicate.Conjunction) (succeed, fail int) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, r := range st.log {
+		if !c.Satisfied(r.Instance) {
+			continue
+		}
+		switch r.Outcome {
+		case pipeline.Succeed:
+			succeed++
+		case pipeline.Fail:
+			fail++
+		}
+	}
+	return
+}

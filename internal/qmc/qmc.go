@@ -1,0 +1,239 @@
+// Package qmc implements the Quine-McCluskey two-level minimization
+// algorithm for Boolean functions, which BugDoc uses to simplify the
+// disjunction-of-conjunctions explanations produced by the Debugging
+// Decision Trees algorithm (Section 4 of the paper).
+//
+// The package offers the classic binary algorithm: prime-implicant
+// generation by iterative pairwise combination, essential-prime selection,
+// and a greedy cover for the remainder (an exact Petrick step is
+// unnecessary for explanation-sized inputs, and greedy covers are still
+// valid covers).
+package qmc
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Implicant is a product term over n Boolean variables. Mask has a 1 bit
+// for every variable the term constrains; Bits gives the required values on
+// those variables (and is zero elsewhere). The all-don't-care implicant
+// (Mask == 0) is the constant true.
+type Implicant struct {
+	Bits uint64
+	Mask uint64
+}
+
+// Covers reports whether the implicant is satisfied by minterm m.
+func (im Implicant) Covers(m uint64) bool {
+	return m&im.Mask == im.Bits
+}
+
+// Vars returns the number of constrained variables.
+func (im Implicant) Vars() int { return bits.OnesCount64(im.Mask) }
+
+// String renders the implicant over n variables, most-significant first,
+// with '-' for don't-care positions (e.g. "1-0").
+func (im Implicant) String(n int) string {
+	var b strings.Builder
+	for i := n - 1; i >= 0; i-- {
+		bit := uint64(1) << uint(i)
+		switch {
+		case im.Mask&bit == 0:
+			b.WriteByte('-')
+		case im.Bits&bit != 0:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Minimize returns a small sum-of-products cover of the Boolean function
+// over n variables whose ON-set is minterms and whose DC-set is dontcares.
+// The result covers every minterm, covers nothing outside minterms ∪
+// dontcares, and consists of prime implicants only. Duplicate minterms are
+// tolerated. n must be in [1, 64].
+func Minimize(n int, minterms, dontcares []uint64) ([]Implicant, error) {
+	if n < 1 || n > 64 {
+		return nil, fmt.Errorf("qmc: n = %d out of range [1, 64]", n)
+	}
+	full := fullMask(n)
+	on := dedupWithin(minterms, full)
+	dc := dedupWithin(dontcares, full)
+	if len(on) == 0 {
+		return nil, nil // constant false: empty cover
+	}
+	onSet := make(map[uint64]bool, len(on))
+	for _, m := range on {
+		onSet[m] = true
+	}
+	for _, m := range dc {
+		if onSet[m] {
+			return nil, fmt.Errorf("qmc: minterm %d is also a don't-care", m)
+		}
+	}
+
+	primes := primeImplicants(append(append([]uint64{}, on...), dc...), full)
+	return cover(primes, on), nil
+}
+
+func fullMask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+func dedupWithin(ms []uint64, full uint64) []uint64 {
+	seen := make(map[uint64]bool, len(ms))
+	var out []uint64
+	for _, m := range ms {
+		m &= full
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// primeImplicants combines terms pairwise until no combination applies; the
+// never-combined terms are the prime implicants.
+func primeImplicants(terms []uint64, full uint64) []Implicant {
+	current := make(map[Implicant]bool, len(terms))
+	for _, m := range terms {
+		current[Implicant{Bits: m, Mask: full}] = true
+	}
+	var primes []Implicant
+	for len(current) > 0 {
+		next := make(map[Implicant]bool)
+		combined := make(map[Implicant]bool, len(current))
+		list := sortedImplicants(current)
+		// Group by mask then by popcount so only plausible pairs are tried.
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				if a.Mask != b.Mask {
+					continue
+				}
+				diff := a.Bits ^ b.Bits
+				if bits.OnesCount64(diff) != 1 {
+					continue
+				}
+				merged := Implicant{Bits: a.Bits &^ diff, Mask: a.Mask &^ diff}
+				next[merged] = true
+				combined[a] = true
+				combined[b] = true
+			}
+		}
+		for _, im := range list {
+			if !combined[im] {
+				primes = append(primes, im)
+			}
+		}
+		current = next
+	}
+	return dedupImplicants(primes)
+}
+
+func sortedImplicants(set map[Implicant]bool) []Implicant {
+	out := make([]Implicant, 0, len(set))
+	for im := range set {
+		out = append(out, im)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mask != out[j].Mask {
+			return out[i].Mask < out[j].Mask
+		}
+		return out[i].Bits < out[j].Bits
+	})
+	return out
+}
+
+func dedupImplicants(ims []Implicant) []Implicant {
+	seen := make(map[Implicant]bool, len(ims))
+	var out []Implicant
+	for _, im := range ims {
+		if !seen[im] {
+			seen[im] = true
+			out = append(out, im)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mask != out[j].Mask {
+			return out[i].Mask < out[j].Mask
+		}
+		return out[i].Bits < out[j].Bits
+	})
+	return out
+}
+
+// cover selects essential primes first, then greedily picks the prime
+// covering the most uncovered minterms (ties broken by fewer constrained
+// variables, then deterministic order).
+func cover(primes []Implicant, on []uint64) []Implicant {
+	uncovered := make(map[uint64]bool, len(on))
+	for _, m := range on {
+		uncovered[m] = true
+	}
+	var chosen []Implicant
+	take := func(im Implicant) {
+		chosen = append(chosen, im)
+		for m := range uncovered {
+			if im.Covers(m) {
+				delete(uncovered, m)
+			}
+		}
+	}
+	// Essential primes: minterms covered by exactly one prime.
+	for _, m := range on {
+		var only *Implicant
+		count := 0
+		for i := range primes {
+			if primes[i].Covers(m) {
+				count++
+				only = &primes[i]
+			}
+		}
+		if count == 1 && uncovered[m] {
+			take(*only)
+		}
+	}
+	for len(uncovered) > 0 {
+		bestIdx, bestCount := -1, -1
+		for i, im := range primes {
+			c := 0
+			for m := range uncovered {
+				if im.Covers(m) {
+					c++
+				}
+			}
+			if c > bestCount || (c == bestCount && bestIdx >= 0 && betterTie(im, primes[bestIdx])) {
+				bestIdx, bestCount = i, c
+			}
+		}
+		if bestIdx < 0 || bestCount == 0 {
+			// Cannot happen: every minterm is covered by some prime
+			// (each survives as or inside a prime). Guard anyway.
+			break
+		}
+		take(primes[bestIdx])
+	}
+	return dedupImplicants(chosen)
+}
+
+func betterTie(a, b Implicant) bool {
+	av, bv := a.Vars(), b.Vars()
+	if av != bv {
+		return av < bv
+	}
+	if a.Mask != b.Mask {
+		return a.Mask < b.Mask
+	}
+	return a.Bits < b.Bits
+}

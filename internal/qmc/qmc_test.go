@@ -1,0 +1,204 @@
+package qmc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// evalCover evaluates a sum-of-products cover on minterm m.
+func evalCover(cover []Implicant, m uint64) bool {
+	for _, im := range cover {
+		if im.Covers(m) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMinimizeTextbook(t *testing.T) {
+	// f(a,b,c,d) = Σ m(4,8,10,11,12,15) + d(9,14) — the classic example;
+	// a known minimal cover has three implicants.
+	cover, err := Minimize(4, []uint64{4, 8, 10, 11, 12, 15}, []uint64{9, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 3 {
+		t.Fatalf("cover size = %d (%v), want 3", len(cover), cover)
+	}
+	for _, m := range []uint64{4, 8, 10, 11, 12, 15} {
+		if !evalCover(cover, m) {
+			t.Errorf("minterm %d not covered", m)
+		}
+	}
+	for m := uint64(0); m < 16; m++ {
+		if evalCover(cover, m) {
+			switch m {
+			case 4, 8, 10, 11, 12, 15, 9, 14:
+			default:
+				t.Errorf("cover wrongly includes %d", m)
+			}
+		}
+	}
+}
+
+func TestMinimizeSingleVariable(t *testing.T) {
+	cover, err := Minimize(1, []uint64{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 1 || cover[0].Mask != 0 {
+		t.Fatalf("constant-true cover = %v", cover)
+	}
+	cover, err = Minimize(1, []uint64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 1 || cover[0] != (Implicant{Bits: 1, Mask: 1}) {
+		t.Fatalf("x cover = %v", cover)
+	}
+}
+
+func TestMinimizeEmpty(t *testing.T) {
+	cover, err := Minimize(3, nil, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 0 {
+		t.Fatalf("constant-false cover = %v", cover)
+	}
+}
+
+func TestMinimizeErrors(t *testing.T) {
+	if _, err := Minimize(0, []uint64{0}, nil); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := Minimize(65, []uint64{0}, nil); err == nil {
+		t.Fatal("n=65 must fail")
+	}
+	if _, err := Minimize(2, []uint64{1}, []uint64{1}); err == nil {
+		t.Fatal("overlapping ON and DC sets must fail")
+	}
+}
+
+func TestMinimizeXor(t *testing.T) {
+	// XOR has no mergeable adjacent minterms: cover must keep both terms.
+	cover, err := Minimize(2, []uint64{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("xor cover = %v, want 2 implicants", cover)
+	}
+}
+
+func TestImplicantString(t *testing.T) {
+	im := Implicant{Bits: 0b100, Mask: 0b101}
+	if got := im.String(3); got != "1-0" {
+		t.Fatalf("String = %q, want 1-0", got)
+	}
+	if (Implicant{}).String(2) != "--" {
+		t.Fatal("true implicant must render as all dashes")
+	}
+}
+
+func TestMinimizeDuplicatesTolerated(t *testing.T) {
+	cover, err := Minimize(2, []uint64{1, 1, 3, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 01 and 11 merge to -1.
+	if len(cover) != 1 || cover[0] != (Implicant{Bits: 1, Mask: 1}) {
+		t.Fatalf("cover = %v", cover)
+	}
+}
+
+// Property: on random functions, the cover is exactly equivalent on the
+// ON-set, never covers the OFF-set, and consists only of implicants of
+// ON ∪ DC.
+func TestMinimizeEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		n := 3 + r.Intn(4) // 3..6 variables
+		size := uint64(1) << uint(n)
+		var on, dc []uint64
+		kind := make([]int, size)
+		for m := uint64(0); m < size; m++ {
+			switch r.Intn(4) {
+			case 0:
+				on = append(on, m)
+				kind[m] = 1
+			case 1:
+				dc = append(dc, m)
+				kind[m] = 2
+			}
+		}
+		cover, err := Minimize(n, on, dc)
+		if err != nil {
+			return false
+		}
+		for m := uint64(0); m < size; m++ {
+			got := evalCover(cover, m)
+			switch kind[m] {
+			case 1: // ON must be covered
+				if !got {
+					return false
+				}
+			case 0: // OFF must not be covered
+				if got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all returned implicants are prime — expanding any constrained
+// variable to don't-care would cover an OFF minterm.
+func TestPrimeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := func() bool {
+		n := 3 + r.Intn(3)
+		size := uint64(1) << uint(n)
+		var on []uint64
+		isOn := make([]bool, size)
+		for m := uint64(0); m < size; m++ {
+			if r.Intn(3) == 0 {
+				on = append(on, m)
+				isOn[m] = true
+			}
+		}
+		cover, err := Minimize(n, on, nil)
+		if err != nil {
+			return false
+		}
+		for _, im := range cover {
+			for i := 0; i < n; i++ {
+				bit := uint64(1) << uint(i)
+				if im.Mask&bit == 0 {
+					continue
+				}
+				wider := Implicant{Bits: im.Bits &^ bit, Mask: im.Mask &^ bit}
+				// wider must cover some OFF minterm, else im was not prime.
+				coversOff := false
+				for m := uint64(0); m < size; m++ {
+					if wider.Covers(m) && !isOn[m] {
+						coversOff = true
+						break
+					}
+				}
+				if !coversOff {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

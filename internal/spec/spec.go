@@ -1,0 +1,92 @@
+// Package spec serializes parameter spaces as JSON documents so pipelines
+// can be described in files and debugged from the command line.
+//
+// The format:
+//
+//	{
+//	  "parameters": [
+//	    {"name": "lr", "kind": "ordinal", "domain": [0.001, 0.01, 0.1]},
+//	    {"name": "optimizer", "kind": "categorical", "domain": ["sgd", "adam"]}
+//	  ]
+//	}
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/pipeline"
+)
+
+type jsonSpec struct {
+	Parameters []jsonParam `json:"parameters"`
+}
+
+type jsonParam struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Domain []any  `json:"domain"`
+}
+
+// Write serializes the space.
+func Write(w io.Writer, s *pipeline.Space) error {
+	doc := jsonSpec{}
+	for i := 0; i < s.Len(); i++ {
+		p := s.At(i)
+		jp := jsonParam{Name: p.Name, Kind: p.Kind.String()}
+		for _, v := range p.Domain {
+			if v.Kind() == pipeline.Ordinal {
+				jp.Domain = append(jp.Domain, v.Num())
+			} else {
+				jp.Domain = append(jp.Domain, v.Str())
+			}
+		}
+		doc.Parameters = append(doc.Parameters, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Read parses a space document.
+func Read(r io.Reader) (*pipeline.Space, error) {
+	var doc jsonSpec
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("spec: decode: %w", err)
+	}
+	if len(doc.Parameters) == 0 {
+		return nil, fmt.Errorf("spec: no parameters declared")
+	}
+	params := make([]pipeline.Parameter, 0, len(doc.Parameters))
+	for _, jp := range doc.Parameters {
+		var kind pipeline.Kind
+		switch jp.Kind {
+		case "ordinal":
+			kind = pipeline.Ordinal
+		case "categorical":
+			kind = pipeline.Categorical
+		default:
+			return nil, fmt.Errorf("spec: parameter %q has unknown kind %q", jp.Name, jp.Kind)
+		}
+		p := pipeline.Parameter{Name: jp.Name, Kind: kind}
+		for _, raw := range jp.Domain {
+			switch x := raw.(type) {
+			case float64:
+				if kind != pipeline.Ordinal {
+					return nil, fmt.Errorf("spec: categorical parameter %q has numeric domain value %v", jp.Name, x)
+				}
+				p.Domain = append(p.Domain, pipeline.Ord(x))
+			case string:
+				if kind != pipeline.Categorical {
+					return nil, fmt.Errorf("spec: ordinal parameter %q has string domain value %q", jp.Name, x)
+				}
+				p.Domain = append(p.Domain, pipeline.Cat(x))
+			default:
+				return nil, fmt.Errorf("spec: parameter %q has unsupported domain value %v (%T)", jp.Name, raw, raw)
+			}
+		}
+		params = append(params, p)
+	}
+	return pipeline.NewSpace(params...)
+}

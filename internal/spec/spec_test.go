@@ -1,0 +1,54 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s := pipeline.MustSpace(
+		pipeline.Parameter{Name: "lr", Kind: pipeline.Ordinal, Domain: []pipeline.Value{
+			pipeline.Ord(0.001), pipeline.Ord(0.1),
+		}},
+		pipeline.Parameter{Name: "opt", Kind: pipeline.Categorical, Domain: []pipeline.Value{
+			pipeline.Cat("sgd"), pipeline.Cat("adam"),
+		}},
+	)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != s.String() {
+		t.Fatalf("round trip: %q vs %q", got.String(), s.String())
+	}
+	if got.DomainIndex(0, pipeline.Ord(0.1)) < 0 {
+		t.Fatal("ordinal domain lost")
+	}
+	if got.DomainIndex(1, pipeline.Cat("adam")) < 0 {
+		t.Fatal("categorical domain lost")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"parameters": []}`,
+		`{"parameters": [{"name": "x", "kind": "weird", "domain": [1]}]}`,
+		`{"parameters": [{"name": "x", "kind": "ordinal", "domain": ["str"]}]}`,
+		`{"parameters": [{"name": "x", "kind": "categorical", "domain": [1]}]}`,
+		`{"parameters": [{"name": "x", "kind": "ordinal", "domain": [null]}]}`,
+		`{"parameters": [{"name": "", "kind": "ordinal", "domain": [1]}]}`,
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+}

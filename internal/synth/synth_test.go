@@ -1,0 +1,178 @@
+package synth
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+func TestGenerateSpaceShape(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(13)
+		s := GenerateSpace(r, n, 5, 30)
+		if s.Len() != n {
+			t.Fatalf("Len = %d, want %d", s.Len(), n)
+		}
+		for i := 0; i < s.Len(); i++ {
+			p := s.At(i)
+			if len(p.Domain) < 5 || len(p.Domain) > 30 {
+				t.Fatalf("parameter %q has %d values, want 5..30", p.Name, len(p.Domain))
+			}
+			if p.Kind != pipeline.Ordinal && p.Kind != pipeline.Categorical {
+				t.Fatalf("parameter %q has kind %v", p.Name, p.Kind)
+			}
+		}
+	}
+}
+
+func TestGenerateSpaceMixesKinds(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ordinals, categoricals := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		s := GenerateSpace(r, 10, 5, 10)
+		for i := 0; i < s.Len(); i++ {
+			if s.At(i).Kind == pipeline.Ordinal {
+				ordinals++
+			} else {
+				categoricals++
+			}
+		}
+	}
+	// 200 parameters at p=1/2 each: both counts must be far from zero.
+	if ordinals < 50 || categoricals < 50 {
+		t.Fatalf("kind mix = %d ordinal, %d categorical; expected roughly even", ordinals, categoricals)
+	}
+}
+
+func TestGenerateScenarios(t *testing.T) {
+	for _, sc := range []Scenario{SingleTriple, SingleConjunction, Disjunction} {
+		t.Run(sc.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(3))
+			for trial := 0; trial < 20; trial++ {
+				p, err := Generate(r, Config{MaxParams: 8, MaxValues: 10}, sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch sc {
+				case SingleTriple:
+					if len(p.Truth) != 1 || len(p.Truth[0]) != 1 {
+						t.Fatalf("truth = %v, want one triple", p.Truth)
+					}
+				case SingleConjunction:
+					if len(p.Truth) != 1 || len(p.Truth[0]) < 2 {
+						t.Fatalf("truth = %v, want one conjunction of >= 2 triples", p.Truth)
+					}
+				case Disjunction:
+					if len(p.Truth) != 2 {
+						t.Fatalf("truth = %v, want two conjuncts", p.Truth)
+					}
+				}
+				if len(p.Minimal) != len(p.Truth) {
+					t.Fatalf("ground truth has %d minimal causes for %d conjuncts", len(p.Minimal), len(p.Truth))
+				}
+				// Every ground-truth cause must actually be minimal definitive.
+				for _, m := range p.Minimal {
+					minimal, err := predicate.Minimal(p.Space, m, p.Truth)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !minimal {
+						t.Fatalf("planted cause %v is not minimal for %v", m, p.Truth)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratedPipelineHasBothOutcomes(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		p, err := Generate(r, Config{MaxParams: 6, MaxValues: 8}, Disjunction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := p.Oracle()
+		sawFail, sawSucceed := false, false
+		sample := rand.New(rand.NewSource(int64(trial)))
+		for i := 0; i < 400 && !(sawFail && sawSucceed); i++ {
+			in := p.Space.RandomInstance(sample)
+			out, err := oracle.Run(context.Background(), in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch out {
+			case pipeline.Fail:
+				sawFail = true
+			case pipeline.Succeed:
+				sawSucceed = true
+			}
+		}
+		if !sawSucceed {
+			t.Fatalf("trial %d: no succeeding instance sampled (cause too broad): %v", trial, p.Truth)
+		}
+		if !sawFail {
+			// Rare for narrow causes; verify one exists by construction.
+			reg, err := predicate.RegionOf(p.Space, p.Truth[0])
+			if err != nil || reg.Empty() {
+				t.Fatalf("trial %d: truth %v has empty region (err %v)", trial, p.Truth, err)
+			}
+		}
+	}
+}
+
+func TestOracleMatchesTruth(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p, err := Generate(r, Config{MaxParams: 5, MaxValues: 6}, SingleConjunction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := p.Oracle()
+	sample := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		in := p.Space.RandomInstance(sample)
+		out, err := oracle.Run(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pipeline.Succeed
+		if p.Truth.Satisfied(in) {
+			want = pipeline.Fail
+		}
+		if out != want {
+			t.Fatalf("oracle(%v) = %v, want %v", in, out, want)
+		}
+	}
+}
+
+func TestSampleCauseRespectsKinds(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s := GenerateSpace(r, 10, 5, 10)
+	for trial := 0; trial < 100; trial++ {
+		c := SampleCause(r, s, 1, 4)
+		if len(c) == 0 {
+			t.Fatal("empty cause sampled")
+		}
+		if err := c.Validate(s); err != nil {
+			t.Fatalf("sampled cause %v invalid: %v", c, err)
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	gen := func() string {
+		r := rand.New(rand.NewSource(42))
+		p, err := Generate(r, Config{}, Disjunction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Space.String() + " | " + p.Truth.String()
+	}
+	if gen() != gen() {
+		t.Fatal("generation must be deterministic per seed")
+	}
+}

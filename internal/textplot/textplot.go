@@ -1,0 +1,79 @@
+// Package textplot renders small tables and horizontal bar charts as text,
+// used by the benchmark harness to print the paper's figures in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows with a header, padding columns to equal width.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bars renders labelled values as horizontal bars scaled to width, with the
+// numeric value appended. Negative values render as empty bars.
+func Bars(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if i < len(values) && values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := int(v / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %.3f\n", maxLabel, l,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"1", "x"},
+		{"22", "yy"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "long-header") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	// Columns align: every row has the same prefix width before column 2.
+	col2 := strings.Index(lines[0], "long-header")
+	if !strings.HasPrefix(lines[2][col2:], "x") || !strings.HasPrefix(lines[3][col2:], "yy") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"one", "two"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("max bar must fill the width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Fatalf("half bar = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "2.000") {
+		t.Fatalf("value missing: %q", lines[1])
+	}
+}
+
+func TestBarsZeroAndNegative(t *testing.T) {
+	out := Bars([]string{"z", "n"}, []float64{0, -1}, 0)
+	if !strings.Contains(out, "0.000") || !strings.Contains(out, "-1.000") {
+		t.Fatalf("out = %q", out)
+	}
+	if strings.Contains(out, "#") {
+		t.Fatalf("no bars expected: %q", out)
+	}
+}
