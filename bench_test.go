@@ -293,6 +293,83 @@ func BenchmarkExecutorMemoized(b *testing.B) {
 	}
 }
 
+// benchStore seeds a store with every instance of an 8-parameter space
+// sampled down to ~1k distinct records, returning the store and a slice of
+// recorded instances for lookup probes.
+func benchStore(b *testing.B) (*provenance.Store, []pipeline.Instance) {
+	b.Helper()
+	r := rand.New(rand.NewSource(17))
+	sp, err := synth.Generate(r, synth.Config{MinParams: 8, MaxParams: 8, MinValues: 6, MaxValues: 8}, synth.Disjunction)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := provenance.NewStore(sp.Space)
+	var ins []pipeline.Instance
+	for len(ins) < 1024 {
+		in := sp.Space.RandomInstance(r)
+		out := pipeline.Succeed
+		if sp.Truth.Satisfied(in) {
+			out = pipeline.Fail
+		}
+		if err := st.Add(in, out, "bench"); err != nil {
+			continue // duplicate draw
+		}
+		ins = append(ins, in)
+	}
+	return st, ins
+}
+
+// BenchmarkStoreLookup measures the provenance memoization hit path — the
+// single hottest operation of every algorithm (each Evaluate starts with a
+// Lookup). The target is zero allocations per hit.
+func BenchmarkStoreLookup(b *testing.B) {
+	st, ins := benchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Lookup(ins[i%len(ins)]); !ok {
+			b.Fatal("lookup missed a recorded instance")
+		}
+	}
+}
+
+// BenchmarkCountSatisfying measures the provenance predicate-counting query
+// that DDT suspect screening and the metrics lean on.
+func BenchmarkCountSatisfying(b *testing.B) {
+	st, ins := benchStore(b)
+	s := st.Space()
+	c := predicate.And(
+		predicate.T(s.At(0).Name, predicate.Eq, ins[0].Value(0)),
+		predicate.T(s.At(1).Name, predicate.Eq, ins[0].Value(1)),
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		succ, fail := st.CountSatisfying(c)
+		if succ+fail == 0 {
+			b.Fatal("count found nothing")
+		}
+	}
+}
+
+// BenchmarkTreeGrow measures decision-tree induction over a provenance-sized
+// example set — the per-iteration cost of the DDT loop.
+func BenchmarkTreeGrow(b *testing.B) {
+	st, _ := benchStore(b)
+	recs := st.Records()
+	examples := make([]dtree.Example, len(recs))
+	for i, r := range recs {
+		examples[i] = dtree.Example{Instance: r.Instance, Outcome: r.Outcome}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tree := dtree.Build(st.Space(), examples); tree == nil {
+			b.Fatal("nil tree")
+		}
+	}
+}
+
 // BenchmarkShortcutLinear measures one full Shortcut pass on a 10-parameter
 // pipeline (the paper's headline cost: linear in |P|).
 func BenchmarkShortcutLinear(b *testing.B) {

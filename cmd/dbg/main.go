@@ -22,7 +22,7 @@ func main() {
 	fmt.Println("ddt:", got, err)
 	// Build the final tree and show suspects
 	var exs []dtree.Example
-	for _, r := range st.Records() {
+	for _, r := range st.Snapshot().Records() {
 		exs = append(exs, dtree.Example{Instance: r.Instance, Outcome: r.Outcome})
 	}
 	tree := dtree.Build(ml.Space, exs)

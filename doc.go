@@ -5,4 +5,31 @@
 // substrates live under internal/ (see DESIGN.md for the inventory); the
 // benchmark harness that regenerates every table and figure of the paper's
 // evaluation is cmd/bugdoc-bench, with Go benchmarks in bench_test.go.
+//
+// # Execution-core architecture: interned values and columnar indices
+//
+// The paper's cost model counts pipeline executions, so the in-process
+// bookkeeping around each execution must be near-free. The data layer is
+// built around value interning:
+//
+//   - internal/pipeline: every Space carries a value table mapping each
+//     observed Value to a dense per-parameter uint32 code. Instances cache
+//     their code vector and a precomputed 64-bit hash, making Equal,
+//     DisjointFrom, DiffCount, and memoization probes allocation-free
+//     integer work; the string Key() survives only for codecs and display.
+//   - internal/provenance: the append-only log is indexed on Add with a
+//     hash map over code vectors (Lookup), per-outcome sequence lists and
+//     bitsets, and per-(parameter, value-code) posting bitsets, so history
+//     queries (DisjointSucceeding, AnySucceedingSatisfying,
+//     CountSatisfying, ...) run as bitset algebra instead of log scans.
+//     Snapshot exposes a zero-copy read-only view for bulk consumers such
+//     as the decision-tree training loop.
+//   - internal/dtree and internal/forest: split search is counting-based —
+//     one columnar pass per parameter accumulates per-value-code label
+//     counts, and every "="/"<=" candidate's gain derives from those
+//     counts and their prefix sums, O(params × examples + params × values)
+//     per node instead of O(params × values × examples).
+//   - internal/exec: the executor's memoized Evaluate path and the replay
+//     HistoricalOracle key off instance hashes, so a memoization hit
+//     performs zero allocations.
 package repro

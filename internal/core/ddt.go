@@ -72,12 +72,21 @@ func DebugDecisionTrees(ctx context.Context, ex *exec.Executor, opts DDTOptions)
 	var confirmed predicate.DNF
 	resolved := make(map[string]bool) // canonical suspect -> seen (refuted or untestable)
 
+	// The provenance log is append-only, so the training set only grows:
+	// each iteration extends the example slice with the records added since
+	// the previous tree build instead of re-copying the whole log.
+	var examples []dtree.Example
+
 loop:
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		examples := storeExamples(ex)
+		sn := ex.Store().Snapshot()
+		for i := len(examples); i < sn.Len(); i++ {
+			r := sn.At(i)
+			examples = append(examples, dtree.Example{Instance: r.Instance, Outcome: r.Outcome})
+		}
 		tree := dtree.Build(s, examples)
 		suspect, ok, err := nextSuspect(s, tree, confirmed, resolved)
 		if err != nil {
@@ -118,16 +127,6 @@ loop:
 		return simplified, nil
 	}
 	return confirmed.Canonical(), nil
-}
-
-// storeExamples snapshots provenance as decision-tree training data.
-func storeExamples(ex *exec.Executor) []dtree.Example {
-	recs := ex.Store().Records()
-	out := make([]dtree.Example, len(recs))
-	for i, r := range recs {
-		out[i] = dtree.Example{Instance: r.Instance, Outcome: r.Outcome}
-	}
-	return out
 }
 
 // nextSuspect returns the first suspect path that is not already resolved
@@ -286,7 +285,7 @@ func sampleTests(s *pipeline.Space, region predicate.Region, opts DDTOptions) []
 			}
 		}
 	}
-	seen := make(map[string]bool, max)
+	seen := pipeline.NewInstanceMap[struct{}](max)
 	for attempts := 0; len(tests) < max && attempts < max*10; attempts++ {
 		vals := make([]pipeline.Value, s.Len())
 		for i := range vals {
@@ -296,8 +295,7 @@ func sampleTests(s *pipeline.Space, region predicate.Region, opts DDTOptions) []
 		if err != nil {
 			continue
 		}
-		if !seen[in.Key()] {
-			seen[in.Key()] = true
+		if seen.Put(in, struct{}{}) {
 			tests = append(tests, in)
 		}
 	}

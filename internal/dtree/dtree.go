@@ -9,6 +9,12 @@
 // but to discover short paths ending in pure-fail leaves. Those paths are
 // the "suspects" the Debugging Decision Trees algorithm then verifies by
 // executing new instances.
+//
+// Split search is counting-based: one columnar pass per parameter over the
+// interned value codes accumulates per-code succeed/fail counts, and the
+// information gain of every candidate derives from those counts (prefix
+// sums for ordinal thresholds) — O(params × examples + params × values)
+// per node rather than evaluating each candidate against every example.
 package dtree
 
 import (
@@ -52,10 +58,23 @@ func (n *Node) PureSucceed() bool { return n.NSucceed > 0 && n.NFail == 0 }
 // node is pure or no candidate split separates its examples — such impure
 // unsplittable leaves are the paper's "mixed" leaves.
 func Build(s *pipeline.Space, examples []Example) *Node {
-	return build(s, examples)
+	b := &builder{s: s}
+	return b.build(examples)
 }
 
-func build(s *pipeline.Space, examples []Example) *Node {
+// builder carries the per-parameter counting scratch reused across every
+// node of one Build call, so growing a tree allocates per node, not per
+// candidate split.
+type builder struct {
+	s *pipeline.Space
+	// countS/countF accumulate succeed/fail counts per value code during
+	// the columnar pass; order lists the observed codes (first-seen, then
+	// sorted by value) of the current parameter.
+	countS, countF []int
+	order          []uint32
+}
+
+func (b *builder) build(examples []Example) *Node {
 	n := &Node{}
 	for _, ex := range examples {
 		switch ex.Outcome {
@@ -68,21 +87,24 @@ func build(s *pipeline.Space, examples []Example) *Node {
 	if n.NSucceed == 0 || n.NFail == 0 || len(examples) < 2 {
 		return n
 	}
-	split, ok := bestSplit(s, examples)
+	split, ok := bestSplit(b.s, examples, b)
 	if !ok {
 		return n
 	}
+	// Partition with the parameter index resolved once; Holds is a single
+	// integer or float comparison per example.
+	pi, _ := b.s.Index(split.Param)
 	var yes, no []Example
 	for _, ex := range examples {
-		if split.Satisfied(ex.Instance) {
+		if split.Holds(ex.Instance.Value(pi)) {
 			yes = append(yes, ex)
 		} else {
 			no = append(no, ex)
 		}
 	}
 	n.Split = split
-	n.Yes = build(s, yes)
-	n.No = build(s, no)
+	n.Yes = b.build(yes)
+	n.No = b.build(no)
 	return n
 }
 
@@ -93,26 +115,39 @@ func build(s *pipeline.Space, examples []Example) *Node {
 // gain alone deadlocks on XOR-structured data, leaving pure-fail regions
 // undiscovered); ok is false only when no candidate separates the examples
 // at all.
-func bestSplit(s *pipeline.Space, examples []Example) (predicate.Triple, bool) {
+//
+// The search is counting-based: one columnar pass per parameter
+// accumulates per-value-code succeed/fail counts, and the gain of every
+// "=" candidate falls out of the per-code counts while every "<="
+// candidate falls out of prefix sums over the value-sorted codes —
+// O(params × examples + params × values) per node instead of the naive
+// O(params × values × examples). The gain arithmetic is identical to
+// evaluating each candidate against the example list, so the chosen split
+// (including tie-breaks) matches the naive search exactly.
+func bestSplit(s *pipeline.Space, examples []Example, b *builder) (predicate.Triple, bool) {
+	if b == nil {
+		b = &builder{s: s}
+	}
 	total := float64(len(examples))
-	baseH := entropy(examples)
+	totS, totF := 0, 0
+	for _, ex := range examples {
+		if ex.Outcome == pipeline.Succeed {
+			totS++
+		} else {
+			totF++
+		}
+	}
+	baseH := entropyCounts(float64(totS), float64(totF))
 	best := predicate.Triple{}
 	bestGain := -1.0
-	consider := func(t predicate.Triple) {
-		var yes, no []Example
-		for _, ex := range examples {
-			if t.Satisfied(ex.Instance) {
-				yes = append(yes, ex)
-			} else {
-				no = append(no, ex)
-			}
-		}
-		if len(yes) == 0 || len(no) == 0 {
+	consider := func(t predicate.Triple, yesS, yesF int) {
+		yes, no := yesS+yesF, len(examples)-yesS-yesF
+		if yes == 0 || no == 0 {
 			return
 		}
 		gain := baseH -
-			float64(len(yes))/total*entropy(yes) -
-			float64(len(no))/total*entropy(no)
+			float64(yes)/total*entropyCounts(float64(yesS), float64(yesF)) -
+			float64(no)/total*entropyCounts(float64(totS-yesS), float64(totF-yesF))
 		if gain > bestGain+1e-12 ||
 			(math.Abs(gain-bestGain) <= 1e-12 && bestGain >= 0 && t.Less(best)) {
 			best, bestGain = t, gain
@@ -120,18 +155,54 @@ func bestSplit(s *pipeline.Space, examples []Example) (predicate.Triple, bool) {
 	}
 	for i := 0; i < s.Len(); i++ {
 		p := s.At(i)
-		values := observedValues(examples, i)
+		// Columnar pass: count labels per value code of parameter i.
+		if nc := s.NumCodes(i); len(b.countS) < nc {
+			b.countS = make([]int, nc)
+			b.countF = make([]int, nc)
+		}
+		b.order = b.order[:0]
+		for _, ex := range examples {
+			c := ex.Instance.Code(i)
+			if b.countS[c]+b.countF[c] == 0 {
+				b.order = append(b.order, c)
+			}
+			if ex.Outcome == pipeline.Succeed {
+				b.countS[c]++
+			} else {
+				b.countF[c]++
+			}
+		}
+		sort.Slice(b.order, func(a, c int) bool {
+			return s.InternedValue(i, b.order[a]).Less(s.InternedValue(i, b.order[c]))
+		})
 		switch p.Kind {
 		case pipeline.Categorical:
-			for _, v := range values {
-				consider(predicate.T(p.Name, predicate.Eq, v))
+			for _, c := range b.order {
+				consider(predicate.T(p.Name, predicate.Eq, s.InternedValue(i, c)), b.countS[c], b.countF[c])
 			}
 		case pipeline.Ordinal:
 			// Thresholds between consecutive observed values: testing
-			// "<= v" for each observed v except the largest covers them all.
-			for k := 0; k < len(values)-1; k++ {
-				consider(predicate.T(p.Name, predicate.Le, values[k]))
+			// "<= v" for each observed v covers them all (the largest is
+			// rejected by consider's empty-no-side guard when nothing
+			// exceeds it). Prefix sums over the sorted codes give the
+			// yes-side counts of each threshold. NaN values — possible
+			// only through out-of-domain instances — never satisfy any
+			// "<=" and are never thresholds themselves, so they stay out
+			// of the prefix sums; their examples land on every no side,
+			// exactly as Holds evaluates them.
+			cumS, cumF := 0, 0
+			for _, c := range b.order {
+				v := s.InternedValue(i, c)
+				if math.IsNaN(v.Num()) {
+					continue
+				}
+				cumS += b.countS[c]
+				cumF += b.countF[c]
+				consider(predicate.T(p.Name, predicate.Le, v), cumS, cumF)
 			}
+		}
+		for _, c := range b.order {
+			b.countS[c], b.countF[c] = 0, 0
 		}
 	}
 	// A separating split always exists unless the examples coincide on
@@ -142,32 +213,8 @@ func bestSplit(s *pipeline.Space, examples []Example) (predicate.Triple, bool) {
 	return best, true
 }
 
-// observedValues returns the distinct values of parameter i among the
-// examples, sorted.
-func observedValues(examples []Example, i int) []pipeline.Value {
-	seen := make(map[pipeline.Value]bool)
-	var out []pipeline.Value
-	for _, ex := range examples {
-		v := ex.Instance.Value(i)
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
-	return out
-}
-
-// entropy is the Shannon entropy of the succeed/fail label distribution.
-func entropy(examples []Example) float64 {
-	var s, f float64
-	for _, ex := range examples {
-		if ex.Outcome == pipeline.Succeed {
-			s++
-		} else {
-			f++
-		}
-	}
+// entropyCounts is the Shannon entropy of a succeed/fail count pair.
+func entropyCounts(s, f float64) float64 {
 	total := s + f
 	h := 0.0
 	for _, c := range []float64{s, f} {

@@ -1,0 +1,255 @@
+package dtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// naiveBestSplit is the pre-counting reference implementation: it
+// materializes the yes/no partition of every candidate triple and computes
+// the gain from the partition. The counting-based bestSplit must pick the
+// same split with the same gain and the same canonical tie-break.
+func naiveBestSplit(s *pipeline.Space, examples []Example) (predicate.Triple, bool) {
+	total := float64(len(examples))
+	baseH := naiveEntropy(examples)
+	best := predicate.Triple{}
+	bestGain := -1.0
+	consider := func(t predicate.Triple) {
+		var yes, no []Example
+		for _, ex := range examples {
+			if t.Satisfied(ex.Instance) {
+				yes = append(yes, ex)
+			} else {
+				no = append(no, ex)
+			}
+		}
+		if len(yes) == 0 || len(no) == 0 {
+			return
+		}
+		gain := baseH -
+			float64(len(yes))/total*naiveEntropy(yes) -
+			float64(len(no))/total*naiveEntropy(no)
+		if gain > bestGain+1e-12 ||
+			(math.Abs(gain-bestGain) <= 1e-12 && bestGain >= 0 && t.Less(best)) {
+			best, bestGain = t, gain
+		}
+	}
+	for i := 0; i < s.Len(); i++ {
+		p := s.At(i)
+		values := naiveObservedValues(examples, i)
+		switch p.Kind {
+		case pipeline.Categorical:
+			for _, v := range values {
+				consider(predicate.T(p.Name, predicate.Eq, v))
+			}
+		case pipeline.Ordinal:
+			for k := 0; k < len(values)-1; k++ {
+				consider(predicate.T(p.Name, predicate.Le, values[k]))
+			}
+		}
+	}
+	if bestGain < 0 {
+		return predicate.Triple{}, false
+	}
+	return best, true
+}
+
+func naiveObservedValues(examples []Example, i int) []pipeline.Value {
+	seen := make(map[pipeline.Value]bool)
+	var out []pipeline.Value
+	for _, ex := range examples {
+		v := ex.Instance.Value(i)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	return out
+}
+
+func naiveEntropy(examples []Example) float64 {
+	var s, f float64
+	for _, ex := range examples {
+		if ex.Outcome == pipeline.Succeed {
+			s++
+		} else {
+			f++
+		}
+	}
+	return entropyCounts(s, f)
+}
+
+// naiveBuild grows a tree using the naive split search; tree-level
+// differential tests compare it with Build.
+func naiveBuild(s *pipeline.Space, examples []Example) *Node {
+	n := &Node{}
+	for _, ex := range examples {
+		switch ex.Outcome {
+		case pipeline.Succeed:
+			n.NSucceed++
+		case pipeline.Fail:
+			n.NFail++
+		}
+	}
+	if n.NSucceed == 0 || n.NFail == 0 || len(examples) < 2 {
+		return n
+	}
+	split, ok := naiveBestSplit(s, examples)
+	if !ok {
+		return n
+	}
+	var yes, no []Example
+	for _, ex := range examples {
+		if split.Satisfied(ex.Instance) {
+			yes = append(yes, ex)
+		} else {
+			no = append(no, ex)
+		}
+	}
+	n.Split = split
+	n.Yes = naiveBuild(s, yes)
+	n.No = naiveBuild(s, no)
+	return n
+}
+
+func sameTree(a, b *Node) bool {
+	if a.NSucceed != b.NSucceed || a.NFail != b.NFail {
+		return false
+	}
+	if a.IsLeaf() != b.IsLeaf() {
+		return false
+	}
+	if a.IsLeaf() {
+		return true
+	}
+	return a.Split == b.Split && sameTree(a.Yes, b.Yes) && sameTree(a.No, b.No)
+}
+
+func randomSplitSpace(t *testing.T, r *rand.Rand) *pipeline.Space {
+	t.Helper()
+	n := 2 + r.Intn(4)
+	params := make([]pipeline.Parameter, n)
+	for i := range params {
+		name := string(rune('a' + i))
+		if r.Intn(2) == 0 {
+			dom := make([]pipeline.Value, 2+r.Intn(5))
+			for j := range dom {
+				dom[j] = pipeline.Ord(float64(j) * 1.5)
+			}
+			params[i] = pipeline.Parameter{Name: name, Kind: pipeline.Ordinal, Domain: dom}
+		} else {
+			labels := []string{"p", "q", "r", "s", "t"}
+			dom := make([]pipeline.Value, 2+r.Intn(3))
+			for j := range dom {
+				dom[j] = pipeline.Cat(labels[j])
+			}
+			params[i] = pipeline.Parameter{Name: name, Kind: pipeline.Categorical, Domain: dom}
+		}
+	}
+	return pipeline.MustSpace(params...)
+}
+
+func randomExamples(r *rand.Rand, s *pipeline.Space, n int) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		in := s.RandomInstance(r)
+		outc := pipeline.Succeed
+		if r.Intn(2) == 0 {
+			outc = pipeline.Fail
+		}
+		out[i] = Example{Instance: in, Outcome: outc}
+	}
+	return out
+}
+
+// TestCountingSplitMatchesNaive differentially checks bestSplit: across
+// randomized example sets the counting-based search and the naive
+// per-candidate partition must agree on the split (including ok=false
+// cases and canonical tie-breaks).
+func TestCountingSplitMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		s := randomSplitSpace(t, r)
+		examples := randomExamples(r, s, 2+r.Intn(60))
+		gotT, gotOK := bestSplit(s, examples, nil)
+		wantT, wantOK := naiveBestSplit(s, examples)
+		if gotOK != wantOK || gotT != wantT {
+			t.Fatalf("trial %d: bestSplit = (%v, %v), naive = (%v, %v)\nspace: %v, %d examples",
+				trial, gotT, gotOK, wantT, wantOK, s, len(examples))
+		}
+	}
+}
+
+// TestCountingSplitMatchesNaiveDuplicates stresses tie-breaking with many
+// duplicated examples (duplicate instances concentrate counts and produce
+// equal-gain candidates).
+func TestCountingSplitMatchesNaiveDuplicates(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		s := randomSplitSpace(t, r)
+		base := randomExamples(r, s, 3)
+		var examples []Example
+		for i := 0; i < 20; i++ {
+			examples = append(examples, base[r.Intn(len(base))])
+		}
+		gotT, gotOK := bestSplit(s, examples, nil)
+		wantT, wantOK := naiveBestSplit(s, examples)
+		if gotOK != wantOK || gotT != wantT {
+			t.Fatalf("trial %d: bestSplit = (%v, %v), naive = (%v, %v)", trial, gotT, gotOK, wantT, wantOK)
+		}
+	}
+}
+
+// TestBuildTerminatesOnNaN regression-tests the counting split search
+// against NaN example values (producible via out-of-domain instances or
+// CSV-loaded provenance): NaN never satisfies a "<=" and must never be a
+// threshold, so selected splits always separate their examples and Build
+// terminates.
+func TestBuildTerminatesOnNaN(t *testing.T) {
+	s := pipeline.MustSpace(
+		pipeline.Parameter{Name: "x", Kind: pipeline.Ordinal, Domain: []pipeline.Value{pipeline.Ord(1), pipeline.Ord(2)}},
+	)
+	examples := []Example{
+		{Instance: pipeline.MustInstance(s, pipeline.Ord(math.NaN())), Outcome: pipeline.Fail},
+		{Instance: pipeline.MustInstance(s, pipeline.Ord(1)), Outcome: pipeline.Succeed},
+		{Instance: pipeline.MustInstance(s, pipeline.Ord(2)), Outcome: pipeline.Succeed},
+	}
+	done := make(chan *Node, 1)
+	go func() { done <- Build(s, examples) }()
+	select {
+	case tree := <-done:
+		if tree.NFail != 1 || tree.NSucceed != 2 {
+			t.Fatalf("root counts = %d succeed, %d fail", tree.NSucceed, tree.NFail)
+		}
+		// The only viable splits are finite thresholds; the NaN example
+		// must sit on a no-branch, and the failing region must still be
+		// discoverable as a pure-fail leaf.
+		if got := len(tree.Suspects()); got != 1 {
+			t.Fatalf("suspects = %d, want 1\n%v", got, tree)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Build did not terminate on NaN example values")
+	}
+}
+
+// TestBuildMatchesNaiveBuild compares whole trees: identical splits at
+// every node, identical leaf statistics.
+func TestBuildMatchesNaiveBuild(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		s := randomSplitSpace(t, r)
+		examples := randomExamples(r, s, 5+r.Intn(80))
+		got := Build(s, examples)
+		want := naiveBuild(s, examples)
+		if !sameTree(got, want) {
+			t.Fatalf("trial %d: trees diverge\ncounting:\n%vnaive:\n%v", trial, got, want)
+		}
+	}
+}

@@ -221,25 +221,28 @@ func LatencyOracle(o Oracle, d time.Duration) Oracle {
 // HistoricalOracle replays a fixed instance→outcome mapping and returns
 // ErrUnknownInstance for anything else. It models datasets where new
 // pipeline instances cannot be executed (DBSherlock logs, Section 5.3).
+// Replay lookups probe the instances' precomputed hashes and compare
+// interned code vectors, so they allocate nothing.
 type HistoricalOracle struct {
-	outcomes map[string]pipeline.Outcome
+	outcomes *pipeline.InstanceMap[pipeline.Outcome]
 }
 
 // NewHistoricalOracle builds a replay oracle from instances and outcomes.
+// A repeated instance overwrites its earlier outcome (last wins).
 func NewHistoricalOracle(ins []pipeline.Instance, outs []pipeline.Outcome) (*HistoricalOracle, error) {
 	if len(ins) != len(outs) {
 		return nil, fmt.Errorf("exec: %d instances but %d outcomes", len(ins), len(outs))
 	}
-	m := make(map[string]pipeline.Outcome, len(ins))
+	m := pipeline.NewInstanceMap[pipeline.Outcome](len(ins))
 	for i, in := range ins {
-		m[in.Key()] = outs[i]
+		m.Put(in, outs[i])
 	}
 	return &HistoricalOracle{outcomes: m}, nil
 }
 
 // Run implements Oracle.
 func (h *HistoricalOracle) Run(_ context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
-	out, ok := h.outcomes[in.Key()]
+	out, ok := h.outcomes.Get(in)
 	if !ok {
 		return pipeline.OutcomeUnknown, ErrUnknownInstance
 	}
@@ -247,4 +250,4 @@ func (h *HistoricalOracle) Run(_ context.Context, in pipeline.Instance) (pipelin
 }
 
 // Len returns the number of replayable instances.
-func (h *HistoricalOracle) Len() int { return len(h.outcomes) }
+func (h *HistoricalOracle) Len() int { return h.outcomes.Len() }

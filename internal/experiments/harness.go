@@ -120,7 +120,7 @@ func newProblemWithHistory(ctx context.Context, space *pipeline.Space, oracle ex
 		oracle:  oracle,
 		truth:   truth,
 		minimal: minimal,
-		seeds:   ex.Store().Records(),
+		seeds:   ex.Store().Snapshot().Records(),
 	}, nil
 }
 

@@ -50,7 +50,7 @@ func Tables12(ctx context.Context) (*TablesResult, error) {
 			return nil, err
 		}
 	}
-	res := &TablesResult{Table1: renderRows(ml, st.Records())}
+	res := &TablesResult{Table1: renderRows(ml, st.Snapshot().Records())}
 
 	ex := exec.New(oracle, st)
 	cpf := seed[2]
@@ -61,7 +61,7 @@ func Tables12(ctx context.Context) (*TablesResult, error) {
 	}
 	res.RootCause = d
 	res.NewRuns = ex.Spent()
-	res.Table2 = renderRows(ml, st.Records())
+	res.Table2 = renderRows(ml, st.Snapshot().Records())
 	return res, nil
 }
 

@@ -64,7 +64,7 @@ func (o Options) withDefaults() Options {
 // Explain builds an explanation table for the provenance.
 func Explain(s *pipeline.Space, st *provenance.Store, opts Options) []Pattern {
 	opts = opts.withDefaults()
-	recs := st.Records()
+	recs := st.Snapshot().Records()
 	if len(recs) == 0 {
 		return nil
 	}

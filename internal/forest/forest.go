@@ -67,17 +67,27 @@ func Train(s *pipeline.Space, xs []pipeline.Instance, ys []float64, cfg Config) 
 		return f
 	}
 	mtry := int(math.Ceil(math.Sqrt(float64(s.Len()))))
+	sc := &scratch{}
 	for t := 0; t < cfg.Trees; t++ {
 		idx := make([]int, len(xs))
 		for i := range idx {
 			idx[i] = cfg.Rand.Intn(len(xs))
 		}
-		f.trees = append(f.trees, grow(s, xs, ys, idx, cfg, mtry, 0))
+		f.trees = append(f.trees, grow(s, xs, ys, idx, cfg, mtry, 0, sc))
 	}
 	return f
 }
 
-func grow(s *pipeline.Space, xs []pipeline.Instance, ys []float64, idx []int, cfg Config, mtry, depth int) *node {
+// scratch is per-Train reusable working memory: candidate tests run over
+// interned value codes (rank tables instead of float/string comparisons),
+// and the per-candidate partitions reuse one pair of index buffers.
+type scratch struct {
+	rank     []int32 // value code -> position in the sorted distinct values
+	yes, no  []int
+	distinct []uint32
+}
+
+func grow(s *pipeline.Space, xs []pipeline.Instance, ys []float64, idx []int, cfg Config, mtry, depth int, sc *scratch) *node {
 	n := &node{mean: mean(ys, idx)}
 	if len(idx) < 2*cfg.MinLeaf || depth >= cfg.MaxDepth || pure(ys, idx) {
 		return n
@@ -91,30 +101,49 @@ func grow(s *pipeline.Space, xs []pipeline.Instance, ys []float64, idx []int, cf
 	found := false
 	for _, pi := range feats {
 		p := s.At(pi)
-		vals := distinctValues(xs, idx, pi)
-		if len(vals) < 2 {
+		codes := distinctCodes(s, xs, idx, pi, sc)
+		if len(codes) < 2 {
 			continue
 		}
+		// rank[c] is c's position among the sorted distinct values, so
+		// "value <= vals[k]" becomes the integer test rank <= k and
+		// "value == vals[k]" becomes code equality — the same membership
+		// the value comparisons produced, at integer-compare cost. NaN
+		// values (possible only through out-of-domain instances) rank at
+		// MaxInt32 so they fail every threshold test, matching
+		// Num() <= thr, and are never thresholds themselves.
+		if nc := s.NumCodes(pi); len(sc.rank) < nc {
+			sc.rank = make([]int32, nc)
+		}
 		if p.Kind == pipeline.Ordinal {
-			for k := 0; k < len(vals)-1; k++ {
-				thr := vals[k].Num()
+			finite := codes[:0:0]
+			for _, c := range codes {
+				if v := s.InternedValue(pi, c); math.IsNaN(v.Num()) {
+					sc.rank[c] = math.MaxInt32
+				} else {
+					sc.rank[c] = int32(len(finite))
+					finite = append(finite, c)
+				}
+			}
+			for k := 0; k < len(finite); k++ {
+				rk := int32(k)
 				v := splitVariance(xs, ys, idx, func(in pipeline.Instance) bool {
-					return in.Value(pi).Num() <= thr
-				}, cfg.MinLeaf)
+					return sc.rank[in.Code(pi)] <= rk
+				}, cfg.MinLeaf, sc)
 				if v < bestVar {
 					bestVar, found = v, true
-					n.param, n.threshold, n.ordinal = pi, thr, true
+					n.param, n.threshold, n.ordinal = pi, s.InternedValue(pi, finite[k]).Num(), true
 				}
 			}
 		} else {
-			for _, val := range vals {
-				cat := val.Str()
+			for _, c := range codes {
+				cc := c
 				v := splitVariance(xs, ys, idx, func(in pipeline.Instance) bool {
-					return in.Value(pi).Str() == cat
-				}, cfg.MinLeaf)
+					return in.Code(pi) == cc
+				}, cfg.MinLeaf, sc)
 				if v < bestVar {
 					bestVar, found = v, true
-					n.param, n.category, n.ordinal = pi, cat, false
+					n.param, n.category, n.ordinal = pi, s.InternedValue(pi, c).Str(), false
 				}
 			}
 		}
@@ -133,8 +162,8 @@ func grow(s *pipeline.Space, xs []pipeline.Instance, ys []float64, idx []int, cf
 	if len(yesIdx) == 0 || len(noIdx) == 0 {
 		return n
 	}
-	n.yes = grow(s, xs, ys, yesIdx, cfg, mtry, depth+1)
-	n.no = grow(s, xs, ys, noIdx, cfg, mtry, depth+1)
+	n.yes = grow(s, xs, ys, yesIdx, cfg, mtry, depth+1, sc)
+	n.no = grow(s, xs, ys, noIdx, cfg, mtry, depth+1, sc)
 	return n
 }
 
@@ -199,24 +228,32 @@ func pure(ys []float64, idx []int) bool {
 	return true
 }
 
-func distinctValues(xs []pipeline.Instance, idx []int, pi int) []pipeline.Value {
-	seen := make(map[pipeline.Value]bool)
-	var out []pipeline.Value
+// distinctCodes returns the distinct value codes of parameter pi among
+// xs[idx], sorted by value order. The dedup runs over dense codes instead
+// of hashing Value structs.
+func distinctCodes(s *pipeline.Space, xs []pipeline.Instance, idx []int, pi int, sc *scratch) []uint32 {
+	nc := s.NumCodes(pi)
+	seen := make([]bool, nc)
+	sc.distinct = sc.distinct[:0]
 	for _, i := range idx {
-		v := xs[i].Value(pi)
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
+		c := xs[i].Code(pi)
+		if !seen[c] {
+			seen[c] = true
+			sc.distinct = append(sc.distinct, c)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
-	return out
+	sort.Slice(sc.distinct, func(a, b int) bool {
+		return s.InternedValue(pi, sc.distinct[a]).Less(s.InternedValue(pi, sc.distinct[b]))
+	})
+	return sc.distinct
 }
 
 // splitVariance is the weighted child variance of a candidate split, or
-// +Inf when a side falls under minLeaf.
-func splitVariance(xs []pipeline.Instance, ys []float64, idx []int, test func(pipeline.Instance) bool, minLeaf int) float64 {
-	var yes, no []int
+// +Inf when a side falls under minLeaf. The yes/no partitions reuse the
+// scratch buffers; membership and summation order match the original
+// per-candidate partition exactly.
+func splitVariance(xs []pipeline.Instance, ys []float64, idx []int, test func(pipeline.Instance) bool, minLeaf int, sc *scratch) float64 {
+	yes, no := sc.yes[:0], sc.no[:0]
 	for _, i := range idx {
 		if test(xs[i]) {
 			yes = append(yes, i)
@@ -224,6 +261,7 @@ func splitVariance(xs []pipeline.Instance, ys []float64, idx []int, test func(pi
 			no = append(no, i)
 		}
 	}
+	sc.yes, sc.no = yes[:0], no[:0]
 	if len(yes) < minLeaf || len(no) < minLeaf {
 		return math.Inf(1)
 	}

@@ -8,9 +8,25 @@ import (
 // Instance is a pipeline instance CP_i: an assignment of one value to every
 // parameter of a Space (Definition 1). Instances are immutable value types;
 // With returns modified copies. The zero Instance is invalid.
+//
+// Alongside its values, every instance caches the interned code vector and
+// a precomputed 64-bit hash of it (see intern.go), so identity operations
+// and memoization lookups are allocation-free integer work.
 type Instance struct {
 	space *Space
 	vals  []Value
+	codes []uint32
+	hash  uint64
+}
+
+// newInstance builds an instance from an owned (not aliased) value slice,
+// interning the values. All construction paths funnel through it.
+func newInstance(s *Space, vals []Value) Instance {
+	codes := make([]uint32, len(vals))
+	for i, v := range vals {
+		codes[i] = s.codeOf(i, v)
+	}
+	return Instance{space: s, vals: vals, codes: codes, hash: hashCodes(codes)}
 }
 
 // Assignment is one (parameter, value) pair of an instance.
@@ -40,7 +56,7 @@ func NewInstance(s *Space, vals []Value) (Instance, error) {
 	}
 	cp := make([]Value, len(vals))
 	copy(cp, vals)
-	return Instance{space: s, vals: cp}, nil
+	return newInstance(s, cp), nil
 }
 
 // MustInstance is NewInstance that panics on error.
@@ -112,17 +128,31 @@ func (in Instance) With(i int, v Value) Instance {
 	vals := make([]Value, len(in.vals))
 	copy(vals, in.vals)
 	vals[i] = v
-	return Instance{space: in.space, vals: vals}
+	codes := make([]uint32, len(in.codes))
+	copy(codes, in.codes)
+	codes[i] = in.space.codeOf(i, v)
+	return Instance{space: in.space, vals: vals, codes: codes, hash: hashCodes(codes)}
 }
 
+// Hash returns the precomputed 64-bit hash of the instance's interned code
+// vector. Equal instances always hash equal; the converse holds only up to
+// hash collisions, so maps keyed by Hash must confirm with Equal.
+func (in Instance) Hash() uint64 { return in.hash }
+
+// Code returns the interned code of the i-th parameter's value. Codes are
+// dense per parameter (see Space.NumCodes) and equal exactly when the
+// values are equal.
+func (in Instance) Code(i int) uint32 { return in.codes[i] }
+
 // Equal reports whether the two instances assign identical values over the
-// same space.
+// same space. It compares precomputed hashes and interned codes, never
+// values, so it allocates nothing.
 func (in Instance) Equal(other Instance) bool {
-	if in.space != other.space || len(in.vals) != len(other.vals) {
+	if in.space != other.space || in.hash != other.hash {
 		return false
 	}
-	for i := range in.vals {
-		if in.vals[i] != other.vals[i] {
+	for i := range in.codes {
+		if in.codes[i] != other.codes[i] {
 			return false
 		}
 	}
@@ -135,8 +165,8 @@ func (in Instance) DisjointFrom(other Instance) bool {
 	if in.space != other.space {
 		return false
 	}
-	for i := range in.vals {
-		if in.vals[i] == other.vals[i] {
+	for i := range in.codes {
+		if in.codes[i] == other.codes[i] {
 			return false
 		}
 	}
@@ -147,9 +177,19 @@ func (in Instance) DisjointFrom(other Instance) bool {
 // it is used by the heuristic fallback of the Shortcut algorithm ("take an
 // instance that differs in as many parameter-values as possible").
 func (in Instance) DiffCount(other Instance) int {
+	if in.space != other.space {
+		// Codes are only comparable within one space; fall back to values.
+		n := 0
+		for i := range in.vals {
+			if in.vals[i] != other.vals[i] {
+				n++
+			}
+		}
+		return n
+	}
 	n := 0
-	for i := range in.vals {
-		if in.vals[i] != other.vals[i] {
+	for i := range in.codes {
+		if in.codes[i] != other.codes[i] {
 			n++
 		}
 	}
@@ -168,7 +208,8 @@ func (in Instance) Assignments() []Assignment {
 
 // Key returns a canonical string identity for the instance within its
 // space; two instances have equal keys iff Equal reports true. Keys are
-// used for memoization and provenance lookups.
+// kept for codecs, display, and debugging; memoization and provenance
+// lookups use the interned code vector and Hash instead.
 func (in Instance) Key() string {
 	var b strings.Builder
 	for i, v := range in.vals {

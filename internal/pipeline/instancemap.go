@@ -1,0 +1,52 @@
+package pipeline
+
+// InstanceMap is a hash map keyed by Instance identity: entries are
+// bucketed by the precomputed Hash and confirmed with Equal, so probes
+// perform no allocations and no string work. It centralizes the
+// "hash bucket + Equal collision confirm" invariant for every component
+// that memoizes per-instance state (the provenance store, the replay
+// oracle, test-sampling dedup). The zero value is not usable; call
+// NewInstanceMap. Not safe for concurrent use; callers lock.
+type InstanceMap[V any] struct {
+	buckets map[uint64][]instanceEntry[V]
+	n       int
+}
+
+type instanceEntry[V any] struct {
+	in  Instance
+	val V
+}
+
+// NewInstanceMap returns an empty map with space for n entries.
+func NewInstanceMap[V any](n int) *InstanceMap[V] {
+	return &InstanceMap[V]{buckets: make(map[uint64][]instanceEntry[V], n)}
+}
+
+// Get returns the value stored for in, if any.
+func (m *InstanceMap[V]) Get(in Instance) (V, bool) {
+	for _, e := range m.buckets[in.Hash()] {
+		if e.in.Equal(in) {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores v for in, replacing any existing value, and reports whether
+// the entry is new.
+func (m *InstanceMap[V]) Put(in Instance, v V) bool {
+	bucket := m.buckets[in.Hash()]
+	for i := range bucket {
+		if bucket[i].in.Equal(in) {
+			bucket[i].val = v
+			return false
+		}
+	}
+	m.buckets[in.Hash()] = append(bucket, instanceEntry[V]{in: in, val: v})
+	m.n++
+	return true
+}
+
+// Len returns the number of entries.
+func (m *InstanceMap[V]) Len() int { return m.n }

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"math"
+	"sync"
+)
+
+// Value interning. Every Space carries a table assigning each observed
+// Value a dense uint32 code per parameter. Instances cache their code
+// vector and a 64-bit FNV-1a hash of it at construction, which makes
+// identity operations (Equal, DisjointFrom, DiffCount, map lookups in the
+// provenance store and the executor) integer comparisons with zero
+// allocations; the string Key() survives only for codecs and display.
+//
+// Codes are runtime artifacts of one Space: they are assigned in first-
+// intern order (domain values first, in sorted domain order), are never
+// serialized, and are only comparable between values of the same parameter
+// of the same Space.
+
+// internKey is the canonical map key for interning a Value. Ordinals are
+// keyed by their bit pattern with -0 collapsed into +0 (so interning agrees
+// with ==) and all NaNs collapsed into one code (so an instance carrying
+// NaN still equals itself, matching the canonical Key() rendering).
+type internKey struct {
+	kind Kind
+	bits uint64
+	str  string
+}
+
+// canonicalNaN is the quiet NaN all NaN payloads intern as.
+var canonicalNaN = math.Float64bits(math.NaN())
+
+func makeInternKey(v Value) internKey {
+	if v.kind == Ordinal {
+		n := v.num
+		var bits uint64
+		switch {
+		case n != n:
+			bits = canonicalNaN
+		case n == 0:
+			bits = 0
+		default:
+			bits = math.Float64bits(n)
+		}
+		return internKey{kind: Ordinal, bits: bits}
+	}
+	return internKey{kind: v.kind, str: v.str}
+}
+
+// internTable is the per-space value table. Interning happens on every
+// instance construction, which may run concurrently (parallel oracle
+// dispatch), so the table is internally synchronized; lookups of
+// already-interned values take only a read lock.
+type internTable struct {
+	mu    sync.RWMutex
+	codes []map[internKey]uint32 // per parameter: value -> dense code
+	vals  [][]Value              // per parameter: code -> value
+}
+
+func newInternTable(nParams int) *internTable {
+	return &internTable{
+		codes: make([]map[internKey]uint32, nParams),
+		vals:  make([][]Value, nParams),
+	}
+}
+
+// code returns the dense code for value v of parameter i, interning it on
+// first sight.
+func (t *internTable) code(i int, v Value) uint32 {
+	k := makeInternKey(v)
+	t.mu.RLock()
+	c, ok := t.codes[i][k]
+	t.mu.RUnlock()
+	if ok {
+		return c
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.codes[i][k]; ok {
+		return c
+	}
+	if t.codes[i] == nil {
+		t.codes[i] = make(map[internKey]uint32)
+	}
+	c = uint32(len(t.vals[i]))
+	t.codes[i][k] = c
+	t.vals[i] = append(t.vals[i], v)
+	return c
+}
+
+// size returns the number of codes assigned so far for parameter i.
+func (t *internTable) size(i int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.vals[i])
+}
+
+// value returns the Value interned as code c of parameter i.
+func (t *internTable) value(i int, c uint32) Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.vals[i][c]
+}
+
+// NumCodes returns how many distinct values of parameter i have been
+// interned so far (domain values plus any observed out-of-domain values).
+// Codes for parameter i are exactly 0..NumCodes(i)-1, so columnar consumers
+// (the provenance index, the decision-tree split counter) can size dense
+// arrays by it. The count only grows.
+func (s *Space) NumCodes(i int) int { return s.intern.size(i) }
+
+// InternedValue returns the Value that was assigned code c for parameter i.
+// It panics if c was never assigned.
+func (s *Space) InternedValue(i int, c uint32) Value { return s.intern.value(i, c) }
+
+// codeOf interns v for parameter i and returns its dense code.
+func (s *Space) codeOf(i int, v Value) uint32 { return s.intern.code(i, v) }
+
+// FNV-1a over the little-endian bytes of the code vector.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashCodes(codes []uint32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range codes {
+		h = (h ^ uint64(c&0xff)) * fnvPrime64
+		h = (h ^ uint64((c>>8)&0xff)) * fnvPrime64
+		h = (h ^ uint64((c>>16)&0xff)) * fnvPrime64
+		h = (h ^ uint64(c>>24)) * fnvPrime64
+	}
+	return h
+}

@@ -1,0 +1,169 @@
+package pipeline
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomInternSpace builds a space mixing ordinal and categorical
+// parameters with small domains, so random instances collide often.
+func randomInternSpace(t *testing.T, r *rand.Rand) *Space {
+	t.Helper()
+	n := 2 + r.Intn(3)
+	params := make([]Parameter, n)
+	for i := range params {
+		name := string(rune('a' + i))
+		if r.Intn(2) == 0 {
+			dom := make([]Value, 2+r.Intn(3))
+			for j := range dom {
+				dom[j] = Ord(float64(j + 1))
+			}
+			params[i] = Parameter{Name: name, Kind: Ordinal, Domain: dom}
+		} else {
+			labels := []string{"x", "y", "z", "w"}
+			dom := make([]Value, 2+r.Intn(3))
+			for j := range dom {
+				dom[j] = Cat(labels[j])
+			}
+			params[i] = Parameter{Name: name, Kind: Categorical, Domain: dom}
+		}
+	}
+	return MustSpace(params...)
+}
+
+// valueEqual is the pre-interning definition of instance equality: same
+// space, identical values under ==.
+func valueEqual(a, b Instance) bool {
+	if a.Space() != b.Space() || a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Value(i) != b.Value(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestInternIdentityProperties checks, over randomized instance pairs, that
+// the interned representation is a faithful identity: Equal(a,b) holds
+// exactly when the values coincide, exactly when the code vectors coincide,
+// and Equal implies hash equality.
+func TestInternIdentityProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		s := randomInternSpace(t, r)
+		ins := make([]Instance, 40)
+		for i := range ins {
+			ins[i] = s.RandomInstance(r)
+			// Occasionally leave the declared domain (the universe is
+			// expandable) so interning covers out-of-domain values too.
+			if r.Intn(4) == 0 {
+				j := r.Intn(s.Len())
+				if s.At(j).Kind == Ordinal {
+					ins[i] = ins[i].With(j, Ord(float64(100+r.Intn(3))))
+				} else {
+					ins[i] = ins[i].With(j, Cat("extra"))
+				}
+			}
+		}
+		for i := range ins {
+			for j := range ins {
+				a, b := ins[i], ins[j]
+				wantEq := valueEqual(a, b)
+				if got := a.Equal(b); got != wantEq {
+					t.Fatalf("Equal(%v, %v) = %v, value-wise %v", a, b, got, wantEq)
+				}
+				codesEq := true
+				for k := 0; k < a.Len(); k++ {
+					if a.Code(k) != b.Code(k) {
+						codesEq = false
+						break
+					}
+				}
+				if codesEq != wantEq {
+					t.Fatalf("code vectors of %v and %v agree=%v, want %v", a, b, codesEq, wantEq)
+				}
+				if wantEq && a.Hash() != b.Hash() {
+					t.Fatalf("equal instances %v hash %x vs %x", a, a.Hash(), b.Hash())
+				}
+				if wantEq != (a.Key() == b.Key()) {
+					t.Fatalf("Key agreement for %v and %v diverges from Equal", a, b)
+				}
+				// Disjointness and diff counts must match the value-wise
+				// definitions.
+				wantDis, wantDiff := true, 0
+				for k := 0; k < a.Len(); k++ {
+					if a.Value(k) == b.Value(k) {
+						wantDis = false
+					} else {
+						wantDiff++
+					}
+				}
+				if got := a.DisjointFrom(b); got != wantDis {
+					t.Fatalf("DisjointFrom(%v, %v) = %v, want %v", a, b, got, wantDis)
+				}
+				if got := a.DiffCount(b); got != wantDiff {
+					t.Fatalf("DiffCount(%v, %v) = %d, want %d", a, b, got, wantDiff)
+				}
+			}
+		}
+	}
+}
+
+// TestInternCodesAreDense checks codes are dense per parameter and that
+// InternedValue inverts Code.
+func TestInternCodesAreDense(t *testing.T) {
+	s := MustSpace(
+		Parameter{Name: "a", Kind: Ordinal, Domain: []Value{Ord(1), Ord(2)}},
+		Parameter{Name: "b", Kind: Categorical, Domain: []Value{Cat("x"), Cat("y")}},
+	)
+	in := MustInstance(s, Ord(2), Cat("y"))
+	for i := 0; i < s.Len(); i++ {
+		if int(in.Code(i)) >= s.NumCodes(i) {
+			t.Fatalf("code %d of parameter %d out of range %d", in.Code(i), i, s.NumCodes(i))
+		}
+		if got := s.InternedValue(i, in.Code(i)); got != in.Value(i) {
+			t.Fatalf("InternedValue(%d, %d) = %v, want %v", i, in.Code(i), got, in.Value(i))
+		}
+	}
+	// Out-of-domain values extend the code range.
+	before := s.NumCodes(0)
+	ext := in.With(0, Ord(99))
+	if s.NumCodes(0) != before+1 || int(ext.Code(0)) != before {
+		t.Fatalf("out-of-domain value: NumCodes %d->%d, code %d", before, s.NumCodes(0), ext.Code(0))
+	}
+	// Re-interning the same value is stable.
+	again := in.With(0, Ord(99))
+	if again.Code(0) != ext.Code(0) {
+		t.Fatalf("re-interned code %d != %d", again.Code(0), ext.Code(0))
+	}
+}
+
+// TestInternConcurrent exercises concurrent instance construction over one
+// space (parallel oracle dispatch builds instances from worker goroutines).
+// Run under -race this checks the intern table's synchronization.
+func TestInternConcurrent(t *testing.T) {
+	s := MustSpace(
+		Parameter{Name: "a", Kind: Ordinal, Domain: []Value{Ord(1), Ord(2), Ord(3)}},
+		Parameter{Name: "b", Kind: Categorical, Domain: []Value{Cat("x"), Cat("y")}},
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				in := s.RandomInstance(r)
+				ood := in.With(0, Ord(float64(10+r.Intn(5))))
+				if in.Equal(ood) {
+					t.Error("distinct instances compare equal")
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

@@ -10,7 +10,7 @@ func (s *Space) RandomInstance(r *rand.Rand) Instance {
 		dom := s.params[i].Domain
 		vals[i] = dom[r.Intn(len(dom))]
 	}
-	return Instance{space: s, vals: vals}
+	return newInstance(s, vals)
 }
 
 // RandomDisjoint draws an instance uniformly among those disjoint from ref
@@ -35,7 +35,7 @@ func (s *Space) RandomDisjoint(r *rand.Rand, ref Instance) (Instance, bool) {
 		}
 		vals[i] = dom[j]
 	}
-	return Instance{space: s, vals: vals}, true
+	return newInstance(s, vals), true
 }
 
 // Enumerate calls yield for every instance in the Cartesian product, in
@@ -50,7 +50,7 @@ func (s *Space) Enumerate(yield func(Instance) bool) {
 		}
 		cp := make([]Value, len(vals))
 		copy(cp, vals)
-		if !yield(Instance{space: s, vals: cp}) {
+		if !yield(newInstance(s, cp)) {
 			return
 		}
 		// Advance the mixed-radix counter.

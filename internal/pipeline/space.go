@@ -26,6 +26,7 @@ type Parameter struct {
 type Space struct {
 	params []Parameter
 	index  map[string]int
+	intern *internTable
 }
 
 // NewSpace validates and assembles a parameter space. It requires at least
@@ -72,6 +73,14 @@ func NewSpace(params ...Parameter) (*Space, error) {
 		sort.Slice(dom, func(a, b int) bool { return dom[a].Less(dom[b]) })
 		s.params[i] = Parameter{Name: p.Name, Kind: p.Kind, Domain: dom}
 		s.index[p.Name] = i
+	}
+	// Pre-intern the domains so domain values get the low codes in sorted
+	// domain order, deterministically across runs.
+	s.intern = newInternTable(len(s.params))
+	for i, p := range s.params {
+		for _, v := range p.Domain {
+			s.intern.code(i, v)
+		}
 	}
 	return s, nil
 }
@@ -147,6 +156,7 @@ func (s *Space) AddToDomain(name string, v Value) error {
 	}
 	p.Domain = append(p.Domain, v)
 	sort.Slice(p.Domain, func(a, b int) bool { return p.Domain[a].Less(p.Domain[b]) })
+	s.intern.code(i, v)
 	return nil
 }
 

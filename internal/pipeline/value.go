@@ -6,6 +6,13 @@
 // A pipeline is treated as a black box: the only observable structure is
 // its parameter space and, for each executed instance, a binary outcome
 // (Succeed or Fail) produced by an evaluation procedure.
+//
+// Values are interned per Space: each observed value gets a dense uint32
+// code per parameter, and instances cache their code vector plus a
+// precomputed hash (see intern.go), so instance identity operations are
+// allocation-free integer comparisons and columnar consumers (the
+// provenance index, decision-tree split counting) can use dense arrays
+// keyed by code.
 package pipeline
 
 import (

@@ -22,7 +22,7 @@ func (st *Store) WriteCSV(w io.Writer) error {
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("provenance: write header: %w", err)
 	}
-	for _, r := range st.Records() {
+	for _, r := range st.Snapshot().Records() {
 		row := make([]string, 0, st.space.Len()+1)
 		for i := 0; i < st.space.Len(); i++ {
 			row = append(row, encodeValue(r.Instance.Value(i)))
@@ -143,7 +143,7 @@ type jsonRecord struct {
 // WriteJSON writes the records as a JSON array of {values, outcome, source}
 // objects.
 func (st *Store) WriteJSON(w io.Writer) error {
-	recs := st.Records()
+	recs := st.Snapshot().Records()
 	out := make([]jsonRecord, len(recs))
 	for i, r := range recs {
 		vals := make(map[string]any, st.space.Len())

@@ -1,0 +1,271 @@
+package provenance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// This file differentially tests the indexed history queries against
+// reference implementations that scan the log linearly — the semantics the
+// store had before the columnar indices. Any divergence on randomized
+// stores is a bug in the index layer.
+
+func naiveCountSatisfying(st *Store, c predicate.Conjunction) (succeed, fail int) {
+	for _, r := range st.Records() {
+		if !c.Satisfied(r.Instance) {
+			continue
+		}
+		switch r.Outcome {
+		case pipeline.Succeed:
+			succeed++
+		case pipeline.Fail:
+			fail++
+		}
+	}
+	return
+}
+
+func naiveAnySucceedingSatisfying(st *Store, c predicate.Conjunction) (pipeline.Instance, bool) {
+	for _, r := range st.Records() {
+		if r.Outcome == pipeline.Succeed && c.Satisfied(r.Instance) {
+			return r.Instance, true
+		}
+	}
+	return pipeline.Instance{}, false
+}
+
+func naiveDisjointSucceeding(st *Store, ref pipeline.Instance) []pipeline.Instance {
+	var out []pipeline.Instance
+	for _, r := range st.Records() {
+		if r.Outcome == pipeline.Succeed && r.Instance.DisjointFrom(ref) {
+			out = append(out, r.Instance)
+		}
+	}
+	return out
+}
+
+func naiveMutuallyDisjointSucceeding(st *Store, ref pipeline.Instance, k int, pad bool) []pipeline.Instance {
+	var chosen []pipeline.Instance
+	used := make(map[string]bool)
+	for _, r := range st.Records() {
+		if len(chosen) >= k {
+			return chosen
+		}
+		if r.Outcome != pipeline.Succeed || !r.Instance.DisjointFrom(ref) {
+			continue
+		}
+		ok := true
+		for _, c := range chosen {
+			if !r.Instance.DisjointFrom(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, r.Instance)
+			used[r.Instance.Key()] = true
+		}
+	}
+	if !pad {
+		return chosen
+	}
+	type cand struct {
+		in   pipeline.Instance
+		diff int
+		seq  int
+	}
+	var cands []cand
+	for _, r := range st.Records() {
+		if r.Outcome != pipeline.Succeed || used[r.Instance.Key()] {
+			continue
+		}
+		cands = append(cands, cand{r.Instance, r.Instance.DiffCount(ref), r.Seq})
+	}
+	for len(chosen) < k && len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].diff > cands[best].diff ||
+				(cands[i].diff == cands[best].diff && cands[i].seq < cands[best].seq) {
+				best = i
+			}
+		}
+		chosen = append(chosen, cands[best].in)
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return chosen
+}
+
+// randomProvenanceSpace builds a small randomized mixed-kind space.
+func randomProvenanceSpace(t *testing.T, r *rand.Rand) *pipeline.Space {
+	t.Helper()
+	n := 2 + r.Intn(3)
+	params := make([]pipeline.Parameter, n)
+	for i := range params {
+		name := string(rune('a' + i))
+		if r.Intn(2) == 0 {
+			dom := make([]pipeline.Value, 2+r.Intn(4))
+			for j := range dom {
+				dom[j] = pipeline.Ord(float64(j))
+			}
+			params[i] = pipeline.Parameter{Name: name, Kind: pipeline.Ordinal, Domain: dom}
+		} else {
+			labels := []string{"u", "v", "w", "x", "y"}
+			dom := make([]pipeline.Value, 2+r.Intn(3))
+			for j := range dom {
+				dom[j] = pipeline.Cat(labels[j])
+			}
+			params[i] = pipeline.Parameter{Name: name, Kind: pipeline.Categorical, Domain: dom}
+		}
+	}
+	return pipeline.MustSpace(params...)
+}
+
+// fillRandomStore adds up to n random distinct instances (random outcomes)
+// and returns the recorded instances.
+func fillRandomStore(t *testing.T, r *rand.Rand, s *pipeline.Space, st *Store, n int) []pipeline.Instance {
+	t.Helper()
+	var ins []pipeline.Instance
+	for attempts := 0; len(ins) < n && attempts < n*20; attempts++ {
+		in := s.RandomInstance(r)
+		out := pipeline.Succeed
+		if r.Intn(2) == 0 {
+			out = pipeline.Fail
+		}
+		if err := st.Add(in, out, "rand"); err != nil {
+			continue // duplicate
+		}
+		ins = append(ins, in)
+	}
+	return ins
+}
+
+// randomConjunction draws 0-3 random triples, mixing comparators and
+// on/off-domain values.
+func randomConjunction(r *rand.Rand, s *pipeline.Space) predicate.Conjunction {
+	var c predicate.Conjunction
+	for k := r.Intn(4); k > 0; k-- {
+		i := r.Intn(s.Len())
+		p := s.At(i)
+		var v pipeline.Value
+		if p.Kind == pipeline.Ordinal {
+			v = pipeline.Ord(float64(r.Intn(6)) - 1) // may be off-domain
+		} else {
+			v = p.Domain[r.Intn(len(p.Domain))]
+		}
+		cmp := predicate.Eq
+		switch r.Intn(4) {
+		case 1:
+			cmp = predicate.Neq
+		case 2:
+			if p.Kind == pipeline.Ordinal {
+				cmp = predicate.Le
+			}
+		case 3:
+			if p.Kind == pipeline.Ordinal {
+				cmp = predicate.Gt
+			}
+		}
+		c = append(c, predicate.T(p.Name, cmp, v))
+	}
+	return c
+}
+
+func sameInstances(a, b []pipeline.Instance) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexedQueriesMatchLinearScans(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		s := randomProvenanceSpace(t, r)
+		st := NewStore(s)
+		ins := fillRandomStore(t, r, s, st, 5+r.Intn(40))
+		if len(ins) == 0 {
+			continue
+		}
+
+		for probe := 0; probe < 10; probe++ {
+			c := randomConjunction(r, s)
+			gs, gf := st.CountSatisfying(c)
+			ws, wf := naiveCountSatisfying(st, c)
+			if gs != ws || gf != wf {
+				t.Fatalf("trial %d: CountSatisfying(%v) = (%d,%d), linear scan (%d,%d)\nspace: %v",
+					trial, c, gs, gf, ws, wf, s)
+			}
+			gin, gok := st.AnySucceedingSatisfying(c)
+			win, wok := naiveAnySucceedingSatisfying(st, c)
+			if gok != wok || (gok && !gin.Equal(win)) {
+				t.Fatalf("trial %d: AnySucceedingSatisfying(%v) = (%v,%v), linear scan (%v,%v)",
+					trial, c, gin, gok, win, wok)
+			}
+		}
+
+		for probe := 0; probe < 5; probe++ {
+			ref := ins[r.Intn(len(ins))]
+			if !sameInstances(st.DisjointSucceeding(ref), naiveDisjointSucceeding(st, ref)) {
+				t.Fatalf("trial %d: DisjointSucceeding(%v) diverges from linear scan", trial, ref)
+			}
+			k := 1 + r.Intn(5)
+			pad := r.Intn(2) == 0
+			if !sameInstances(st.MutuallyDisjointSucceeding(ref, k, pad),
+				naiveMutuallyDisjointSucceeding(st, ref, k, pad)) {
+				t.Fatalf("trial %d: MutuallyDisjointSucceeding(%v, %d, %v) diverges", trial, ref, k, pad)
+			}
+		}
+	}
+}
+
+// TestIndexedQueriesCoverExpandedUniverse checks the posting lists keep up
+// when instances carry values outside the declared domains.
+func TestIndexedQueriesCoverExpandedUniverse(t *testing.T) {
+	s := pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: ordDomain(1, 2)},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Categorical, Domain: catDomain("x", "y")},
+	)
+	st := NewStore(s)
+	in := pipeline.MustInstance(s, pipeline.Ord(7), pipeline.Cat("zz")) // both off-domain
+	if err := st.Add(in, pipeline.Fail, "t"); err != nil {
+		t.Fatal(err)
+	}
+	c := predicate.And(predicate.T("a", predicate.Gt, pipeline.Ord(2)),
+		predicate.T("b", predicate.Eq, pipeline.Cat("zz")))
+	if succ, fail := st.CountSatisfying(c); succ != 0 || fail != 1 {
+		t.Fatalf("CountSatisfying over expanded universe = (%d,%d), want (0,1)", succ, fail)
+	}
+	if in2, ok := st.AnySucceedingSatisfying(c); ok {
+		t.Fatalf("AnySucceedingSatisfying found %v among failures", in2)
+	}
+}
+
+// TestSnapshotIsStable checks a snapshot is unaffected by later Adds.
+func TestSnapshotIsStable(t *testing.T) {
+	s := testSpace(t)
+	st := seedStore(t, s)
+	sn := st.Snapshot()
+	n := sn.Len()
+	if err := st.Add(pipeline.MustInstance(s, pipeline.Ord(2), pipeline.Cat("x")), pipeline.Fail, "later"); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Len() != n {
+		t.Fatalf("snapshot length changed from %d to %d after Add", n, sn.Len())
+	}
+	for i := 0; i < n; i++ {
+		if sn.At(i).Seq != i {
+			t.Fatalf("snapshot record %d has seq %d", i, sn.At(i).Seq)
+		}
+	}
+	if got := st.Snapshot().Len(); got != n+1 {
+		t.Fatalf("fresh snapshot has %d records, want %d", got, n+1)
+	}
+}

@@ -3,6 +3,14 @@
 // algorithms both read provenance (to find failing instances, disjoint
 // successful instances, and counterexamples) and extend it as they execute
 // new instances.
+//
+// The store is an append-only log with columnar indices maintained on Add:
+// a hash map over the instances' interned code vectors (so Lookup is an
+// allocation-free hash probe), per-outcome sequence lists and bitsets, and
+// per-(parameter, value-code) posting bitsets. History queries
+// (DisjointSucceeding, AnySucceedingSatisfying, CountSatisfying, ...) run
+// as bitset intersections instead of whole-log scans, and Snapshot exposes
+// a zero-copy read-only view of the log for bulk consumers.
 package provenance
 
 import (
@@ -28,21 +36,36 @@ type Record struct {
 type Store struct {
 	mu    sync.RWMutex
 	space *pipeline.Space
-	byKey map[string]int
 	log   []Record
+
+	// byKey maps instance identity to log position (hash-bucketed with
+	// Equal confirmation; see pipeline.InstanceMap).
+	byKey *pipeline.InstanceMap[int32]
+
+	// Outcome partitions: sequence lists preserve execution order for
+	// O(matches) enumeration; bitsets drive the boolean-algebra queries.
+	succSeqs, failSeqs []int32
+	succBits, failBits bitset
+
+	// posting[i][c] holds the records whose parameter i has value-code c.
+	posting [][]bitset
 }
 
 // NewStore creates an empty store for instances of space s.
 func NewStore(s *pipeline.Space) *Store {
-	return &Store{space: s, byKey: make(map[string]int)}
+	return &Store{
+		space:   s,
+		byKey:   pipeline.NewInstanceMap[int32](0),
+		posting: make([][]bitset, s.Len()),
+	}
 }
 
 // Space returns the parameter space the store records instances of.
 func (st *Store) Space() *pipeline.Space { return st.space }
 
-// Add appends a record. It fails for instances of a different space, for
-// unknown outcomes, and for instances already recorded (deterministic
-// evaluation makes duplicates meaningless).
+// Add appends a record and updates every index. It fails for instances of
+// a different space, for unknown outcomes, and for instances already
+// recorded (deterministic evaluation makes duplicates meaningless).
 func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) error {
 	if in.Space() != st.space {
 		return fmt.Errorf("provenance: instance belongs to a different space")
@@ -52,24 +75,39 @@ func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) 
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	key := in.Key()
-	if _, dup := st.byKey[key]; dup {
+	if _, dup := st.byKey.Get(in); dup {
 		return fmt.Errorf("provenance: instance %v already recorded", in)
 	}
-	st.byKey[key] = len(st.log)
-	st.log = append(st.log, Record{Seq: len(st.log), Instance: in, Outcome: out, Source: source})
+	seq := len(st.log)
+	st.byKey.Put(in, int32(seq))
+	st.log = append(st.log, Record{Seq: seq, Instance: in, Outcome: out, Source: source})
+	if out == pipeline.Succeed {
+		st.succSeqs = append(st.succSeqs, int32(seq))
+		st.succBits.set(seq)
+	} else {
+		st.failSeqs = append(st.failSeqs, int32(seq))
+		st.failBits.set(seq)
+	}
+	for i := 0; i < st.space.Len(); i++ {
+		c := int(in.Code(i))
+		for len(st.posting[i]) <= c {
+			st.posting[i] = append(st.posting[i], nil)
+		}
+		st.posting[i][c].set(seq)
+	}
 	return nil
 }
 
-// Lookup returns the recorded outcome for the instance, if any.
+// Lookup returns the recorded outcome for the instance, if any. Hits
+// perform no allocations: the probe is the instance's precomputed hash
+// followed by an integer code-vector compare.
 func (st *Store) Lookup(in pipeline.Instance) (pipeline.Outcome, bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	i, ok := st.byKey[in.Key()]
-	if !ok {
-		return pipeline.OutcomeUnknown, false
+	if i, ok := st.byKey.Get(in); ok {
+		return st.log[i].Outcome, true
 	}
-	return st.log[i].Outcome, true
+	return pipeline.OutcomeUnknown, false
 }
 
 // Len returns the number of records.
@@ -79,7 +117,8 @@ func (st *Store) Len() int {
 	return len(st.log)
 }
 
-// Records returns a snapshot of the log in execution order.
+// Records returns a copy of the log in execution order. Bulk read-only
+// consumers should prefer Snapshot, which does not copy.
 func (st *Store) Records() []Record {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -88,39 +127,59 @@ func (st *Store) Records() []Record {
 	return out
 }
 
+// Snapshot is a point-in-time, read-only view of a store's log. Because the
+// log is append-only and records are immutable, a snapshot is just the log
+// prefix at capture time — taking one copies nothing and later Adds never
+// disturb it.
+type Snapshot struct {
+	recs []Record
+}
+
+// Snapshot captures the current log as a zero-copy read-only view.
+func (st *Store) Snapshot() Snapshot {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return Snapshot{recs: st.log[:len(st.log):len(st.log)]}
+}
+
+// Len returns the number of records in the snapshot.
+func (sn Snapshot) Len() int { return len(sn.recs) }
+
+// At returns the i-th record in execution order.
+func (sn Snapshot) At(i int) Record { return sn.recs[i] }
+
+// Records returns the snapshot's records in execution order. The slice is
+// shared with the store's log; callers must not modify it.
+func (sn Snapshot) Records() []Record { return sn.recs }
+
 // Outcomes counts succeeding and failing records.
 func (st *Store) Outcomes() (succeed, fail int) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	for _, r := range st.log {
-		switch r.Outcome {
-		case pipeline.Succeed:
-			succeed++
-		case pipeline.Fail:
-			fail++
-		}
-	}
-	return
+	return len(st.succSeqs), len(st.failSeqs)
 }
 
 // Failing returns the failing instances in execution order.
 func (st *Store) Failing() []pipeline.Instance {
-	return st.withOutcome(pipeline.Fail)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.bySeqsLocked(st.failSeqs)
 }
 
 // Succeeding returns the succeeding instances in execution order.
 func (st *Store) Succeeding() []pipeline.Instance {
-	return st.withOutcome(pipeline.Succeed)
-}
-
-func (st *Store) withOutcome(want pipeline.Outcome) []pipeline.Instance {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	var out []pipeline.Instance
-	for _, r := range st.log {
-		if r.Outcome == want {
-			out = append(out, r.Instance)
-		}
+	return st.bySeqsLocked(st.succSeqs)
+}
+
+func (st *Store) bySeqsLocked(seqs []int32) []pipeline.Instance {
+	if len(seqs) == 0 {
+		return nil
+	}
+	out := make([]pipeline.Instance, len(seqs))
+	for i, seq := range seqs {
+		out[i] = st.log[seq].Instance
 	}
 	return out
 }
@@ -130,25 +189,38 @@ func (st *Store) withOutcome(want pipeline.Outcome) []pipeline.Instance {
 func (st *Store) FirstFailing() (pipeline.Instance, bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	for _, r := range st.log {
-		if r.Outcome == pipeline.Fail {
-			return r.Instance, true
+	if len(st.failSeqs) == 0 {
+		return pipeline.Instance{}, false
+	}
+	return st.log[st.failSeqs[0]].Instance, true
+}
+
+// disjointSucceedingBitsLocked computes the succeeding records sharing no
+// parameter value with ref: the succeeding bitset minus the union of ref's
+// per-parameter posting lists.
+func (st *Store) disjointSucceedingBitsLocked(ref pipeline.Instance) bitset {
+	mask := st.succBits.clone()
+	for i := 0; i < st.space.Len(); i++ {
+		if c := int(ref.Code(i)); c < len(st.posting[i]) {
+			mask.andNotWith(st.posting[i][c])
 		}
 	}
-	return pipeline.Instance{}, false
+	return mask
 }
 
 // DisjointSucceeding returns the succeeding instances disjoint from ref
 // (Definition 6), in execution order.
 func (st *Store) DisjointSucceeding(ref pipeline.Instance) []pipeline.Instance {
+	if ref.Space() != st.space {
+		return nil // instances over different spaces are never disjoint
+	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	var out []pipeline.Instance
-	for _, r := range st.log {
-		if r.Outcome == pipeline.Succeed && r.Instance.DisjointFrom(ref) {
-			out = append(out, r.Instance)
-		}
-	}
+	st.disjointSucceedingBitsLocked(ref).forEach(func(seq int) bool {
+		out = append(out, st.log[seq].Instance)
+		return true
+	})
 	return out
 }
 
@@ -159,12 +231,9 @@ func (st *Store) MostDifferentSucceeding(ref pipeline.Instance) (pipeline.Instan
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	best, bestDiff := pipeline.Instance{}, -1
-	for _, r := range st.log {
-		if r.Outcome != pipeline.Succeed {
-			continue
-		}
-		if d := r.Instance.DiffCount(ref); d > bestDiff {
-			best, bestDiff = r.Instance, d
+	for _, seq := range st.succSeqs {
+		if d := st.log[seq].Instance.DiffCount(ref); d > bestDiff {
+			best, bestDiff = st.log[seq].Instance, d
 		}
 	}
 	return best, bestDiff >= 0
@@ -180,24 +249,25 @@ func (st *Store) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad bo
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	var chosen []pipeline.Instance
-	used := make(map[string]bool)
-	for _, r := range st.log {
+	used := make(map[int32]bool)
+	for _, seq := range st.succSeqs {
 		if len(chosen) >= k {
 			return chosen
 		}
-		if r.Outcome != pipeline.Succeed || !r.Instance.DisjointFrom(ref) {
+		in := st.log[seq].Instance
+		if !in.DisjointFrom(ref) {
 			continue
 		}
 		ok := true
 		for _, c := range chosen {
-			if !r.Instance.DisjointFrom(c) {
+			if !in.DisjointFrom(c) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			chosen = append(chosen, r.Instance)
-			used[r.Instance.Key()] = true
+			chosen = append(chosen, in)
+			used[seq] = true
 		}
 	}
 	if !pad {
@@ -207,14 +277,15 @@ func (st *Store) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad bo
 	type cand struct {
 		in   pipeline.Instance
 		diff int
-		seq  int
+		seq  int32
 	}
 	var cands []cand
-	for _, r := range st.log {
-		if r.Outcome != pipeline.Succeed || used[r.Instance.Key()] {
+	for _, seq := range st.succSeqs {
+		if used[seq] {
 			continue
 		}
-		cands = append(cands, cand{r.Instance, r.Instance.DiffCount(ref), r.Seq})
+		in := st.log[seq].Instance
+		cands = append(cands, cand{in, in.DiffCount(ref), seq})
 	}
 	for len(chosen) < k && len(cands) > 0 {
 		best := 0
@@ -230,35 +301,75 @@ func (st *Store) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad bo
 	return chosen
 }
 
-// AnySucceedingSatisfying returns a succeeding instance whose parameter
-// values satisfy the conjunction, if one exists — the Shortcut sanity check
-// ("whether any superset of the hypothetical root cause is in an already
-// executed successful execution").
+// tripleBitsLocked returns the records satisfying t as a bitset: the union
+// of the posting lists of every interned value of t's parameter that
+// satisfies the comparison. Only O(distinct values) Holds evaluations run,
+// never O(records). ok=false means no record can satisfy t (unknown
+// parameter), matching Triple.Satisfied on unknown parameters.
+func (st *Store) tripleBitsLocked(t predicate.Triple) (bitset, bool) {
+	i, ok := st.space.Index(t.Param)
+	if !ok {
+		return nil, false
+	}
+	var mask bitset
+	for c, post := range st.posting[i] {
+		if len(post) == 0 {
+			continue
+		}
+		if t.Holds(st.space.InternedValue(i, uint32(c))) {
+			mask.orWith(post)
+		}
+	}
+	return mask, true
+}
+
+// conjunctionBitsLocked intersects the triple bitsets of c with base (an
+// outcome bitset). The empty conjunction is satisfied by every record.
+func (st *Store) conjunctionBitsLocked(c predicate.Conjunction, base bitset) bitset {
+	mask := base.clone()
+	for _, t := range c {
+		tb, ok := st.tripleBitsLocked(t)
+		if !ok {
+			return nil
+		}
+		mask.andWith(tb)
+	}
+	return mask
+}
+
+// AnySucceedingSatisfying returns the earliest succeeding instance whose
+// parameter values satisfy the conjunction, if one exists — the Shortcut
+// sanity check ("whether any superset of the hypothetical root cause is in
+// an already executed successful execution").
 func (st *Store) AnySucceedingSatisfying(c predicate.Conjunction) (pipeline.Instance, bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	for _, r := range st.log {
-		if r.Outcome == pipeline.Succeed && c.Satisfied(r.Instance) {
-			return r.Instance, true
-		}
+	if seq, ok := st.conjunctionBitsLocked(c, st.succBits).first(); ok {
+		return st.log[seq].Instance, true
 	}
 	return pipeline.Instance{}, false
 }
 
 // CountSatisfying counts recorded instances satisfying c, split by outcome.
+// The satisfying set is materialized once and intersected with each outcome
+// bitset in place.
 func (st *Store) CountSatisfying(c predicate.Conjunction) (succeed, fail int) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	for _, r := range st.log {
-		if !c.Satisfied(r.Instance) {
-			continue
+	if len(c) == 0 {
+		return len(st.succSeqs), len(st.failSeqs)
+	}
+	var mask bitset
+	for j, t := range c {
+		tb, ok := st.tripleBitsLocked(t)
+		if !ok {
+			return 0, 0
 		}
-		switch r.Outcome {
-		case pipeline.Succeed:
-			succeed++
-		case pipeline.Fail:
-			fail++
+		if j == 0 {
+			mask = tb // tripleBitsLocked returns a fresh bitset; safe to own
+		} else {
+			mask.andWith(tb)
 		}
 	}
-	return
+	return mask.andCount(st.succBits), mask.andCount(st.failBits)
 }

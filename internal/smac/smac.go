@@ -199,7 +199,7 @@ func RandomSearch(ctx context.Context, ex *exec.Executor, maxNew int, r *rand.Ra
 // keeps the search exploiting predicted-fail regions.
 func trainingData(ex *exec.Executor) (xs []pipeline.Instance, ys []float64, incumbent pipeline.Instance, best float64) {
 	sum := 0.0
-	for _, r := range ex.Store().Records() {
+	for _, r := range ex.Store().Snapshot().Records() {
 		y := 0.0
 		if r.Outcome == pipeline.Fail {
 			y = 1.0
