@@ -19,6 +19,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/predicate"
 	"repro/internal/provenance"
+	"repro/internal/provlog"
 	"repro/internal/synth"
 )
 
@@ -356,7 +357,7 @@ func BenchmarkCountSatisfying(b *testing.B) {
 // example set — the per-iteration cost of the DDT loop.
 func BenchmarkTreeGrow(b *testing.B) {
 	st, _ := benchStore(b)
-	recs := st.Records()
+	recs := st.Snapshot().Records()
 	examples := make([]dtree.Example, len(recs))
 	for i, r := range recs {
 		examples[i] = dtree.Example{Instance: r.Instance, Outcome: r.Outcome}
@@ -368,6 +369,84 @@ func BenchmarkTreeGrow(b *testing.B) {
 			b.Fatal("nil tree")
 		}
 	}
+}
+
+// --- Durable provenance log ------------------------------------------------
+
+// benchLogSpace builds the 8-parameter space the provlog benchmarks log
+// over; both the writer and each replay construct it fresh from the same
+// seed, the way a resumed process reconstructs its space from the spec.
+func benchLogSpace(b *testing.B) *pipeline.Space {
+	b.Helper()
+	r := rand.New(rand.NewSource(29))
+	sp, err := synth.Generate(r, synth.Config{MinParams: 8, MaxParams: 8, MinValues: 6, MaxValues: 8}, synth.Disjunction)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp.Space
+}
+
+// BenchmarkProvlogAppend measures the write-ahead append path of the
+// durable provenance log: frame assembly plus one write syscall per record.
+func BenchmarkProvlogAppend(b *testing.B) {
+	space := benchLogSpace(b)
+	l, _, err := provlog.Open(b.TempDir(), space)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	r := rand.New(rand.NewSource(31))
+	ins := make([]pipeline.Instance, 1024)
+	for i := range ins {
+		ins[i] = space.RandomInstance(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := provenance.Record{Seq: i, Instance: ins[i%len(ins)], Outcome: pipeline.Succeed, Source: "bench"}
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProvlogReplay100k measures rebuilding a fully-indexed provenance
+// store from a 100k-record log — the cost of resuming a long debugging
+// session. The reported ns/record metric is the amortized per-record replay
+// cost (decode, instance reconstruction from codes, and index maintenance).
+func BenchmarkProvlogReplay100k(b *testing.B) {
+	const records = 100_000
+	dir := b.TempDir()
+	space := benchLogSpace(b)
+	l, st, err := provlog.Open(dir, space)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(37))
+	for st.Len() < records {
+		in := space.RandomInstance(r)
+		out := pipeline.Succeed
+		if in.Hash()&1 == 0 {
+			out = pipeline.Fail
+		}
+		if err := st.Add(in, out, "bench"); err != nil {
+			continue // duplicate draw
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := provlog.Replay(dir, benchLogSpace(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Len() != records {
+			b.Fatalf("replayed %d records, want %d", got.Len(), records)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/records, "ns/record")
 }
 
 // BenchmarkShortcutLinear measures one full Shortcut pass on a 10-parameter

@@ -18,6 +18,11 @@
 // instance budget, and dispatches independent executions across workers.
 // Results are predicate.DNF values: disjunctions of conjunctions of
 // (parameter, comparator, value) triples, simplified with Quine-McCluskey.
+//
+// Sessions can be durable: WithDurability(dir) write-ahead logs every
+// execution, and ResumeSession(dir, oracle) reopens a session — even one
+// whose process was killed mid-search — replaying all logged evaluations
+// so no oracle call is ever paid for twice.
 package bugdoc
 
 import (
@@ -30,6 +35,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/predicate"
 	"repro/internal/provenance"
+	"repro/internal/provlog"
 )
 
 // Re-exported model types: see the internal packages for full
@@ -147,15 +153,26 @@ func WithHistory(records []Record) Option {
 	return func(s *Session) { s.history = append(s.history, records...) }
 }
 
+// WithDurability write-ahead logs the session's provenance under dir
+// (internal/provlog): every oracle result is on disk before it is used, and
+// a session opened over an existing log resumes it — already-evaluated
+// instances are served from the replayed provenance with zero repeated
+// oracle calls. Sessions with durability must be Closed.
+func WithDurability(dir string) Option {
+	return func(s *Session) { s.stateDir = dir }
+}
+
 // Session is a debugging session over one pipeline: an oracle, a provenance
-// store, and budgeted, parallel execution.
+// store, and budgeted, parallel execution — optionally durable and
+// resumable (WithDurability, ResumeSession).
 type Session struct {
-	space   *Space
-	ex      *exec.Executor
-	seed    int64
-	budget  int
-	workers int
-	history []Record
+	space    *Space
+	ex       *exec.Executor
+	seed     int64
+	budget   int
+	workers  int
+	history  []Record
+	stateDir string
 }
 
 // NewSession builds a session for the pipeline described by space whose
@@ -171,6 +188,28 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.stateDir != "" {
+		ex, err := exec.NewDurable(oracle, space, s.stateDir,
+			exec.WithBudget(s.budget), exec.WithWorkers(s.workers))
+		if err != nil {
+			return nil, fmt.Errorf("bugdoc: %w", err)
+		}
+		s.ex = ex
+		// The replayed log may already hold history records from an
+		// earlier run of this session; only the missing ones are added
+		// (and thereby logged).
+		st := s.ex.Store()
+		for _, r := range s.history {
+			if _, ok := st.Lookup(r.Instance); ok {
+				continue
+			}
+			if err := st.Add(r.Instance, r.Outcome, r.Source); err != nil {
+				s.ex.Close()
+				return nil, fmt.Errorf("bugdoc: history: %w", err)
+			}
+		}
+		return s, nil
+	}
 	st := provenance.NewStore(space)
 	for _, r := range s.history {
 		if err := st.Add(r.Instance, r.Outcome, r.Source); err != nil {
@@ -181,6 +220,28 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 		exec.WithBudget(s.budget), exec.WithWorkers(s.workers))
 	return s, nil
 }
+
+// ResumeSession reopens a durable session from its state directory: the
+// parameter space is reconstructed from the spec persisted alongside the
+// log, the provenance is replayed (recovering from a torn final record if
+// the previous process was killed mid-append), and the search continues
+// where it left off — instances already logged never reach the oracle
+// again. Only the oracle must be supplied fresh; it cannot be persisted.
+func ResumeSession(dir string, oracle Oracle, opts ...Option) (*Session, error) {
+	if !provlog.Exists(dir) {
+		return nil, fmt.Errorf("bugdoc: no session state in %s", dir)
+	}
+	space, err := provlog.ReadSpace(dir)
+	if err != nil {
+		return nil, fmt.Errorf("bugdoc: %w", err)
+	}
+	return NewSession(space, oracle, append(opts[:len(opts):len(opts)], WithDurability(dir))...)
+}
+
+// Close seals the durability log, if any. A durable session must be closed
+// before its state directory is resumed; non-durable sessions close as a
+// no-op.
+func (s *Session) Close() error { return s.ex.Close() }
 
 // Store exposes the session's provenance.
 func (s *Session) Store() *Store { return s.ex.Store() }

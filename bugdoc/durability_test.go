@@ -1,0 +1,172 @@
+package bugdoc_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/bugdoc"
+)
+
+func durabilitySpace() *bugdoc.Space {
+	return bugdoc.MustSpace(
+		bugdoc.Parameter{Name: "lr", Kind: bugdoc.Ordinal,
+			Domain: []bugdoc.Value{bugdoc.Ord(0.01), bugdoc.Ord(0.1), bugdoc.Ord(1)}},
+		bugdoc.Parameter{Name: "opt", Kind: bugdoc.Categorical,
+			Domain: []bugdoc.Value{bugdoc.Cat("adam"), bugdoc.Cat("bad"), bugdoc.Cat("sgd")}},
+		bugdoc.Parameter{Name: "depth", Kind: bugdoc.Ordinal,
+			Domain: []bugdoc.Value{bugdoc.Ord(1), bugdoc.Ord(2)}},
+	)
+}
+
+// killableOracle counts per-instance oracle calls across sessions and
+// simulates a process kill by erroring once its quota runs out. The pipeline
+// fails exactly when opt = "bad".
+type killableOracle struct {
+	mu    sync.Mutex
+	calls map[string]int
+	quota int // remaining calls before the simulated kill; < 0 = unlimited
+}
+
+var errKilled = errors.New("simulated kill")
+
+func (o *killableOracle) oracle() bugdoc.Oracle {
+	return bugdoc.OracleFunc(func(_ context.Context, in bugdoc.Instance) (bugdoc.Outcome, error) {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if o.quota == 0 {
+			return 0, errKilled
+		}
+		if o.quota > 0 {
+			o.quota--
+		}
+		o.calls[in.Key()]++
+		if opt, _ := in.ByName("opt"); opt.Str() == "bad" {
+			return bugdoc.Fail, nil
+		}
+		return bugdoc.Succeed, nil
+	})
+}
+
+func (o *killableOracle) maxCalls() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m := 0
+	for _, n := range o.calls {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// TestDurableSessionKillAndResume runs a durable session until a simulated
+// kill mid-search, then resumes it from the state directory: the resumed
+// session must complete the search without a single repeated oracle call
+// for the instances the first run already paid for.
+func TestDurableSessionKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	o := &killableOracle{calls: make(map[string]int), quota: 6}
+
+	s1, err := bugdoc.NewSession(durabilitySpace(), o.oracle(),
+		bugdoc.WithDurability(dir), bugdoc.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s1.Seed(ctx)
+	if err == nil {
+		_, err = s1.FindAll(ctx, bugdoc.DebuggingDecisionTrees)
+	}
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("first run was not killed mid-search: err = %v", err)
+	}
+	logged := s1.Store().Len()
+	if logged == 0 {
+		t.Fatal("kill happened before anything was logged; raise the quota")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o.quota = -1 // the resumed process runs unconstrained
+	s2, err := bugdoc.ResumeSession(dir, o.oracle(), bugdoc.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Store().Len() != logged {
+		t.Fatalf("resumed store has %d records, want the %d logged before the kill",
+			s2.Store().Len(), logged)
+	}
+	if err := s2.Seed(ctx); err != nil {
+		t.Fatal(err)
+	}
+	causes, err := s2.FindAll(ctx, bugdoc.DebuggingDecisionTrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(causes) != 1 || !strings.Contains(causes.String(), `"bad"`) {
+		t.Fatalf("resumed FindAll = %v, want the single root cause opt = \"bad\"", causes)
+	}
+	if got := o.maxCalls(); got != 1 {
+		t.Fatalf("an instance reached the oracle %d times across the kill/resume cycle, want at most once", got)
+	}
+}
+
+// TestResumeSessionRequiresState documents the failure mode for a missing
+// state directory.
+func TestResumeSessionRequiresState(t *testing.T) {
+	o := &killableOracle{calls: make(map[string]int), quota: -1}
+	if _, err := bugdoc.ResumeSession(t.TempDir(), o.oracle()); err == nil {
+		t.Fatal("ResumeSession of an empty directory succeeded")
+	}
+}
+
+// TestDurableSessionCompletedRunReplaysFree re-opens a session that already
+// finished: the whole search replays from the log and the oracle is never
+// consulted again.
+func TestDurableSessionCompletedRunReplaysFree(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	o := &killableOracle{calls: make(map[string]int), quota: -1}
+
+	s1, err := bugdoc.NewSession(durabilitySpace(), o.oracle(),
+		bugdoc.WithDurability(dir), bugdoc.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Seed(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s1.FindAll(ctx, bugdoc.DebuggingDecisionTrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paid := len(o.calls)
+
+	o.quota = 0 // any oracle call in the resumed run is a test failure
+	s2, err := bugdoc.ResumeSession(dir, o.oracle(), bugdoc.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Seed(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.FindAll(ctx, bugdoc.DebuggingDecisionTrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("resumed FindAll = %v, first run found %v", got, want)
+	}
+	if len(o.calls) != paid {
+		t.Fatalf("resumed run executed %d new instances, want 0", len(o.calls)-paid)
+	}
+}

@@ -10,6 +10,11 @@
 //	bugdoc -demo polygamy -algo ddt -goal all
 //	bugdoc -demo gan -algo stacked
 //
+//	# Durable mode: write-ahead log every execution so a killed run
+//	# resumes without re-spending oracle budget.
+//	bugdoc -demo polygamy -algo ddt -goal all -state-dir ./state
+//	bugdoc -demo polygamy -algo ddt -goal all -state-dir ./state -resume
+//
 // The spec file declares the parameter space (see internal/spec); the
 // provenance CSV has one column per parameter plus an "outcome" column with
 // values "succeed"/"fail".
@@ -29,6 +34,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/polygamy"
 	"repro/internal/provenance"
+	"repro/internal/provlog"
 	"repro/internal/spec"
 )
 
@@ -49,6 +55,9 @@ func run() error {
 		budget   = flag.Int("budget", -1, "max new pipeline executions (-1 = unlimited)")
 		workers  = flag.Int("workers", 4, "parallel execution workers")
 		seed     = flag.Int64("seed", 1, "randomness seed")
+		stateDir = flag.String("state-dir", "", "write-ahead log provenance here; reopening resumes it")
+		resume   = flag.Bool("resume", false, "require existing state in -state-dir and continue it")
+		latency  = flag.Duration("latency", 0, "simulated per-execution latency (e.g. 50ms)")
 	)
 	flag.Parse()
 
@@ -80,6 +89,37 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *latency > 0 {
+		oracle = exec.LatencyOracle(oracle, *latency)
+	}
+	resumed := -1
+	if *resume && *stateDir == "" {
+		return fmt.Errorf("-resume requires -state-dir")
+	}
+	if *stateDir != "" {
+		if *resume && !provlog.Exists(*stateDir) {
+			return fmt.Errorf("-resume: no session state in %s", *stateDir)
+		}
+		lg, durable, err := provlog.Open(*stateDir, st.Space())
+		if err != nil {
+			return err
+		}
+		defer lg.Close()
+		resumed = durable.Len()
+		// Carry any provenance loaded outside the log (the historical CSV)
+		// into the durable store; records already replayed are skipped.
+		sn := st.Snapshot()
+		for i := 0; i < sn.Len(); i++ {
+			r := sn.At(i)
+			if _, ok := durable.Lookup(r.Instance); ok {
+				continue
+			}
+			if err := durable.Add(r.Instance, r.Outcome, r.Source); err != nil {
+				return err
+			}
+		}
+		st = durable
+	}
 
 	ctx := context.Background()
 	ex := exec.New(oracle, st, exec.WithBudget(*budget), exec.WithWorkers(*workers))
@@ -100,6 +140,9 @@ func run() error {
 	succ, fail := st.Outcomes()
 	fmt.Printf("algorithm:       %v\n", algo)
 	fmt.Printf("provenance:      %d instances (%d succeed, %d fail)\n", st.Len(), succ, fail)
+	if resumed >= 0 {
+		fmt.Printf("resumed:         %d instances replayed from %s\n", resumed, *stateDir)
+	}
 	fmt.Printf("new executions:  %d\n", ex.Spent())
 	fmt.Printf("root causes:     %v\n", causes)
 	return nil
@@ -127,7 +170,7 @@ func historical(specPath, provPath string) (*provenance.Store, exec.Oracle, erro
 	}
 	var ins []pipeline.Instance
 	var outs []pipeline.Outcome
-	for _, rec := range st.Records() {
+	for _, rec := range st.Snapshot().Records() {
 		ins = append(ins, rec.Instance)
 		outs = append(outs, rec.Outcome)
 	}

@@ -32,4 +32,31 @@
 //   - internal/exec: the executor's memoized Evaluate path and the replay
 //     HistoricalOracle key off instance hashes, so a memoization hit
 //     performs zero allocations.
+//
+// # Durable provenance: write-ahead log and resumable sessions
+//
+// Evaluation is deterministic (Definition 2), so every recorded oracle
+// call is an asset that future runs can replay for free. internal/provlog
+// spills the provenance log to disk as a segmented, CRC-checksummed
+// write-ahead log behind the provenance.Sink interface:
+//
+//   - Records are fixed-width binary — the instance's interned code vector
+//     plus an outcome byte and a source id — interleaved with dictionary
+//     frames that persist the (parameter, code, value) and (id, source)
+//     assignments in order. Replaying the dictionary through Space.Intern
+//     reproduces the in-memory code assignment exactly, and every segment
+//     header carries a stable fingerprint of the space (names, kinds,
+//     domains) so a log is never replayed into the wrong space.
+//   - Store.Add appends to the sink under the store's write lock before
+//     committing to memory: no record is queryable unless it is durable.
+//     Segments rotate at a size threshold.
+//   - provlog.Open replays existing segments into a fresh fully-indexed
+//     store (hash map, outcome bitsets, posting bitsets), truncating a
+//     torn final record after a crash to the last intact frame boundary.
+//     Replay is batched (Space.InstancesFromCodes) and runs at amortized
+//     sub-microsecond per record.
+//   - The stack threads durability through: exec.NewDurable,
+//     bugdoc.WithDurability and bugdoc.ResumeSession, and the cmd/bugdoc
+//     -state-dir/-resume flags. A killed run resumes where it left off
+//     with zero repeated oracle calls for already-logged instances.
 package repro

@@ -80,7 +80,7 @@ func main() {
 	// Step 3: enrich the explanation with observed variables logged during
 	// the step-1 runs (here: the feed's reported temporal resolution).
 	var observations []core.Observation
-	for _, rec := range session.Store().Records() {
+	for _, rec := range session.Store().Snapshot().Records() {
 		feed, _ := rec.Instance.ByName("feed")
 		resolution := "monthly"
 		if feed == pipeline.Cat("sales_eu") {

@@ -57,16 +57,35 @@ func (n *Node) PureSucceed() bool { return n.NSucceed > 0 && n.NFail == 0 }
 // complete decision tree") over the examples. Splitting stops only when a
 // node is pure or no candidate split separates its examples — such impure
 // unsplittable leaves are the paper's "mixed" leaves.
+//
+// Partitioning is columnar: the whole tree shares one permutation of
+// example indices, and each node stably partitions its window of that
+// permutation in place, so descending a level moves hi−lo int32s instead
+// of copying []Example slices at every node.
 func Build(s *pipeline.Space, examples []Example) *Node {
-	b := &builder{s: s}
-	return b.build(examples)
+	b := &builder{
+		s:        s,
+		examples: examples,
+		idx:      make([]int32, len(examples)),
+		tmp:      make([]int32, 0, len(examples)),
+	}
+	for i := range b.idx {
+		b.idx[i] = int32(i)
+	}
+	return b.build(0, len(examples))
 }
 
-// builder carries the per-parameter counting scratch reused across every
-// node of one Build call, so growing a tree allocates per node, not per
-// candidate split.
+// builder carries the state shared across every node of one Build call:
+// the examples, the single index permutation the nodes partition, and the
+// per-parameter counting scratch, so growing a tree allocates per node, not
+// per candidate split and not per partition.
 type builder struct {
-	s *pipeline.Space
+	s        *pipeline.Space
+	examples []Example
+	// idx is the tree-wide permutation of example indices; each node owns
+	// the window idx[lo:hi] and partitions it in place for its children.
+	// tmp buffers the no-side during the stable partition.
+	idx, tmp []int32
 	// countS/countF accumulate succeed/fail counts per value code during
 	// the columnar pass; order lists the observed codes (first-seen, then
 	// sorted by value) of the current parameter.
@@ -74,45 +93,64 @@ type builder struct {
 	order          []uint32
 }
 
-func (b *builder) build(examples []Example) *Node {
+func (b *builder) build(lo, hi int) *Node {
 	n := &Node{}
-	for _, ex := range examples {
-		switch ex.Outcome {
+	for _, j := range b.idx[lo:hi] {
+		switch b.examples[j].Outcome {
 		case pipeline.Succeed:
 			n.NSucceed++
 		case pipeline.Fail:
 			n.NFail++
 		}
 	}
-	if n.NSucceed == 0 || n.NFail == 0 || len(examples) < 2 {
+	if n.NSucceed == 0 || n.NFail == 0 || hi-lo < 2 {
 		return n
 	}
-	split, ok := bestSplit(b.s, examples, b)
+	split, ok := b.bestSplitRange(lo, hi)
 	if !ok {
 		return n
 	}
-	// Partition with the parameter index resolved once; Holds is a single
-	// integer or float comparison per example.
+	// Stable in-place partition of the node's index window: yes-side
+	// compacts to the front, no-side stages through the shared scratch.
+	// The parameter index is resolved once; Holds is a single integer or
+	// float comparison per example. tmp is free to reuse in the recursive
+	// calls because its contents are copied back before they run.
 	pi, _ := b.s.Index(split.Param)
-	var yes, no []Example
-	for _, ex := range examples {
-		if split.Holds(ex.Instance.Value(pi)) {
-			yes = append(yes, ex)
+	mid := lo
+	tmp := b.tmp[:0]
+	for _, j := range b.idx[lo:hi] {
+		if split.Holds(b.examples[j].Instance.Value(pi)) {
+			b.idx[mid] = j
+			mid++
 		} else {
-			no = append(no, ex)
+			tmp = append(tmp, j)
 		}
 	}
+	copy(b.idx[mid:hi], tmp)
 	n.Split = split
-	n.Yes = b.build(yes)
-	n.No = b.build(no)
+	n.Yes = b.build(lo, mid)
+	n.No = b.build(mid, hi)
 	return n
 }
 
-// bestSplit evaluates every candidate triple and returns the one with the
-// highest information gain, breaking ties by the canonical triple order so
-// the tree is deterministic. Because the paper builds a *complete* tree,
-// zero-gain splits are still taken when they separate the examples (greedy
-// gain alone deadlocks on XOR-structured data, leaving pure-fail regions
+// bestSplit is the slice-facing form of bestSplitRange, kept as the entry
+// point for the differential split tests: it searches the whole example
+// list through a throwaway builder. Build's internal nodes use
+// bestSplitRange directly on the shared permutation.
+func bestSplit(s *pipeline.Space, examples []Example) (predicate.Triple, bool) {
+	b := &builder{s: s, examples: examples, idx: make([]int32, len(examples))}
+	for i := range b.idx {
+		b.idx[i] = int32(i)
+	}
+	return b.bestSplitRange(0, len(examples))
+}
+
+// bestSplitRange evaluates every candidate triple over the examples of the
+// node's index window idx[lo:hi] and returns the one with the highest
+// information gain, breaking ties by the canonical triple order so the tree
+// is deterministic. Because the paper builds a *complete* tree, zero-gain
+// splits are still taken when they separate the examples (greedy gain alone
+// deadlocks on XOR-structured data, leaving pure-fail regions
 // undiscovered); ok is false only when no candidate separates the examples
 // at all.
 //
@@ -124,14 +162,13 @@ func (b *builder) build(examples []Example) *Node {
 // O(params × values × examples). The gain arithmetic is identical to
 // evaluating each candidate against the example list, so the chosen split
 // (including tie-breaks) matches the naive search exactly.
-func bestSplit(s *pipeline.Space, examples []Example, b *builder) (predicate.Triple, bool) {
-	if b == nil {
-		b = &builder{s: s}
-	}
-	total := float64(len(examples))
+func (b *builder) bestSplitRange(lo, hi int) (predicate.Triple, bool) {
+	s := b.s
+	window := b.idx[lo:hi]
+	total := float64(len(window))
 	totS, totF := 0, 0
-	for _, ex := range examples {
-		if ex.Outcome == pipeline.Succeed {
+	for _, j := range window {
+		if b.examples[j].Outcome == pipeline.Succeed {
 			totS++
 		} else {
 			totF++
@@ -141,7 +178,7 @@ func bestSplit(s *pipeline.Space, examples []Example, b *builder) (predicate.Tri
 	best := predicate.Triple{}
 	bestGain := -1.0
 	consider := func(t predicate.Triple, yesS, yesF int) {
-		yes, no := yesS+yesF, len(examples)-yesS-yesF
+		yes, no := yesS+yesF, len(window)-yesS-yesF
 		if yes == 0 || no == 0 {
 			return
 		}
@@ -161,7 +198,8 @@ func bestSplit(s *pipeline.Space, examples []Example, b *builder) (predicate.Tri
 			b.countF = make([]int, nc)
 		}
 		b.order = b.order[:0]
-		for _, ex := range examples {
+		for _, j := range window {
+			ex := &b.examples[j]
 			c := ex.Instance.Code(i)
 			if b.countS[c]+b.countF[c] == 0 {
 				b.order = append(b.order, c)

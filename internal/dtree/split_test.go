@@ -178,7 +178,7 @@ func TestCountingSplitMatchesNaive(t *testing.T) {
 	for trial := 0; trial < 300; trial++ {
 		s := randomSplitSpace(t, r)
 		examples := randomExamples(r, s, 2+r.Intn(60))
-		gotT, gotOK := bestSplit(s, examples, nil)
+		gotT, gotOK := bestSplit(s, examples)
 		wantT, wantOK := naiveBestSplit(s, examples)
 		if gotOK != wantOK || gotT != wantT {
 			t.Fatalf("trial %d: bestSplit = (%v, %v), naive = (%v, %v)\nspace: %v, %d examples",
@@ -199,7 +199,7 @@ func TestCountingSplitMatchesNaiveDuplicates(t *testing.T) {
 		for i := 0; i < 20; i++ {
 			examples = append(examples, base[r.Intn(len(base))])
 		}
-		gotT, gotOK := bestSplit(s, examples, nil)
+		gotT, gotOK := bestSplit(s, examples)
 		wantT, wantOK := naiveBestSplit(s, examples)
 		if gotOK != wantOK || gotT != wantT {
 			t.Fatalf("trial %d: bestSplit = (%v, %v), naive = (%v, %v)", trial, gotT, gotOK, wantT, wantOK)

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func durableSpace() *pipeline.Space {
+	return pipeline.MustSpace(
+		pipeline.Parameter{Name: "x", Kind: pipeline.Ordinal,
+			Domain: []pipeline.Value{pipeline.Ord(1), pipeline.Ord(2), pipeline.Ord(3)}},
+		pipeline.Parameter{Name: "mode", Kind: pipeline.Categorical,
+			Domain: []pipeline.Value{pipeline.Cat("fast"), pipeline.Cat("safe")}},
+	)
+}
+
+// callCounter counts oracle invocations per instance across executor
+// lifetimes (keys are canonical, so they survive space reconstruction).
+type callCounter struct {
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func (c *callCounter) oracle() Oracle {
+	return OracleFunc(func(_ context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.calls[in.Key()]++
+		if x, _ := in.ByName("x"); x.Num() == 3 {
+			return pipeline.Fail, nil
+		}
+		return pipeline.Succeed, nil
+	})
+}
+
+func (c *callCounter) max() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := 0
+	for _, n := range c.calls {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// TestNewDurableResume evaluates a set of instances, drops the executor,
+// and builds a second durable executor over the same state dir: every
+// evaluation must be served from the replayed log, with zero repeated
+// oracle calls and zero budget spent.
+func TestNewDurableResume(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	counter := &callCounter{calls: make(map[string]int)}
+
+	s1 := durableSpace()
+	e1, err := NewDurable(counter.oracle(), s1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, x := range s1.Domain("x") {
+		for _, m := range s1.Domain("mode") {
+			in := pipeline.MustInstance(s1, x, m)
+			if _, err := e1.Evaluate(ctx, in); err != nil {
+				t.Fatal(err)
+			}
+			keys = append(keys, in.Key())
+		}
+	}
+	if e1.Spent() != len(keys) {
+		t.Fatalf("first run spent %d, want %d", e1.Spent(), len(keys))
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := durableSpace()
+	e2, err := NewDurable(counter.oracle(), s2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.Store().Len() != len(keys) {
+		t.Fatalf("replayed store has %d records, want %d", e2.Store().Len(), len(keys))
+	}
+	for _, x := range s2.Domain("x") {
+		for _, m := range s2.Domain("mode") {
+			out, err := e2.Evaluate(ctx, pipeline.MustInstance(s2, x, m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := pipeline.Succeed
+			if x.Num() == 3 {
+				want = pipeline.Fail
+			}
+			if out != want {
+				t.Fatalf("resumed Evaluate(%v, %v) = %v, want %v", x, m, out, want)
+			}
+		}
+	}
+	if e2.Spent() != 0 {
+		t.Fatalf("resumed run spent %d executions, want 0", e2.Spent())
+	}
+	if got := counter.max(); got != 1 {
+		t.Fatalf("an instance reached the oracle %d times, want at most once", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/pipeline"
 	"repro/internal/provenance"
+	"repro/internal/provlog"
 )
 
 // Oracle runs one pipeline instance and evaluates its result (the
@@ -68,6 +69,7 @@ type Executor struct {
 	oracle  Oracle
 	store   *provenance.Store
 	workers int
+	log     *provlog.Log // non-nil for durable executors (NewDurable)
 
 	mu     sync.Mutex
 	budget int // remaining new executions; negative = unlimited
@@ -83,6 +85,32 @@ func New(oracle Oracle, store *provenance.Store, opts ...Option) *Executor {
 		o(e)
 	}
 	return e
+}
+
+// NewDurable builds an executor whose provenance is write-ahead logged
+// under dir: every oracle result is on disk before it is queryable, and
+// reopening the same dir replays the log into the store, so instances
+// evaluated by an earlier (even killed) process are served from provenance
+// without consuming budget or touching the oracle. The space must be
+// constructed from the same declaration every run; the log's fingerprint
+// check enforces this. Callers must Close the executor to seal the log.
+func NewDurable(oracle Oracle, space *pipeline.Space, dir string, opts ...Option) (*Executor, error) {
+	l, st, err := provlog.Open(dir, space)
+	if err != nil {
+		return nil, fmt.Errorf("exec: durability: %w", err)
+	}
+	e := New(oracle, st, opts...)
+	e.log = l
+	return e, nil
+}
+
+// Close seals the durability log, if any. Further executions fail rather
+// than run unlogged; executors built by New have nothing to close.
+func (e *Executor) Close() error {
+	if e.log == nil {
+		return nil
+	}
+	return e.log.Close()
 }
 
 // Store returns the provenance store backing the executor.

@@ -1,0 +1,90 @@
+package pipeline
+
+import "fmt"
+
+// Fingerprint returns a stable 64-bit identity of the space's structure:
+// parameter names, kinds, and declared domains, hashed in space order with
+// FNV-1a over a canonical byte rendering. Unlike interned codes — runtime
+// artifacts assigned in observation order — the fingerprint depends only on
+// how the space was declared, so it is identical across processes that
+// construct the space from the same spec. The durable provenance log stores
+// it in every segment header and refuses to replay a log into a space with
+// a different fingerprint.
+//
+// The fingerprint is computed from the current domains: AddToDomain changes
+// it. Durable consumers capture it once, when the log is created, before
+// any expansion.
+func (s *Space) Fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	byte1 := func(b byte) { h = (h ^ uint64(b)) * fnvPrime64 }
+	str := func(x string) {
+		for i := 0; i < len(x); i++ {
+			byte1(x[i])
+		}
+		byte1(0)
+	}
+	for _, p := range s.params {
+		str(p.Name)
+		byte1(byte(p.Kind))
+		for _, v := range p.Domain {
+			str(v.key())
+		}
+		byte1(0xff)
+	}
+	return h
+}
+
+// Intern assigns (or retrieves) the dense code of v for parameter i. It is
+// how the durable provenance log replays its value dictionary: dictionary
+// entries are applied in their original assignment order, so a freshly
+// constructed identical space reproduces the recorded codes exactly, and a
+// mismatch between the returned and recorded code signals that the space
+// and the log diverged.
+func (s *Space) Intern(i int, v Value) uint32 { return s.codeOf(i, v) }
+
+// InstanceFromCodes builds an instance directly from an interned code
+// vector, bypassing value re-interning — the log-replay fast path. Every
+// code must already be assigned (see NumCodes).
+func (s *Space) InstanceFromCodes(codes []uint32) (Instance, error) {
+	out := make([]Instance, 1)
+	if err := s.InstancesFromCodes(codes, out); err != nil {
+		return Instance{}, err
+	}
+	return out[0], nil
+}
+
+// InstancesFromCodes builds len(out) instances from flat, a row-major
+// matrix of len(out) × Len interned codes, resolving every value under one
+// lock and sharing two backing arrays across the whole batch — the bulk
+// form of InstanceFromCodes that log replay uses to amortize lock and
+// allocator traffic over thousands of records. Every code must already be
+// assigned (see NumCodes).
+func (s *Space) InstancesFromCodes(flat []uint32, out []Instance) error {
+	p := s.Len()
+	if len(flat) != len(out)*p {
+		return fmt.Errorf("pipeline: %d codes for %d instances over %d parameters",
+			len(flat), len(out), p)
+	}
+	codes := make([]uint32, len(flat))
+	copy(codes, flat)
+	vals := make([]Value, len(flat))
+	for !s.intern.valuesBatch(codes, vals, p) {
+		for r := 0; r < len(out); r++ {
+			for i := 0; i < p; i++ {
+				if c := flat[r*p+i]; int(c) >= s.intern.size(i) {
+					return fmt.Errorf("pipeline: parameter %q has no interned code %d",
+						s.At(i).Name, c)
+				}
+			}
+		}
+		// Every code checked out individually, so a concurrent intern
+		// landed between the failed batch and the re-validation; the next
+		// batch attempt sees it.
+	}
+	for r := range out {
+		rc := codes[r*p : (r+1)*p : (r+1)*p]
+		rv := vals[r*p : (r+1)*p : (r+1)*p]
+		out[r] = Instance{space: s, vals: rv, codes: rc, hash: hashCodes(rc)}
+	}
+	return nil
+}

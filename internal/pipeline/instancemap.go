@@ -7,9 +7,14 @@ package pipeline
 // that memoizes per-instance state (the provenance store, the replay
 // oracle, test-sampling dedup). The zero value is not usable; call
 // NewInstanceMap. Not safe for concurrent use; callers lock.
+//
+// The first entry of each hash bucket lives inline in the primary map;
+// only genuine 64-bit hash collisions spill into overflow buckets, so the
+// common-case Put allocates nothing beyond map growth.
 type InstanceMap[V any] struct {
-	buckets map[uint64][]instanceEntry[V]
-	n       int
+	prim map[uint64]instanceEntry[V]
+	over map[uint64][]instanceEntry[V] // lazily allocated; collisions are rare
+	n    int
 }
 
 type instanceEntry[V any] struct {
@@ -19,14 +24,19 @@ type instanceEntry[V any] struct {
 
 // NewInstanceMap returns an empty map with space for n entries.
 func NewInstanceMap[V any](n int) *InstanceMap[V] {
-	return &InstanceMap[V]{buckets: make(map[uint64][]instanceEntry[V], n)}
+	return &InstanceMap[V]{prim: make(map[uint64]instanceEntry[V], n)}
 }
 
 // Get returns the value stored for in, if any.
 func (m *InstanceMap[V]) Get(in Instance) (V, bool) {
-	for _, e := range m.buckets[in.Hash()] {
+	if e, ok := m.prim[in.Hash()]; ok {
 		if e.in.Equal(in) {
 			return e.val, true
+		}
+		for _, e := range m.over[in.Hash()] {
+			if e.in.Equal(in) {
+				return e.val, true
+			}
 		}
 	}
 	var zero V
@@ -36,14 +46,29 @@ func (m *InstanceMap[V]) Get(in Instance) (V, bool) {
 // Put stores v for in, replacing any existing value, and reports whether
 // the entry is new.
 func (m *InstanceMap[V]) Put(in Instance, v V) bool {
-	bucket := m.buckets[in.Hash()]
+	h := in.Hash()
+	e, ok := m.prim[h]
+	if !ok {
+		m.prim[h] = instanceEntry[V]{in: in, val: v}
+		m.n++
+		return true
+	}
+	if e.in.Equal(in) {
+		e.val = v
+		m.prim[h] = e
+		return false
+	}
+	bucket := m.over[h]
 	for i := range bucket {
 		if bucket[i].in.Equal(in) {
 			bucket[i].val = v
 			return false
 		}
 	}
-	m.buckets[in.Hash()] = append(bucket, instanceEntry[V]{in: in, val: v})
+	if m.over == nil {
+		m.over = make(map[uint64][]instanceEntry[V])
+	}
+	m.over[h] = append(bucket, instanceEntry[V]{in: in, val: v})
 	m.n++
 	return true
 }

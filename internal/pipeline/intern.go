@@ -13,9 +13,12 @@ import (
 // allocations; the string Key() survives only for codecs and display.
 //
 // Codes are runtime artifacts of one Space: they are assigned in first-
-// intern order (domain values first, in sorted domain order), are never
-// serialized, and are only comparable between values of the same parameter
-// of the same Space.
+// intern order (domain values first, in sorted domain order) and are only
+// comparable between values of the same parameter of the same Space. The
+// durable provenance log may persist code vectors, but only alongside a
+// dictionary of (parameter, code, value) assignments replayed in order
+// through Space.Intern, which reproduces the exact assignment sequence (see
+// internal/provlog).
 
 // internKey is the canonical map key for interning a Value. Ordinals are
 // keyed by their bit pattern with -0 collapsed into +0 (so interning agrees
@@ -100,6 +103,25 @@ func (t *internTable) value(i int, c uint32) Value {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.vals[i][c]
+}
+
+// valuesBatch resolves rows of p codes (one per parameter) into dst under a
+// single read lock — the log-replay fast path, which would otherwise pay
+// two lock round-trips per parameter per record. It reports false when any
+// code is unassigned, leaving dst partially written.
+func (t *internTable) valuesBatch(codes []uint32, dst []Value, p int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for r := 0; r+p <= len(codes); r += p {
+		for i := 0; i < p; i++ {
+			c := codes[r+i]
+			if int(c) >= len(t.vals[i]) {
+				return false
+			}
+			dst[r+i] = t.vals[i][c]
+		}
+	}
+	return true
 }
 
 // NumCodes returns how many distinct values of parameter i have been

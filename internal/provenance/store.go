@@ -11,6 +11,14 @@
 // (DisjointSucceeding, AnySucceedingSatisfying, CountSatisfying, ...) run
 // as bitset intersections instead of whole-log scans, and Snapshot exposes
 // a zero-copy read-only view of the log for bulk consumers.
+//
+// The store itself is volatile; durability is delegated to a pluggable
+// Sink. A sink's Append runs inside Add, under the store's write lock and
+// before the in-memory indices are updated, so a durable sink (the
+// segmented write-ahead log in internal/provlog) gives write-ahead
+// semantics: no record becomes queryable unless its log append succeeded,
+// and rebuilding a store by replaying the log reproduces the indices
+// exactly.
 package provenance
 
 import (
@@ -30,6 +38,16 @@ type Record struct {
 	Source   string
 }
 
+// Sink receives every record at the moment it is committed to a store.
+// Append is called with the store's write lock held, before the record
+// enters the in-memory log and indices: if Append fails, the Add fails and
+// the store is unchanged. Appends therefore arrive exactly in sequence
+// order, without duplicates, and a sink that persists them (internal/
+// provlog) is a write-ahead log of the store.
+type Sink interface {
+	Append(Record) error
+}
+
 // Store is an append-only, thread-safe provenance log over a single
 // parameter space. Duplicate instances are rejected: the evaluation model
 // is deterministic (Definition 2), so one record per instance suffices.
@@ -37,6 +55,7 @@ type Store struct {
 	mu    sync.RWMutex
 	space *pipeline.Space
 	log   []Record
+	sink  Sink
 
 	// byKey maps instance identity to log position (hash-bucketed with
 	// Equal confirmation; see pipeline.InstanceMap).
@@ -60,8 +79,34 @@ func NewStore(s *pipeline.Space) *Store {
 	}
 }
 
+// NewStoreWithCapacity creates an empty store pre-sized for about n
+// records, so bulk loaders (log replay, codecs) skip the incremental growth
+// of the log, the identity map, and the outcome indices.
+func NewStoreWithCapacity(s *pipeline.Space, n int) *Store {
+	st := NewStore(s)
+	if n > 0 {
+		st.log = make([]Record, 0, n)
+		st.byKey = pipeline.NewInstanceMap[int32](n)
+		st.succSeqs = make([]int32, 0, n)
+		st.failSeqs = make([]int32, 0, n)
+		st.succBits = make(bitset, 0, n/64+1)
+		st.failBits = make(bitset, 0, n/64+1)
+	}
+	return st
+}
+
 // Space returns the parameter space the store records instances of.
 func (st *Store) Space() *pipeline.Space { return st.space }
+
+// SetSink attaches a durability sink; every subsequent Add appends to it
+// before committing to memory. Passing nil detaches the current sink.
+// SetSink is not meant to race with Adds: attach the sink before handing
+// the store to the executor.
+func (st *Store) SetSink(sink Sink) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sink = sink
+}
 
 // Add appends a record and updates every index. It fails for instances of
 // a different space, for unknown outcomes, and for instances already
@@ -79,8 +124,15 @@ func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) 
 		return fmt.Errorf("provenance: instance %v already recorded", in)
 	}
 	seq := len(st.log)
+	rec := Record{Seq: seq, Instance: in, Outcome: out, Source: source}
+	if st.sink != nil {
+		// Write-ahead: the record must be durable before it is queryable.
+		if err := st.sink.Append(rec); err != nil {
+			return fmt.Errorf("provenance: sink: %w", err)
+		}
+	}
 	st.byKey.Put(in, int32(seq))
-	st.log = append(st.log, Record{Seq: seq, Instance: in, Outcome: out, Source: source})
+	st.log = append(st.log, rec)
 	if out == pipeline.Succeed {
 		st.succSeqs = append(st.succSeqs, int32(seq))
 		st.succBits.set(seq)

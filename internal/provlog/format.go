@@ -1,0 +1,136 @@
+package provlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/pipeline"
+)
+
+// On-disk layout. A log is a directory of segment files wal-NNNNNN.seg with
+// contiguous indices. Every segment starts with a fixed header:
+//
+//	offset  0  magic "BDWALv01"                  (8 bytes)
+//	offset  8  space fingerprint                 (uint64 LE)
+//	offset 16  parameter count                   (uint32 LE)
+//	offset 20  segment index                     (uint32 LE)
+//	offset 24  sequence of the segment's first
+//	           execution record                  (uint64 LE)
+//	offset 32  CRC-32 (IEEE) of bytes [0, 32)    (uint32 LE)
+//
+// followed by a stream of frames. Each frame is a type byte, a payload, and
+// a CRC-32 (IEEE) of the type byte plus payload:
+//
+//	exec   (0x01): one provenance record — interned code vector
+//	               (params × uint32 LE), outcome byte, source id
+//	               (uint16 LE). Fixed width: 4·P+3 payload bytes.
+//	dict   (0x02): one value-dictionary assignment — parameter index
+//	               (uint16 LE), code (uint32 LE), kind byte, then the value
+//	               (ordinal: float64 bits LE; categorical: uint32 LE length
+//	               + bytes). Codes are dense per parameter and framed in
+//	               assignment order, so replaying them through Space.Intern
+//	               reproduces the in-memory code assignment exactly.
+//	source (0x03): one source-dictionary entry — id (uint16 LE, dense in
+//	               first-use order), length (uint16 LE), bytes.
+//
+// dict and source frames always precede the first exec frame that
+// references them, in the same segment-ordered stream, so a single forward
+// pass replays the log. Torn tails truncate cleanly: a frame that cannot be
+// read in full or whose CRC mismatches marks the recovery point.
+const (
+	magic      = "BDWALv01"
+	headerSize = 36
+
+	frameExec   byte = 0x01
+	frameDict   byte = 0x02
+	frameSource byte = 0x03
+
+	// maxBlob caps variable-width fields (categorical labels, source
+	// names) so a corrupt length cannot trigger a giant allocation.
+	maxBlob = 1 << 20
+)
+
+// header is the decoded form of a segment header.
+type header struct {
+	fingerprint uint64
+	nParams     uint32
+	segIndex    uint32
+	firstSeq    uint64
+}
+
+func encodeHeader(h header) []byte {
+	b := make([]byte, 0, headerSize)
+	b = append(b, magic...)
+	b = binary.LittleEndian.AppendUint64(b, h.fingerprint)
+	b = binary.LittleEndian.AppendUint32(b, h.nParams)
+	b = binary.LittleEndian.AppendUint32(b, h.segIndex)
+	b = binary.LittleEndian.AppendUint64(b, h.firstSeq)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// errTorn marks data that reads as a crash artifact — a short or
+// checksum-mismatching header or frame. In the final segment it is the
+// recovery point; anywhere else it is corruption.
+var errTorn = fmt.Errorf("provlog: torn data")
+
+func decodeHeader(b []byte) (header, error) {
+	if len(b) < headerSize {
+		return header{}, errTorn
+	}
+	if string(b[:8]) != magic {
+		return header{}, errTorn
+	}
+	if crc32.ChecksumIEEE(b[:32]) != binary.LittleEndian.Uint32(b[32:36]) {
+		return header{}, errTorn
+	}
+	return header{
+		fingerprint: binary.LittleEndian.Uint64(b[8:16]),
+		nParams:     binary.LittleEndian.Uint32(b[16:20]),
+		segIndex:    binary.LittleEndian.Uint32(b[20:24]),
+		firstSeq:    binary.LittleEndian.Uint64(b[24:32]),
+	}, nil
+}
+
+// appendCRC seals the frame started at start with the checksum of its type
+// byte and payload.
+func appendCRC(b []byte, start int) []byte {
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[start:]))
+}
+
+func appendDictFrame(b []byte, param uint16, code uint32, v pipeline.Value) []byte {
+	start := len(b)
+	b = append(b, frameDict)
+	b = binary.LittleEndian.AppendUint16(b, param)
+	b = binary.LittleEndian.AppendUint32(b, code)
+	b = append(b, byte(v.Kind()))
+	if v.Kind() == pipeline.Ordinal {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Num()))
+	} else {
+		s := v.Str()
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+		b = append(b, s...)
+	}
+	return appendCRC(b, start)
+}
+
+func appendSourceFrame(b []byte, id uint16, source string) []byte {
+	start := len(b)
+	b = append(b, frameSource)
+	b = binary.LittleEndian.AppendUint16(b, id)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(source)))
+	b = append(b, source...)
+	return appendCRC(b, start)
+}
+
+func appendExecFrame(b []byte, in pipeline.Instance, out pipeline.Outcome, source uint16) []byte {
+	start := len(b)
+	b = append(b, frameExec)
+	for i := 0; i < in.Len(); i++ {
+		b = binary.LittleEndian.AppendUint32(b, in.Code(i))
+	}
+	b = append(b, byte(out))
+	b = binary.LittleEndian.AppendUint16(b, source)
+	return appendCRC(b, start)
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package provlog
+
+import "os"
+
+// lockDir is a no-op where advisory file locks are unavailable; the
+// single-writer invariant is then the operator's responsibility.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

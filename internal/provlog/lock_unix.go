@@ -1,0 +1,26 @@
+//go:build unix
+
+package provlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on the directory's lock file so
+// two live processes can never append to the same log and interleave
+// frames. The lock releases on Close and automatically when the process
+// dies, so a killed run never blocks its own resume.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "wal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("provlog: %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}

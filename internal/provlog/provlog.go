@@ -1,0 +1,418 @@
+// Package provlog is the durable backend of the provenance store: a
+// segmented, CRC-checksummed write-ahead log of every executed pipeline
+// instance. BugDoc's evaluation model is deterministic (Definition 2), so
+// each logged record is an oracle call that never has to be paid for again:
+// reopening the log rebuilds the fully-indexed in-memory store, and a
+// resumed debugging session replays history instead of re-executing.
+//
+// The Log implements provenance.Sink, so attaching it to a store (which
+// Open does) makes every Store.Add durable before it is queryable. Records
+// are fixed-width — the instance's interned code vector plus an outcome
+// byte and a source id — interleaved with the dictionary frames that define
+// the code and source assignments (see format.go). Segments rotate at a
+// size threshold; recovery tolerates a torn final record by truncating the
+// final segment back to its intact prefix.
+package provlog
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/pipeline"
+	"repro/internal/provenance"
+	"repro/internal/spec"
+)
+
+// DefaultSegmentSize is the rotation threshold when WithSegmentSize is not
+// given. At roughly 4·P+8 bytes per record it holds on the order of 100k
+// records per segment for a ten-parameter pipeline.
+const DefaultSegmentSize = 4 << 20
+
+// spaceFile is the JSON spec of the space, written into the log directory
+// so a session can be resumed without re-declaring the space (ReadSpace).
+const spaceFile = "space.json"
+
+// Option configures a Log.
+type Option func(*Log)
+
+// WithSegmentSize sets the rotation threshold in bytes; a segment whose
+// size has reached it is sealed before the next append.
+func WithSegmentSize(n int64) Option {
+	return func(l *Log) {
+		if n < headerSize+64 {
+			n = headerSize + 64
+		}
+		l.segSize = n
+	}
+}
+
+// WithSync makes every append (and segment creation) fsync before
+// returning. Off by default: appends are still synchronous write syscalls
+// in Store.Add, but leave flushing to the OS, which loses at most the tail
+// of the log on a machine crash — exactly what recovery truncates anyway.
+func WithSync(on bool) Option {
+	return func(l *Log) { l.sync = on }
+}
+
+// Log is an open write-ahead log. It is safe for concurrent use, though in
+// practice the provenance store serializes appends under its write lock.
+type Log struct {
+	mu          sync.Mutex
+	dir         string
+	space       *pipeline.Space
+	fingerprint uint64
+	segSize     int64
+	sync        bool
+
+	f        *os.File
+	lock     *os.File // flock-held lock file; nil where unsupported
+	segIndex uint32
+	size     int64
+	nextSeq  int
+
+	// persisted counts, per parameter, the codes already written as dict
+	// frames; sourceID interns source strings to their frame ids.
+	persisted []int
+	sourceID  map[string]uint16
+
+	buf  []byte // frame assembly scratch, one Write per append
+	undo []int  // persisted snapshot for rollback on write failure
+
+	broken error // set when the on-disk state is unknown; poisons the log
+	closed bool
+}
+
+// Exists reports whether dir contains log segments.
+func Exists(dir string) bool {
+	segs, err := listSegments(dir)
+	return err == nil && len(segs) > 0
+}
+
+// ReadSpace reconstructs the parameter space from the spec that Open
+// persisted alongside the log.
+func ReadSpace(dir string) (*pipeline.Space, error) {
+	f, err := os.Open(filepath.Join(dir, spaceFile))
+	if err != nil {
+		return nil, fmt.Errorf("provlog: no persisted space in %s: %w", dir, err)
+	}
+	defer f.Close()
+	return spec.Read(f)
+}
+
+// Open opens the log in dir (creating the directory and first segment for
+// an empty dir), replays any existing segments into a fresh fully-indexed
+// provenance store, truncates a torn final record left by a crash, and
+// returns the log attached as the store's sink, ready for appends.
+//
+// The space must be constructed from the same declaration every run: its
+// fingerprint is stored in each segment header and replay refuses a
+// mismatch. Open also persists the space spec as space.json so ReadSpace
+// can reconstruct it.
+func Open(dir string, space *pipeline.Space, opts ...Option) (*Log, *provenance.Store, error) {
+	if space == nil {
+		return nil, nil, fmt.Errorf("provlog: nil space")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	l := &Log{
+		dir:         dir,
+		space:       space,
+		fingerprint: space.Fingerprint(),
+		segSize:     DefaultSegmentSize,
+		persisted:   make([]int, space.Len()),
+		sourceID:    make(map[string]uint16),
+		undo:        make([]int, space.Len()),
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	// Exclusive writer lock before touching any file: a second live
+	// process must not repair, truncate, or append concurrently. Released
+	// on Close and automatically when a killed process dies.
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.lock = lock
+	ok := false
+	defer func() {
+		if !ok && l.lock != nil {
+			l.lock.Close()
+		}
+	}()
+	if err := l.persistSpace(); err != nil {
+		return nil, nil, err
+	}
+	rs, segs, lastGood, err := replayDir(dir, space)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := rs.st
+	if len(segs) == 0 {
+		if err := l.createSegment(0, 0); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		copy(l.persisted, rs.persisted)
+		l.sourceID = rs.sourceID
+		l.nextSeq = st.Len()
+		last := segs[len(segs)-1]
+		if err := l.reopenSegment(last, lastGood); err != nil {
+			return nil, nil, err
+		}
+	}
+	st.SetSink(l)
+	ok = true
+	return l, st, nil
+}
+
+// persistSpace writes space.json if absent, via a temp file and rename so a
+// crash never leaves a half-written spec.
+func (l *Log) persistSpace() error {
+	path := filepath.Join(l.dir, spaceFile)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	tmp, err := os.CreateTemp(l.dir, spaceFile+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := spec.Write(tmp, l.space); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func segPath(dir string, index uint32) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.seg", index))
+}
+
+// createSegment creates and headers segment index, leaving it as the
+// active segment.
+func (l *Log) createSegment(index uint32, firstSeq int) error {
+	f, err := os.OpenFile(segPath(l.dir, index), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hb := encodeHeader(header{
+		fingerprint: l.fingerprint,
+		nParams:     uint32(l.space.Len()),
+		segIndex:    index,
+		firstSeq:    uint64(firstSeq),
+	})
+	if _, err := f.Write(hb); err != nil {
+		f.Close()
+		return err
+	}
+	if l.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.f, l.segIndex, l.size = f, index, headerSize
+	return nil
+}
+
+// reopenSegment opens the final segment for appending, truncating back to
+// its intact prefix. A prefix shorter than the header (the crash tore the
+// header itself) rewrites the segment from scratch.
+func (l *Log) reopenSegment(sf segFile, lastGood int64) error {
+	f, err := os.OpenFile(sf.path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	if lastGood < headerSize {
+		f.Close()
+		if err := os.Remove(sf.path); err != nil {
+			return err
+		}
+		return l.createSegment(sf.index, l.nextSeq)
+	}
+	if err := f.Truncate(lastGood); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(lastGood, 0); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.segIndex, l.size = f, sf.index, lastGood
+	return nil
+}
+
+// syncDir fsyncs a directory so freshly created segment files survive a
+// machine crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// SegmentCount returns the number of segments, counting the active one.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.segIndex) + 1
+}
+
+// Append implements provenance.Sink: it durably logs one record, emitting
+// dictionary frames first for any value codes or source strings the log has
+// not seen. Records must arrive in sequence order without gaps — exactly
+// how the store's Add, which calls Append under its write lock, produces
+// them. On a write failure the in-memory dictionaries roll back and the
+// partial write is trimmed, so a failed append leaves both the file and the
+// log consistent; only a failed trim poisons the log.
+func (l *Log) Append(r provenance.Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("provlog: log is closed")
+	}
+	if l.broken != nil {
+		return l.broken
+	}
+	if r.Instance.Space() != l.space {
+		return fmt.Errorf("provlog: record belongs to a different space")
+	}
+	if r.Seq != l.nextSeq {
+		return fmt.Errorf("provlog: append of record %d, want %d", r.Seq, l.nextSeq)
+	}
+	if l.size >= l.segSize {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+
+	if len(r.Source) > math.MaxUint16 {
+		return fmt.Errorf("provlog: source %.32q... is %d bytes, limit %d",
+			r.Source, len(r.Source), math.MaxUint16)
+	}
+	// Assemble dictionary and record frames into one buffer, one Write.
+	buf := l.buf[:0]
+	undo := append(l.undo[:0], l.persisted...)
+	newSource := false
+	for i := 0; i < l.space.Len(); i++ {
+		c := int(r.Instance.Code(i))
+		for l.persisted[i] <= c {
+			code := uint32(l.persisted[i])
+			v := l.space.InternedValue(i, code)
+			// Reject what the scanner would refuse to read back: an
+			// oversized label would pass the write and poison the log.
+			if v.Kind() == pipeline.Categorical && len(v.Str()) > maxBlob {
+				copy(l.persisted, undo)
+				return fmt.Errorf("provlog: categorical value of parameter %q is %d bytes, limit %d",
+					l.space.At(i).Name, len(v.Str()), maxBlob)
+			}
+			buf = appendDictFrame(buf, uint16(i), code, v)
+			l.persisted[i]++
+		}
+	}
+	id, ok := l.sourceID[r.Source]
+	if !ok {
+		if len(l.sourceID) > math.MaxUint16 {
+			copy(l.persisted, undo)
+			return fmt.Errorf("provlog: too many distinct sources")
+		}
+		id = uint16(len(l.sourceID))
+		buf = appendSourceFrame(buf, id, r.Source)
+		l.sourceID[r.Source] = id
+		newSource = true
+	}
+	buf = appendExecFrame(buf, r.Instance, r.Outcome, id)
+	l.buf = buf
+
+	rollback := func(reason error) error {
+		copy(l.persisted, undo)
+		if newSource {
+			delete(l.sourceID, r.Source)
+		}
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.broken = fmt.Errorf("provlog: log state unknown after failed append (%v) and failed trim (%v)", reason, terr)
+			return l.broken
+		}
+		if _, serr := l.f.Seek(l.size, 0); serr != nil {
+			l.broken = fmt.Errorf("provlog: log state unknown after failed append (%v) and failed seek (%v)", reason, serr)
+			return l.broken
+		}
+		return fmt.Errorf("provlog: append: %w", reason)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return rollback(err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return rollback(err)
+		}
+	}
+	l.size += int64(len(buf))
+	l.nextSeq++
+	return nil
+}
+
+// rotate seals the active segment and starts the next one. If creating the
+// next segment fails, the current one stays active and the append that
+// triggered rotation fails; a later append retries.
+func (l *Log) rotate() error {
+	old, oldIndex, oldSize := l.f, l.segIndex, l.size
+	if err := l.createSegment(l.segIndex+1, l.nextSeq); err != nil {
+		l.f, l.segIndex, l.size = old, oldIndex, oldSize
+		return fmt.Errorf("provlog: rotating segment: %w", err)
+	}
+	if err := old.Sync(); err != nil {
+		old.Close()
+		return fmt.Errorf("provlog: sealing segment %d: %w", oldIndex, err)
+	}
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("provlog: sealing segment %d: %w", oldIndex, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the active segment. Further appends fail, so a
+// store still holding the log as its sink rejects new records rather than
+// silently dropping durability.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.f != nil {
+		err = l.f.Sync()
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if l.lock != nil {
+		if cerr := l.lock.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

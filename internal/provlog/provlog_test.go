@@ -1,0 +1,412 @@
+package provlog
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/provenance"
+)
+
+// testSpace declares the reference space; every test constructs it fresh,
+// the way a resumed process would.
+func testSpace(t *testing.T) *pipeline.Space {
+	t.Helper()
+	return pipeline.MustSpace(
+		pipeline.Parameter{Name: "alpha", Kind: pipeline.Ordinal,
+			Domain: []pipeline.Value{pipeline.Ord(0.1), pipeline.Ord(0.5), pipeline.Ord(0.9)}},
+		pipeline.Parameter{Name: "solver", Kind: pipeline.Categorical,
+			Domain: []pipeline.Value{pipeline.Cat("lbfgs"), pipeline.Cat("saga")}},
+		pipeline.Parameter{Name: "depth", Kind: pipeline.Ordinal,
+			Domain: []pipeline.Value{pipeline.Ord(1), pipeline.Ord(2), pipeline.Ord(3), pipeline.Ord(4)}},
+	)
+}
+
+// testRecords yields n distinct instances over s, cycling outcomes and
+// sources; every 5th instance carries an out-of-domain value so dictionary
+// frames keep appearing mid-log, and one instance carries NaN.
+func testRecords(t *testing.T, s *pipeline.Space, n int) ([]pipeline.Instance, []pipeline.Outcome, []string) {
+	t.Helper()
+	sources := []string{"executor", "seed", "csv"}
+	var ins []pipeline.Instance
+	var outs []pipeline.Outcome
+	var srcs []string
+	alphas := s.Domain("alpha")
+	solvers := s.Domain("solver")
+	depths := s.Domain("depth")
+	for i := 0; len(ins) < n; i++ {
+		a := alphas[i%len(alphas)]
+		sol := solvers[(i/len(alphas))%len(solvers)]
+		d := depths[(i/(len(alphas)*len(solvers)))%len(depths)]
+		switch {
+		case i%5 == 4:
+			a = pipeline.Ord(10 + float64(i)) // out-of-domain ordinal
+		case i == 7:
+			sol = pipeline.Cat("newton") // out-of-domain categorical
+		case i == 11:
+			a = pipeline.Ord(math.NaN())
+		}
+		in, err := pipeline.NewInstance(s, []pipeline.Value{a, sol, d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dup := false
+		for _, prev := range ins {
+			if prev.Equal(in) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out := pipeline.Succeed
+		if i%3 == 0 {
+			out = pipeline.Fail
+		}
+		ins = append(ins, in)
+		outs = append(outs, out)
+		srcs = append(srcs, sources[i%len(sources)])
+	}
+	return ins, outs, srcs
+}
+
+// fillStore adds the records through the store (and therefore through the
+// attached sink).
+func fillStore(t *testing.T, st *provenance.Store, ins []pipeline.Instance, outs []pipeline.Outcome, srcs []string) {
+	t.Helper()
+	for i := range ins {
+		if err := st.Add(ins[i], outs[i], srcs[i]); err != nil {
+			t.Fatalf("Add record %d: %v", i, err)
+		}
+	}
+}
+
+// assertStoresEqual compares two stores record by record (by canonical
+// instance key, since the stores may live over distinct Space objects) and
+// spot-checks a rebuilt index.
+func assertStoresEqual(t *testing.T, want, got *provenance.Store) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("store length = %d, want %d", got.Len(), want.Len())
+	}
+	w, g := want.Snapshot(), got.Snapshot()
+	for i := 0; i < w.Len(); i++ {
+		a, b := w.At(i), g.At(i)
+		if a.Seq != b.Seq || a.Instance.Key() != b.Instance.Key() ||
+			a.Outcome != b.Outcome || a.Source != b.Source {
+			t.Fatalf("record %d: got {%d %v %v %q}, want {%d %v %v %q}",
+				i, b.Seq, b.Instance, b.Outcome, b.Source, a.Seq, a.Instance, a.Outcome, a.Source)
+		}
+	}
+	ws, wf := want.Outcomes()
+	gs, gf := got.Outcomes()
+	if ws != gs || wf != gf {
+		t.Fatalf("outcomes = (%d, %d), want (%d, %d)", gs, gf, ws, wf)
+	}
+	if w.Len() == 0 {
+		return
+	}
+	// Indexed query differential: the replayed store must answer history
+	// queries identically, proving the posting/outcome bitsets rebuilt.
+	ref := w.At(0).Instance
+	gref := g.At(0).Instance
+	wd := want.DisjointSucceeding(ref)
+	gd := got.DisjointSucceeding(gref)
+	if len(wd) != len(gd) {
+		t.Fatalf("DisjointSucceeding = %d instances, want %d", len(gd), len(wd))
+	}
+	for i := range wd {
+		if wd[i].Key() != gd[i].Key() {
+			t.Fatalf("DisjointSucceeding[%d] = %v, want %v", i, gd[i], wd[i])
+		}
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := testSpace(t)
+	l, st, err := Open(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, outs, srcs := testRecords(t, s, 20)
+	fillStore(t, st, ins, outs, srcs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir, testSpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, st, got)
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := testSpace(t)
+	l, st, err := Open(dir, s, WithSegmentSize(1)) // clamps to the minimum
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, outs, srcs := testRecords(t, s, 24)
+	fillStore(t, st, ins, outs, srcs)
+	if l.SegmentCount() < 3 {
+		t.Fatalf("segments = %d, want rotation to produce several", l.SegmentCount())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir, testSpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, st, got)
+}
+
+// TestReopenResume closes a log mid-history and reopens it: the rebuilt
+// store must hold the prefix, appends must continue (reusing source ids and
+// dictionary state), and a final replay must see everything.
+func TestReopenResume(t *testing.T) {
+	dir := t.TempDir()
+	s1 := testSpace(t)
+	ins, outs, srcs := testRecords(t, s1, 24)
+	l1, st1, err := Open(dir, s1, WithSegmentSize(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, st1, ins[:10], outs[:10], srcs[:10])
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := testSpace(t)
+	l2, st2, err := Open(dir, s2, WithSegmentSize(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 10 {
+		t.Fatalf("resumed store has %d records, want 10", st2.Len())
+	}
+	// Re-map the remaining records onto the fresh space and keep appending.
+	for i := 10; i < len(ins); i++ {
+		vals := make([]pipeline.Value, ins[i].Len())
+		for j := range vals {
+			vals[j] = ins[i].Value(j)
+		}
+		in, err := pipeline.NewInstance(s2, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st2.Add(in, outs[i], srcs[i]); err != nil {
+			t.Fatalf("resumed Add %d: %v", i, err)
+		}
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Replay(dir, testSpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(ins) {
+		t.Fatalf("replayed %d records, want %d", got.Len(), len(ins))
+	}
+	assertStoresEqual(t, st2, got)
+}
+
+func TestFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := testSpace(t)
+	l, st, err := Open(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, outs, srcs := testRecords(t, s, 4)
+	fillStore(t, st, ins, outs, srcs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := pipeline.MustSpace(
+		pipeline.Parameter{Name: "alpha", Kind: pipeline.Ordinal,
+			Domain: []pipeline.Value{pipeline.Ord(0.1), pipeline.Ord(0.5)}},
+		pipeline.Parameter{Name: "solver", Kind: pipeline.Categorical,
+			Domain: []pipeline.Value{pipeline.Cat("lbfgs"), pipeline.Cat("saga")}},
+		pipeline.Parameter{Name: "depth", Kind: pipeline.Ordinal,
+			Domain: []pipeline.Value{pipeline.Ord(1), pipeline.Ord(2), pipeline.Ord(3), pipeline.Ord(4)}},
+	)
+	if _, err := Replay(dir, other); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("Replay with a different space = %v, want fingerprint error", err)
+	}
+	if _, _, err := Open(dir, other); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("Open with a different space = %v, want fingerprint error", err)
+	}
+}
+
+func TestAppendOutOfOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := testSpace(t)
+	l, _, err := Open(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ins, outs, srcs := testRecords(t, s, 1)
+	rec := provenance.Record{Seq: 5, Instance: ins[0], Outcome: outs[0], Source: srcs[0]}
+	if err := l.Append(rec); err == nil {
+		t.Fatal("out-of-order append succeeded")
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	s := testSpace(t)
+	l, st, err := Open(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ins, outs, srcs := testRecords(t, s, 1)
+	if err := st.Add(ins[0], outs[0], srcs[0]); err == nil {
+		t.Fatal("Add through a closed log succeeded")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("store committed %d records past a closed sink", st.Len())
+	}
+}
+
+func TestReplayEmptyDir(t *testing.T) {
+	if _, err := Replay(t.TempDir(), testSpace(t)); err == nil {
+		t.Fatal("Replay of an empty directory succeeded")
+	}
+}
+
+func TestExistsAndReadSpace(t *testing.T) {
+	dir := t.TempDir()
+	if Exists(dir) {
+		t.Fatal("Exists on empty dir")
+	}
+	s := testSpace(t)
+	l, _, err := Open(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !Exists(dir) {
+		t.Fatal("Exists after Open = false")
+	}
+	got, err := ReadSpace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != s.Fingerprint() {
+		t.Fatalf("ReadSpace fingerprint %016x, want %016x", got.Fingerprint(), s.Fingerprint())
+	}
+}
+
+// TestAppendRejectsOversizedFields proves the write path refuses what the
+// scanner could not read back: an oversized source string or categorical
+// label must fail the Add (leaving memory and disk consistent) instead of
+// poisoning the log.
+func TestAppendRejectsOversizedFields(t *testing.T) {
+	dir := t.TempDir()
+	s := testSpace(t)
+	l, st, err := Open(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, outs, _ := testRecords(t, s, 3)
+	huge := strings.Repeat("s", 1<<16)
+	if err := st.Add(ins[0], outs[0], huge); err == nil {
+		t.Fatal("Add with a 64KiB source succeeded")
+	}
+	hugeVal, err := pipeline.NewInstance(s, []pipeline.Value{
+		ins[1].Value(0), pipeline.Cat(strings.Repeat("v", maxBlob+1)), ins[1].Value(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(hugeVal, outs[1], "executor"); err == nil {
+		t.Fatal("Add with an oversized categorical value succeeded")
+	}
+	// The log must remain usable and consistent after both rejections.
+	if err := st.Add(ins[2], outs[2], "executor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir, testSpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("replayed %d records, want 1", got.Len())
+	}
+}
+
+// TestOpenExcludesSecondWriter proves the single-writer lock: a second
+// Open of a live log must fail rather than interleave appends, and the
+// lock must release on Close.
+func TestOpenExcludesSecondWriter(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, testSpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, testSpace(t)); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second Open of a live log = %v, want lock error", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := Open(dir, testSpace(t))
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSealedSegmentCorruption flips one byte inside a sealed (non-final)
+// segment: recovery must refuse rather than silently drop records that
+// valid later segments still reference.
+func TestSealedSegmentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := testSpace(t)
+	l, st, err := Open(dir, s, WithSegmentSize(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, outs, srcs := testRecords(t, s, 24)
+	fillStore(t, st, ins, outs, srcs)
+	if l.SegmentCount() < 2 {
+		t.Fatalf("need rotation for this test, got %d segments", l.SegmentCount())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg0 := filepath.Join(dir, "wal-000000.seg")
+	data, err := os.ReadFile(seg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+5] ^= 0xff
+	if err := os.WriteFile(seg0, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, testSpace(t)); err == nil {
+		t.Fatal("Replay of a corrupt sealed segment succeeded")
+	}
+	if _, _, err := Open(dir, testSpace(t)); err == nil {
+		t.Fatal("Open of a corrupt sealed segment succeeded")
+	}
+}

@@ -1,0 +1,399 @@
+package provlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/provenance"
+)
+
+// segFile is one discovered segment.
+type segFile struct {
+	path  string
+	index uint32
+}
+
+// listSegments returns the log's segments ordered by index and verifies the
+// indices are contiguous from zero (a gap means a segment was lost, which
+// recovery cannot paper over).
+func listSegments(dir string) ([]segFile, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]segFile, 0, len(names))
+	for _, p := range names {
+		base := filepath.Base(p)
+		numStr := strings.TrimSuffix(strings.TrimPrefix(base, "wal-"), ".seg")
+		n, err := strconv.ParseUint(numStr, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("provlog: unrecognized segment file %q", base)
+		}
+		segs = append(segs, segFile{path: p, index: uint32(n)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	for i, sf := range segs {
+		if sf.index != uint32(i) {
+			return nil, fmt.Errorf("provlog: segment index %d missing (found %s)",
+				i, filepath.Base(sf.path))
+		}
+	}
+	return segs, nil
+}
+
+// replayBatch is how many exec records buffer before a bulk flush into the
+// store; dictionary state never buffers (dict frames precede the records
+// that reference them, so batched records only use settled assignments).
+const replayBatch = 8192
+
+// replayState accumulates the decoded log: the rebuilt store plus the
+// dictionaries needed to resume appending (codes already framed per
+// parameter, source-id assignments). Exec records buffer into a columnar
+// batch and flush through Space.InstancesFromCodes, amortizing lock and
+// allocator traffic across thousands of records.
+type replayState struct {
+	space     *pipeline.Space
+	st        *provenance.Store
+	persisted []int
+	sources   []string
+	sourceID  map[string]uint16
+
+	batchCodes []uint32 // row-major, one row of space.Len() codes per record
+	batchOuts  []pipeline.Outcome
+	batchSrc   []uint16
+	batchIns   []pipeline.Instance // flush scratch
+}
+
+func newReplayState(space *pipeline.Space, st *provenance.Store) *replayState {
+	return &replayState{
+		space:     space,
+		st:        st,
+		persisted: make([]int, space.Len()),
+		sourceID:  make(map[string]uint16),
+		batchIns:  make([]pipeline.Instance, replayBatch),
+	}
+}
+
+// flush materializes the buffered records and commits them to the store.
+func (rs *replayState) flush() error {
+	n := len(rs.batchOuts)
+	if n == 0 {
+		return nil
+	}
+	ins := rs.batchIns[:n]
+	if err := rs.space.InstancesFromCodes(rs.batchCodes, ins); err != nil {
+		return fmt.Errorf("provlog: %w", err)
+	}
+	for i, in := range ins {
+		if err := rs.st.Add(in, rs.batchOuts[i], rs.sources[rs.batchSrc[i]]); err != nil {
+			return err
+		}
+	}
+	rs.batchCodes = rs.batchCodes[:0]
+	rs.batchOuts = rs.batchOuts[:0]
+	rs.batchSrc = rs.batchSrc[:0]
+	return nil
+}
+
+// pending returns how many records are known so far, flushed or not — the
+// count segment headers are validated against.
+func (rs *replayState) pending() int { return rs.st.Len() + len(rs.batchOuts) }
+
+// scanner reads frames sequentially, tracking the byte offset consumed so
+// recovery can truncate back to the last intact frame boundary. crc is a
+// field rather than a local so reading it does not allocate per frame.
+type scanner struct {
+	r   *bufio.Reader
+	off int64
+	buf []byte
+	crc [4]byte
+}
+
+// readFull fills b or reports a torn tail.
+func (s *scanner) readFull(b []byte) error {
+	n, err := io.ReadFull(s.r, b)
+	s.off += int64(n)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return errTorn
+	}
+	return err
+}
+
+// next reads one frame and verifies its checksum. It returns io.EOF at a
+// clean end of the stream and errTorn for anything that reads as a crash
+// artifact. The payload slice is valid until the following call.
+func (s *scanner) next(nParams int) (typ byte, payload []byte, err error) {
+	t, err := s.r.ReadByte()
+	if err == io.EOF {
+		return 0, nil, io.EOF
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	s.off++
+	if t == frameExec {
+		// The hot path: exec frames are fixed-width, so payload and
+		// checksum arrive in a single read.
+		n := 4*nParams + 3
+		s.buf = append(s.buf[:0], t)
+		body := s.grow(n + 4)
+		if err := s.readFull(body); err != nil {
+			return 0, nil, err
+		}
+		want := binary.LittleEndian.Uint32(body[n:])
+		s.buf = s.buf[:1+n]
+		if crc32.ChecksumIEEE(s.buf) != want {
+			return 0, nil, errTorn
+		}
+		return t, s.buf[1:], nil
+	}
+	var n int
+	var tail func(head []byte) (int, error) // extra payload after a fixed head
+	switch t {
+	case frameSource:
+		n = 4
+		tail = func(head []byte) (int, error) {
+			return int(binary.LittleEndian.Uint16(head[2:4])), nil
+		}
+	case frameDict:
+		n = 7
+		tail = func(head []byte) (int, error) {
+			switch pipeline.Kind(head[6]) {
+			case pipeline.Ordinal:
+				return 8, nil
+			case pipeline.Categorical:
+				lenb := make([]byte, 4)
+				if err := s.readFull(lenb); err != nil {
+					return 0, err
+				}
+				s.buf = append(s.buf, lenb...)
+				ln := binary.LittleEndian.Uint32(lenb)
+				if ln > maxBlob {
+					return 0, errTorn
+				}
+				return int(ln), nil
+			default:
+				return 0, errTorn
+			}
+		}
+	default:
+		return 0, nil, errTorn
+	}
+	s.buf = append(s.buf[:0], t)
+	head := s.grow(n)
+	if err := s.readFull(head); err != nil {
+		return 0, nil, err
+	}
+	if tail != nil {
+		extra, err := tail(head)
+		if err != nil {
+			return 0, nil, err
+		}
+		rest := s.grow(extra)
+		if err := s.readFull(rest); err != nil {
+			return 0, nil, err
+		}
+	}
+	if err := s.readFull(s.crc[:]); err != nil {
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(s.buf) != binary.LittleEndian.Uint32(s.crc[:]) {
+		return 0, nil, errTorn
+	}
+	return t, s.buf[1:], nil
+}
+
+// grow extends the frame buffer by n bytes and returns the new window,
+// skipping the zero-fill when capacity suffices (the caller overwrites it).
+func (s *scanner) grow(n int) []byte {
+	old := len(s.buf)
+	if cap(s.buf) >= old+n {
+		s.buf = s.buf[:old+n]
+	} else {
+		s.buf = append(s.buf, make([]byte, n)...)
+	}
+	return s.buf[old:]
+}
+
+// apply decodes one verified frame into the replay state. Errors here are
+// never recoverable: a frame with a valid checksum that contradicts the
+// space or the replay invariants means the log and the space diverged.
+func (rs *replayState) apply(typ byte, payload []byte) error {
+	switch typ {
+	case frameDict:
+		p := int(binary.LittleEndian.Uint16(payload[0:2]))
+		code := binary.LittleEndian.Uint32(payload[2:6])
+		if p >= rs.space.Len() {
+			return fmt.Errorf("provlog: dict entry for parameter %d of %d", p, rs.space.Len())
+		}
+		if int(code) != rs.persisted[p] {
+			return fmt.Errorf("provlog: dict entry for parameter %d assigns code %d, want %d",
+				p, code, rs.persisted[p])
+		}
+		var v pipeline.Value
+		switch pipeline.Kind(payload[6]) {
+		case pipeline.Ordinal:
+			v = pipeline.Ord(math.Float64frombits(binary.LittleEndian.Uint64(payload[7:15])))
+		case pipeline.Categorical:
+			v = pipeline.Cat(string(payload[11:]))
+		default:
+			return fmt.Errorf("provlog: dict entry with invalid kind %d", payload[6])
+		}
+		if got := rs.space.Intern(p, v); got != code {
+			return fmt.Errorf("provlog: value %v of parameter %q interned as code %d, log says %d (log written against a different space?)",
+				v, rs.space.At(p).Name, got, code)
+		}
+		rs.persisted[p]++
+	case frameSource:
+		id := binary.LittleEndian.Uint16(payload[0:2])
+		if int(id) != len(rs.sources) {
+			return fmt.Errorf("provlog: source entry assigns id %d, want %d", id, len(rs.sources))
+		}
+		src := string(payload[4:])
+		rs.sources = append(rs.sources, src)
+		rs.sourceID[src] = id
+	case frameExec:
+		p := rs.space.Len()
+		for i := 0; i < p; i++ {
+			c := binary.LittleEndian.Uint32(payload[4*i : 4*i+4])
+			if int(c) >= rs.persisted[i] {
+				return fmt.Errorf("provlog: record references code %d of parameter %d before its dict entry", c, i)
+			}
+			rs.batchCodes = append(rs.batchCodes, c)
+		}
+		out := pipeline.Outcome(payload[4*p])
+		if out != pipeline.Succeed && out != pipeline.Fail {
+			return fmt.Errorf("provlog: record with invalid outcome %d", out)
+		}
+		srcID := binary.LittleEndian.Uint16(payload[4*p+1:])
+		if int(srcID) >= len(rs.sources) {
+			return fmt.Errorf("provlog: record references source id %d before its entry", srcID)
+		}
+		rs.batchOuts = append(rs.batchOuts, out)
+		rs.batchSrc = append(rs.batchSrc, srcID)
+		if len(rs.batchOuts) >= replayBatch {
+			return rs.flush()
+		}
+	}
+	return nil
+}
+
+// replaySegment replays one segment into rs and returns the number of
+// leading bytes that decoded cleanly. Torn data (short reads, checksum
+// mismatches) stops the scan: in the final segment the intact prefix is the
+// recovery point, anywhere else it is a hard error. lastGood < headerSize
+// means even the header was torn and the segment holds nothing.
+func replaySegment(sf segFile, rs *replayState, isFinal bool) (lastGood int64, err error) {
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := &scanner{r: bufio.NewReaderSize(f, 1<<16)}
+	hb := make([]byte, headerSize)
+	if _, err := io.ReadFull(sc.r, hb); err != nil {
+		if isFinal && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("provlog: %s: reading header: %w", filepath.Base(sf.path), err)
+	}
+	sc.off = headerSize
+	h, err := decodeHeader(hb)
+	if err != nil {
+		if isFinal {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("provlog: %s: corrupt header", filepath.Base(sf.path))
+	}
+	if h.fingerprint != rs.space.Fingerprint() {
+		return 0, fmt.Errorf("provlog: %s: log fingerprint %016x does not match space fingerprint %016x (different space?)",
+			filepath.Base(sf.path), h.fingerprint, rs.space.Fingerprint())
+	}
+	if int(h.nParams) != rs.space.Len() {
+		return 0, fmt.Errorf("provlog: %s: log has %d parameters, space has %d",
+			filepath.Base(sf.path), h.nParams, rs.space.Len())
+	}
+	if h.segIndex != sf.index {
+		return 0, fmt.Errorf("provlog: %s: header says segment %d", filepath.Base(sf.path), h.segIndex)
+	}
+	if h.firstSeq != uint64(rs.pending()) {
+		return 0, fmt.Errorf("provlog: %s: first sequence %d, but %d records precede it",
+			filepath.Base(sf.path), h.firstSeq, rs.pending())
+	}
+	lastGood = sc.off
+	for {
+		typ, payload, err := sc.next(rs.space.Len())
+		if err == io.EOF {
+			return lastGood, rs.flush()
+		}
+		if err == errTorn {
+			if isFinal {
+				return lastGood, rs.flush()
+			}
+			return lastGood, fmt.Errorf("provlog: %s: corrupt frame at offset %d in sealed segment",
+				filepath.Base(sf.path), lastGood)
+		}
+		if err != nil {
+			return lastGood, fmt.Errorf("provlog: %s: %w", filepath.Base(sf.path), err)
+		}
+		if err := rs.apply(typ, payload); err != nil {
+			return lastGood, fmt.Errorf("%w (%s, offset %d)", err, filepath.Base(sf.path), lastGood)
+		}
+		lastGood = sc.off
+	}
+}
+
+// replayDir replays every segment of dir into a fresh store. It returns the
+// replay state, the segment list, and the intact byte length of the final
+// segment (the recovery point a writer must truncate to before appending).
+func replayDir(dir string, space *pipeline.Space) (*replayState, []segFile, int64, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Size the store from the segment bytes: every record costs at least an
+	// exec frame, so this caps the record count within the dictionary
+	// overhead and avoids incremental index growth during replay.
+	var capEstimate int64
+	execFrame := int64(4*space.Len() + 8)
+	for _, sf := range segs {
+		if fi, err := os.Stat(sf.path); err == nil && fi.Size() > headerSize {
+			capEstimate += (fi.Size() - headerSize) / execFrame
+		}
+	}
+	rs := newReplayState(space, provenance.NewStoreWithCapacity(space, int(capEstimate)))
+	var lastGood int64
+	for i, sf := range segs {
+		lastGood, err = replaySegment(sf, rs, i == len(segs)-1)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	return rs, segs, lastGood, nil
+}
+
+// Replay rebuilds a fully-indexed provenance store from the log in dir
+// without modifying any file. Space must be constructed exactly as it was
+// when the log was created (same spec); the segment headers' fingerprint
+// enforces this. A torn final record — the signature of a crash mid-append
+// — is skipped; the returned store holds exactly the intact prefix.
+func Replay(dir string, space *pipeline.Space) (*provenance.Store, error) {
+	rs, segs, _, err := replayDir(dir, space)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("provlog: no log segments in %s", dir)
+	}
+	return rs.st, nil
+}
