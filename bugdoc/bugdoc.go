@@ -71,6 +71,10 @@ type (
 	Store = provenance.Store
 	// Record is one provenance entry.
 	Record = provenance.Record
+	// SyncPolicy tunes the durable log's group commit: how concurrent
+	// appends coalesce into commit windows (one buffered write, and — with
+	// WithFsync — one fsync, per window).
+	SyncPolicy = provlog.SyncPolicy
 )
 
 // Value kinds.
@@ -162,17 +166,36 @@ func WithDurability(dir string) Option {
 	return func(s *Session) { s.stateDir = dir }
 }
 
+// WithSyncPolicy tunes group commit for a durable session's write-ahead
+// log: concurrent executions coalesce their log appends into commit
+// windows of at most MaxBatch records, each flushed with one buffered
+// write after at most Interval of accumulation. It has no effect without
+// WithDurability.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(s *Session) { s.syncPolicy = &p }
+}
+
+// WithFsync makes the durable session fsync every commit window, trading
+// throughput for zero loss on a machine crash (the default leaves flushing
+// to the OS; a process kill alone loses nothing either way). It has no
+// effect without WithDurability.
+func WithFsync(on bool) Option {
+	return func(s *Session) { s.fsync = on }
+}
+
 // Session is a debugging session over one pipeline: an oracle, a provenance
 // store, and budgeted, parallel execution — optionally durable and
 // resumable (WithDurability, ResumeSession).
 type Session struct {
-	space    *Space
-	ex       *exec.Executor
-	seed     int64
-	budget   int
-	workers  int
-	history  []Record
-	stateDir string
+	space      *Space
+	ex         *exec.Executor
+	seed       int64
+	budget     int
+	workers    int
+	history    []Record
+	stateDir   string
+	syncPolicy *SyncPolicy
+	fsync      bool
 }
 
 // NewSession builds a session for the pipeline described by space whose
@@ -189,8 +212,18 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 		o(s)
 	}
 	if s.stateDir != "" {
-		ex, err := exec.NewDurable(oracle, space, s.stateDir,
-			exec.WithBudget(s.budget), exec.WithWorkers(s.workers))
+		exOpts := []exec.Option{exec.WithBudget(s.budget), exec.WithWorkers(s.workers)}
+		var logOpts []provlog.Option
+		if s.fsync {
+			logOpts = append(logOpts, provlog.WithSync(true))
+		}
+		if s.syncPolicy != nil {
+			logOpts = append(logOpts, provlog.WithSyncPolicy(*s.syncPolicy))
+		}
+		if len(logOpts) > 0 {
+			exOpts = append(exOpts, exec.WithLogOptions(logOpts...))
+		}
+		ex, err := exec.NewDurable(oracle, space, s.stateDir, exOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("bugdoc: %w", err)
 		}

@@ -15,6 +15,20 @@
 //	bugdoc -demo polygamy -algo ddt -goal all -state-dir ./state
 //	bugdoc -demo polygamy -algo ddt -goal all -state-dir ./state -resume
 //
+//	# Crash-safe durable mode: -sync enables fsync with the given
+//	# group-commit window. Concurrent workers (and each algorithm round's
+//	# batched hypothesis set) coalesce their log appends into one write
+//	# and one fsync per window, so durability costs per round, not per
+//	# instance. -sync 0 still fsyncs every window (natural batching);
+//	# omit the flag to leave flushing to the OS.
+//	bugdoc -demo polygamy -algo ddt -goal all -state-dir ./state \
+//	    -workers 8 -sync 2ms
+//
+// The algorithms submit hypothesis sets (DDT suspect verifications,
+// stacked-shortcut candidate rounds) as batches: the executor dedupes them
+// against memoized provenance, dispatches the misses across -workers
+// workers, and commits the results through one provenance batch append.
+//
 // The spec file declares the parameter space (see internal/spec); the
 // provenance CSV has one column per parameter plus an "outcome" column with
 // values "succeed"/"fail".
@@ -58,6 +72,7 @@ func run() error {
 		stateDir = flag.String("state-dir", "", "write-ahead log provenance here; reopening resumes it")
 		resume   = flag.Bool("resume", false, "require existing state in -state-dir and continue it")
 		latency  = flag.Duration("latency", 0, "simulated per-execution latency (e.g. 50ms)")
+		syncWin  = flag.Duration("sync", -1, "fsync the WAL with this group-commit window (e.g. 2ms; 0 = every window; < 0 = no fsync)")
 	)
 	flag.Parse()
 
@@ -100,7 +115,13 @@ func run() error {
 		if *resume && !provlog.Exists(*stateDir) {
 			return fmt.Errorf("-resume: no session state in %s", *stateDir)
 		}
-		lg, durable, err := provlog.Open(*stateDir, st.Space())
+		var logOpts []provlog.Option
+		if *syncWin >= 0 {
+			logOpts = append(logOpts,
+				provlog.WithSync(true),
+				provlog.WithSyncPolicy(provlog.SyncPolicy{Interval: *syncWin}))
+		}
+		lg, durable, err := provlog.Open(*stateDir, st.Space(), logOpts...)
 		if err != nil {
 			return err
 		}

@@ -59,4 +59,41 @@
 //     bugdoc.WithDurability and bugdoc.ResumeSession, and the cmd/bugdoc
 //     -state-dir/-resume flags. A killed run resumes where it left off
 //     with zero repeated oracle calls for already-logged instances.
+//
+// # Batched hypothesis dispatch and WAL group commit
+//
+// BugDoc's algorithms emit sets of candidate instances per round — DDT
+// suspect verifications, stacked-shortcut candidate pools, group-testing
+// levels — and the execution stack dispatches them as sets instead of
+// loops:
+//
+//   - exec.Executor.EvaluateBatch dedupes a hypothesis set against
+//     memoized history (and against itself), claims budget in input order
+//     (the deterministic partial-result contract EvaluateAll documents),
+//     dispatches the misses across the worker pool, and commits every
+//     result through one provenance.Store.AddBatch.
+//   - provenance.Store.AddBatch takes the write lock once and hands the
+//     sink a single multi-record append. Sinks implementing StagedSink
+//     split every append into a staging phase under the lock and a
+//     durability wait outside it, so concurrent Adds overlap in the
+//     expensive flush; in-flight records are tracked until durable and
+//     committed to the indices strictly in sequence order, preserving
+//     write-ahead semantics.
+//   - internal/provlog group-commits: staged appends accumulate in a
+//     pending commit window, and the first waiter becomes the leader that
+//     writes (and, with fsync enabled, syncs) everything staged in one
+//     call while followers park on its done channel. SyncPolicy{Interval,
+//     MaxBatch} tunes the window; it threads through exec.NewDurable
+//     (exec.WithLogOptions), bugdoc.WithSyncPolicy/WithFsync, and the
+//     cmd/bugdoc -sync flag. A durable batched round costs one fsync per
+//     commit window instead of one per record (BenchmarkEvaluateBatchDurable
+//     vs BenchmarkEvaluateDurablePerInstance, >20x at 8 workers).
+//   - Recovery is unchanged by batching: a batch is a contiguous run of
+//     CRC-framed records, so a crash mid-group-commit truncates to the
+//     intact frame prefix — torture-tested at every byte offset of a
+//     multi-record batch (internal/provlog).
+//
+// CI gates the hot paths with a benchmark-regression job: cmd/benchdiff
+// compares median ns/op of the gated benchmarks against the committed
+// BENCH_BASELINE.json and fails the build on >25% regression.
 package repro

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync/atomic"
 
 	"repro/bugdoc"
 	"repro/internal/core"
@@ -57,11 +58,13 @@ func main() {
 	fmt.Println("Step 1 — BugDoc root cause:")
 	fmt.Print(bugdoc.Explain(causes))
 
-	// Step 2: the root cause names a dataset, so group-test its rows:
-	// each test runs the pipeline on a subset of the feed.
-	runs := 0
+	// Step 2: the root cause names a dataset, so group-test its rows: each
+	// test runs the pipeline on a subset of the feed. The splitting rounds
+	// are independent hypothesis sets, so Parallel dispatches each round
+	// across workers, the way the executor parallelizes instance batches.
+	var runs int64
 	tester := grouptest.TesterFunc(func(_ context.Context, rows []int) (bool, error) {
-		runs++
+		atomic.AddInt64(&runs, 1)
 		for _, r := range rows {
 			if corruptRows[r] {
 				return true, nil
@@ -69,7 +72,7 @@ func main() {
 		}
 		return false, nil
 	})
-	res, err := grouptest.FindDefectives(ctx, tester, datasetRows, grouptest.Options{})
+	res, err := grouptest.FindDefectives(ctx, grouptest.Parallel(tester, 4), datasetRows, grouptest.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -177,7 +177,10 @@ func verifySuspect(ctx context.Context, ex *exec.Executor, suspect predicate.Con
 	if len(tests) == 0 {
 		return verdictUntestable, nil
 	}
-	results := ex.EvaluateAll(ctx, tests)
+	// The verification instances are one hypothesis set: dispatch them as a
+	// batch so scheduling, store lock traffic, and (for durable sessions)
+	// WAL fsyncs amortize per round instead of per instance.
+	results := ex.EvaluateBatch(ctx, tests)
 	sawFail, sawBudget, sawUnknown := false, false, false
 	for _, r := range results {
 		switch {

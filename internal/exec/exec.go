@@ -63,13 +63,21 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithLogOptions forwards options to the durability log that NewDurable
+// opens (segment size, fsync, group-commit sync policy). Executors built
+// by New have no log and ignore them.
+func WithLogOptions(opts ...provlog.Option) Option {
+	return func(e *Executor) { e.logOpts = append(e.logOpts, opts...) }
+}
+
 // Executor mediates every instance execution for the debugging algorithms.
 // It is safe for concurrent use.
 type Executor struct {
 	oracle  Oracle
 	store   *provenance.Store
 	workers int
-	log     *provlog.Log // non-nil for durable executors (NewDurable)
+	log     *provlog.Log     // non-nil for durable executors (NewDurable)
+	logOpts []provlog.Option // collected by WithLogOptions for NewDurable
 
 	mu     sync.Mutex
 	budget int // remaining new executions; negative = unlimited
@@ -95,7 +103,12 @@ func New(oracle Oracle, store *provenance.Store, opts ...Option) *Executor {
 // constructed from the same declaration every run; the log's fingerprint
 // check enforces this. Callers must Close the executor to seal the log.
 func NewDurable(oracle Oracle, space *pipeline.Space, dir string, opts ...Option) (*Executor, error) {
-	l, st, err := provlog.Open(dir, space)
+	// Collect the log options before the log exists.
+	cfg := &Executor{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	l, st, err := provlog.Open(dir, space, cfg.logOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("exec: durability: %w", err)
 	}
@@ -171,6 +184,22 @@ func (e *Executor) Evaluate(ctx context.Context, in pipeline.Instance) (pipeline
 	if err := e.reserve(); err != nil {
 		return pipeline.OutcomeUnknown, err
 	}
+	out, err := e.runReserved(ctx, in)
+	if err != nil {
+		return pipeline.OutcomeUnknown, err
+	}
+	return e.commitOne(in, out)
+}
+
+// runReserved runs the oracle for an instance whose budget is already
+// reserved, refunding the reservation on failure — or when the instance
+// turned out to be memoized between the claim and the run (a concurrent
+// evaluation won; nothing was executed).
+func (e *Executor) runReserved(ctx context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+	if out, ok := e.store.Lookup(in); ok {
+		e.release()
+		return out, nil
+	}
 	out, err := e.oracle.Run(ctx, in)
 	if err != nil {
 		e.release()
@@ -180,6 +209,11 @@ func (e *Executor) Evaluate(ctx context.Context, in pipeline.Instance) (pipeline
 		e.release()
 		return pipeline.OutcomeUnknown, fmt.Errorf("exec: oracle returned %v for %v", out, in)
 	}
+	return out, nil
+}
+
+// commitOne records one oracle result in provenance.
+func (e *Executor) commitOne(in pipeline.Instance, out pipeline.Outcome) (pipeline.Outcome, error) {
 	if err := e.store.Add(in, out, "executor"); err != nil {
 		// A concurrent evaluation of the same instance won the race; its
 		// result is authoritative and our duplicate execution was wasted
@@ -194,7 +228,8 @@ func (e *Executor) Evaluate(ctx context.Context, in pipeline.Instance) (pipeline
 	return out, nil
 }
 
-// Result pairs an instance with its evaluation or error from EvaluateAll.
+// Result pairs an instance with its evaluation or error from EvaluateAll
+// and EvaluateBatch.
 type Result struct {
 	Instance pipeline.Instance
 	Outcome  pipeline.Outcome
@@ -202,34 +237,142 @@ type Result struct {
 }
 
 // EvaluateAll evaluates the instances concurrently on the worker pool and
-// returns results in input order. Individual failures (budget exhaustion,
-// unknown historical instances, oracle errors) are reported per-result so
-// callers can use partial information, mirroring how the dispatcher keeps
-// other workers busy when one instance fails.
+// returns results in input order, committing each result to provenance as
+// it lands (use EvaluateBatch to amortize commits instead). Individual
+// failures (budget exhaustion, unknown historical instances, oracle
+// errors) are reported per-result so callers can use partial information.
+//
+// Partial results under budget exhaustion are deterministic: memoized
+// instances are free, and the remaining budget is claimed in input order
+// before any dispatch, so with budget for k new executions exactly the
+// first k distinct un-memoized instances run and every later one reports
+// ErrBudgetExhausted — regardless of worker scheduling. Budget refunded by
+// a failing run funds later calls, not later instances of this set. A
+// duplicate of an earlier instance in the set reports that instance's
+// result instead of being dispatched twice.
 func (e *Executor) EvaluateAll(ctx context.Context, ins []pipeline.Instance) []Result {
+	return e.evaluateSet(ctx, ins, false)
+}
+
+// EvaluateBatch evaluates a hypothesis set as one batch: it dedupes the
+// set against memoized history (and against itself) up front, claims
+// budget in input order per the EvaluateAll contract, dispatches the
+// misses across the worker pool, and commits all results through a single
+// provenance.Store.AddBatch — one store write-lock acquisition and one
+// multi-record sink append, so a durable executor pays one commit window
+// (one fsync) per round instead of one per record.
+//
+// The tradeoff against EvaluateAll is commit granularity: results become
+// queryable (and durable) together at the end of the batch, so a crash
+// mid-batch re-executes the whole round, while EvaluateAll persists each
+// instance as it completes.
+func (e *Executor) EvaluateBatch(ctx context.Context, ins []pipeline.Instance) []Result {
+	return e.evaluateSet(ctx, ins, true)
+}
+
+// evaluateSet implements EvaluateAll (batch=false: per-instance commits)
+// and EvaluateBatch (batch=true: one AddBatch at the end).
+func (e *Executor) evaluateSet(ctx context.Context, ins []pipeline.Instance, batch bool) []Result {
 	results := make([]Result, len(ins))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	workers := e.workers
-	if workers > len(ins) {
-		workers = len(ins)
+	run, dupOf := e.planSet(ctx, ins, results)
+
+	if len(run) > 0 {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		workers := e.workers
+		if workers > len(run) {
+			workers = len(run)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					out, err := e.runReserved(ctx, ins[i])
+					if err == nil && !batch {
+						out, err = e.commitOne(ins[i], out)
+					}
+					results[i].Outcome, results[i].Err = out, err
+				}
+			}()
+		}
+		for _, i := range run {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out, err := e.Evaluate(ctx, ins[i])
-				results[i] = Result{Instance: ins[i], Outcome: out, Err: err}
-			}
-		}()
+
+	if batch {
+		e.commitBatch(ins, run, results)
 	}
-	for i := range ins {
-		jobs <- i
+	for i, j := range dupOf {
+		results[i].Outcome, results[i].Err = results[j].Outcome, results[j].Err
 	}
-	close(jobs)
-	wg.Wait()
 	return results
+}
+
+// planSet resolves memoized hits and intra-set duplicates and claims
+// budget for the misses in input order. It fills results for everything it
+// resolves and returns the indices to dispatch plus the duplicate mapping.
+func (e *Executor) planSet(ctx context.Context, ins []pipeline.Instance, results []Result) (run []int, dupOf map[int]int) {
+	firstAt := pipeline.NewInstanceMap[int32](len(ins))
+	for i, in := range ins {
+		results[i].Instance = in
+		if out, ok := e.store.Lookup(in); ok {
+			results[i].Outcome = out
+			continue
+		}
+		if j, seen := firstAt.Get(in); seen {
+			if dupOf == nil {
+				dupOf = make(map[int]int)
+			}
+			dupOf[i] = int(j)
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			results[i].Outcome, results[i].Err = pipeline.OutcomeUnknown, err
+			continue
+		}
+		if err := e.reserve(); err != nil {
+			results[i].Outcome, results[i].Err = pipeline.OutcomeUnknown, err
+			continue
+		}
+		firstAt.Put(in, int32(i))
+		run = append(run, i)
+	}
+	return run, dupOf
+}
+
+// commitBatch records every successful oracle run of the round through one
+// AddBatch. Entries the store skipped as duplicates (a concurrent
+// evaluation won the race) keep their results — the recorded outcome is
+// identical by determinism. If the batch commit fails, results whose
+// record did not reach the store report the error and their budget is
+// refunded: an unrecorded execution must not be treated as provenance.
+func (e *Executor) commitBatch(ins []pipeline.Instance, run []int, results []Result) {
+	entries := make([]provenance.Entry, 0, len(run))
+	idxs := make([]int, 0, len(run))
+	for _, i := range run {
+		if results[i].Err == nil {
+			entries = append(entries, provenance.Entry{
+				Instance: ins[i], Outcome: results[i].Outcome, Source: "executor",
+			})
+			idxs = append(idxs, i)
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+	if _, err := e.store.AddBatch(entries); err != nil {
+		for _, i := range idxs {
+			if _, ok := e.store.Lookup(ins[i]); !ok {
+				results[i].Outcome = pipeline.OutcomeUnknown
+				results[i].Err = err
+				e.release()
+			}
+		}
+	}
 }
 
 // LatencyOracle wraps an oracle with a fixed per-run latency, simulating

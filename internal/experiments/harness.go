@@ -108,11 +108,17 @@ func newProblemWithHistory(ctx context.Context, space *pipeline.Space, oracle ex
 	if err := core.SeedHistory(ctx, ex, r, 2000); err != nil {
 		return nil, err
 	}
-	for i := 0; i < extra; i++ {
-		// Memoized duplicates cost nothing; errors other than replay
-		// misses are real failures.
-		if _, err := ex.Evaluate(ctx, space.RandomInstance(r)); err != nil {
-			return nil, err
+	if extra > 0 {
+		// The extra history is one set of independent random instances:
+		// dispatch it as a batch (memoized duplicates resolve for free).
+		sample := make([]pipeline.Instance, extra)
+		for i := range sample {
+			sample[i] = space.RandomInstance(r)
+		}
+		for _, res := range ex.EvaluateBatch(ctx, sample) {
+			if res.Err != nil {
+				return nil, res.Err
+			}
 		}
 	}
 	return &problem{
@@ -127,11 +133,13 @@ func newProblemWithHistory(ctx context.Context, space *pipeline.Space, oracle ex
 // executor builds a fresh executor over the problem's seed history.
 // budget < 0 means unlimited.
 func (p *problem) executor(budget, workers int) (*exec.Executor, error) {
-	st := provenance.NewStore(p.space)
-	for _, r := range p.seeds {
-		if err := st.Add(r.Instance, r.Outcome, "seed"); err != nil {
-			return nil, err
-		}
+	st := provenance.NewStoreWithCapacity(p.space, len(p.seeds))
+	entries := make([]provenance.Entry, len(p.seeds))
+	for i, r := range p.seeds {
+		entries[i] = provenance.Entry{Instance: r.Instance, Outcome: r.Outcome, Source: "seed"}
+	}
+	if _, err := st.AddBatch(entries); err != nil {
+		return nil, err
 	}
 	opts := []exec.Option{exec.WithBudget(budget)}
 	if workers > 1 {

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Tester evaluates the pipeline on a subset of data elements (identified by
@@ -35,6 +37,80 @@ func (f TesterFunc) Test(ctx context.Context, elements []int) (bool, error) {
 	return f(ctx, elements)
 }
 
+// BatchTester is an optional Tester extension: a round of independent
+// subsets is submitted as one call, so implementations backed by a
+// pipeline executor can dispatch the hypotheses in parallel and commit
+// their provenance in one batch. TestBatch returns one verdict per subset,
+// in order; an error discards the whole round.
+type BatchTester interface {
+	Tester
+	TestBatch(ctx context.Context, subsets [][]int) ([]bool, error)
+}
+
+// Parallel wraps a Tester into a BatchTester that dispatches each round's
+// subsets across up to workers goroutines — the group-testing analogue of
+// the executor's worker pool (Section 4.3: independent pipeline runs
+// parallelize). The underlying Tester must be safe for concurrent use. Of
+// the errors a round produces, the one from the lowest-indexed subset is
+// reported.
+func Parallel(t Tester, workers int) BatchTester {
+	if workers < 1 {
+		workers = 1
+	}
+	return &parallelTester{t: t, workers: workers}
+}
+
+type parallelTester struct {
+	t       Tester
+	workers int
+}
+
+// Test implements Tester.
+func (p *parallelTester) Test(ctx context.Context, elements []int) (bool, error) {
+	return p.t.Test(ctx, elements)
+}
+
+// TestBatch implements BatchTester. One failed subset discards the whole
+// round, so once any test errors the remaining subsets are skipped — each
+// test can be an expensive pipeline run.
+func (p *parallelTester) TestBatch(ctx context.Context, subsets [][]int) ([]bool, error) {
+	fails := make([]bool, len(subsets))
+	errs := make([]error, len(subsets))
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > len(subsets) {
+		workers = len(subsets)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				fails[i], errs[i] = p.t.Test(ctx, subsets[i])
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range subsets {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fails, nil
+}
+
 // ErrBudgetExhausted is returned when the test budget runs out before every
 // defective element is isolated.
 var ErrBudgetExhausted = errors.New("grouptest: test budget exhausted")
@@ -49,7 +125,10 @@ type Options struct {
 type Result struct {
 	// Defective lists the isolated defective element indices, sorted.
 	Defective []int
-	// Tests is the number of Tester invocations used.
+	// Tests is the number of Tester invocations charged. A batched round
+	// that errors is not charged — its verdicts are discarded and a batch
+	// tester may have skipped members after the failure — so after an
+	// error Tests can undercount the invocations actually attempted.
 	Tests int
 }
 
@@ -57,6 +136,16 @@ type Result struct {
 // adaptive binary splitting: test the whole range; if it fails, split it and
 // recurse into each failing half, skipping halves that test clean. Each
 // defective costs O(log n) tests; clean regions are discarded wholesale.
+//
+// The splitting proceeds in level-order rounds: the ranges of one depth
+// are independent hypotheses, so each round is submitted as a set — one
+// TestBatch call when the tester supports it (letting an executor-backed
+// tester parallelize the runs and commit their provenance in one batch),
+// sequential Test calls otherwise. An unbudgeted run visits exactly the
+// ranges of the depth-first formulation, in breadth-first order; under
+// MaxTests the budget is spent breadth-first, so a truncated search may
+// have isolated different (typically fewer) defectives than a depth-first
+// spend of the same budget would.
 func FindDefectives(ctx context.Context, t Tester, n int, opts Options) (*Result, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("grouptest: negative element count %d", n)
@@ -65,42 +154,76 @@ func FindDefectives(ctx context.Context, t Tester, n int, opts Options) (*Result
 	if n == 0 {
 		return res, nil
 	}
-	run := func(lo, hi int) (bool, error) {
-		if opts.MaxTests > 0 && res.Tests >= opts.MaxTests {
-			return false, ErrBudgetExhausted
-		}
+	bt, batched := t.(BatchTester)
+	type span struct{ lo, hi int }
+	level := []span{{0, n}}
+	for len(level) > 0 {
 		if err := ctx.Err(); err != nil {
-			return false, err
+			sort.Ints(res.Defective)
+			return res, err
 		}
-		res.Tests++
-		elems := make([]int, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			elems = append(elems, i)
+		// Claim budget for the round in range order; a truncated round
+		// still tests (and reports) its funded prefix before failing.
+		round := level
+		exhausted := false
+		if opts.MaxTests > 0 && res.Tests+len(round) > opts.MaxTests {
+			round = round[:opts.MaxTests-res.Tests]
+			exhausted = true
 		}
-		return t.Test(ctx, elems)
-	}
-	var search func(lo, hi int) error
-	search = func(lo, hi int) error {
-		fails, err := run(lo, hi)
+		subsets := make([][]int, len(round))
+		for i, sp := range round {
+			elems := make([]int, 0, sp.hi-sp.lo)
+			for e := sp.lo; e < sp.hi; e++ {
+				elems = append(elems, e)
+			}
+			subsets[i] = elems
+		}
+		var fails []bool
+		var err error
+		if batched && len(subsets) > 1 {
+			fails, err = bt.TestBatch(ctx, subsets)
+			if err == nil && len(fails) != len(subsets) {
+				err = fmt.Errorf("grouptest: TestBatch returned %d verdicts for %d subsets", len(fails), len(subsets))
+			}
+			if err == nil {
+				// A failed round yields no usable verdicts (and batch
+				// testers may skip subsets after an error), so only
+				// successful rounds charge the test count.
+				res.Tests += len(subsets)
+			}
+		} else {
+			fails = make([]bool, len(subsets))
+			for i, elems := range subsets {
+				if err = ctx.Err(); err != nil {
+					break // don't start further tests after cancellation
+				}
+				res.Tests++
+				if fails[i], err = t.Test(ctx, elems); err != nil {
+					break
+				}
+			}
+		}
 		if err != nil {
-			return err
+			sort.Ints(res.Defective)
+			return res, err
 		}
-		if !fails {
-			return nil
+		var next []span
+		for i, sp := range round {
+			if !fails[i] {
+				continue
+			}
+			if sp.hi-sp.lo == 1 {
+				res.Defective = append(res.Defective, sp.lo)
+				continue
+			}
+			mid := sp.lo + (sp.hi-sp.lo)/2
+			next = append(next, span{sp.lo, mid}, span{mid, sp.hi})
 		}
-		if hi-lo == 1 {
-			res.Defective = append(res.Defective, lo)
-			return nil
+		if exhausted {
+			sort.Ints(res.Defective)
+			return res, ErrBudgetExhausted
 		}
-		mid := lo + (hi-lo)/2
-		if err := search(lo, mid); err != nil {
-			return err
-		}
-		return search(mid, hi)
-	}
-	if err := search(0, n); err != nil {
-		sort.Ints(res.Defective)
-		return res, err
+		level = next
 	}
 	sort.Ints(res.Defective)
 	return res, nil

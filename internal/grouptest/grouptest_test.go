@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -104,6 +105,42 @@ func TestFindDefectivesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFindDefectivesParallelBatches runs the search through the Parallel
+// BatchTester and asserts it finds the same defectives in the same number
+// of tests as the sequential path.
+func TestFindDefectivesParallelBatches(t *testing.T) {
+	def := map[int]bool{3: true, 17: true, 18: true, 200: true}
+	seq, err := FindDefectives(context.Background(), defectiveTester(def, nil), 256, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int64
+	base := TesterFunc(func(_ context.Context, elements []int) (bool, error) {
+		atomic.AddInt64(&calls, 1)
+		for _, e := range elements {
+			if def[e] {
+				return true, nil
+			}
+		}
+		return false, nil
+	})
+	par, err := FindDefectives(context.Background(), Parallel(base, 4), 256, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Defective) != len(def) {
+		t.Fatalf("Defective = %v", par.Defective)
+	}
+	for _, e := range par.Defective {
+		if !def[e] {
+			t.Fatalf("false positive %d", e)
+		}
+	}
+	if par.Tests != seq.Tests || int64(par.Tests) != atomic.LoadInt64(&calls) {
+		t.Fatalf("parallel used %d tests (%d calls), sequential %d", par.Tests, calls, seq.Tests)
 	}
 }
 

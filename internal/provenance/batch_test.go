@@ -1,0 +1,173 @@
+package provenance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// recordingSink captures plain Appends.
+type recordingSink struct {
+	recs []Record
+	fail bool
+}
+
+func (s *recordingSink) Append(r Record) error {
+	if s.fail {
+		return fmt.Errorf("sink down")
+	}
+	s.recs = append(s.recs, r)
+	return nil
+}
+
+// stagingSink implements StagedSink, recording how records arrive in
+// staged groups; failNext makes the next wait report a flush failure.
+type stagingSink struct {
+	groups   [][]Record
+	failNext bool
+}
+
+func (s *stagingSink) Append(r Record) error {
+	wait, err := s.Stage([]Record{r})
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+func (s *stagingSink) Stage(recs []Record) (func() error, error) {
+	staged := append([]Record(nil), recs...)
+	fail := s.failNext
+	s.failNext = false
+	return func() error {
+		if fail {
+			return fmt.Errorf("flush failed")
+		}
+		s.groups = append(s.groups, staged)
+		return nil
+	}, nil
+}
+
+func batchEntries(t *testing.T, s *pipeline.Space, n int) []Entry {
+	t.Helper()
+	entries := make([]Entry, n)
+	for i := range entries {
+		in, err := pipeline.NewInstance(s, []pipeline.Value{
+			pipeline.Ord(float64(100 + i)), pipeline.Cat("x"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := pipeline.Succeed
+		if i%2 == 0 {
+			out = pipeline.Fail
+		}
+		entries[i] = Entry{Instance: in, Outcome: out, Source: "batch"}
+	}
+	return entries
+}
+
+// TestAddBatchCommitsAndSkipsDuplicates covers the core semantics: one
+// multi-record staged append, duplicate skipping against the store and
+// within the batch, and index integrity afterwards.
+func TestAddBatchCommitsAndSkipsDuplicates(t *testing.T) {
+	s := testSpace(t)
+	sink := &stagingSink{}
+	st := NewStore(s)
+	st.SetSink(sink)
+	entries := batchEntries(t, s, 6)
+	if err := st.Add(entries[0].Instance, entries[0].Outcome, "seed"); err != nil {
+		t.Fatal(err)
+	}
+	withDups := append(append([]Entry(nil), entries...), entries[1], entries[3])
+	added, err := st.AddBatch(withDups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 5 { // 6 fresh minus the one already recorded; intra-batch dups skip
+		t.Fatalf("added = %d, want 5", added)
+	}
+	if st.Len() != 6 {
+		t.Fatalf("store has %d records, want 6", st.Len())
+	}
+	if len(sink.groups) != 2 || len(sink.groups[1]) != 5 {
+		t.Fatalf("sink saw groups %v, want the batch as one 5-record group", sink.groups)
+	}
+	for i, r := range st.Snapshot().Records() {
+		if r.Seq != i {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	for _, e := range entries {
+		out, ok := st.Lookup(e.Instance)
+		if !ok || out != e.Outcome {
+			t.Fatalf("lookup %v = %v, %v", e.Instance, out, ok)
+		}
+	}
+	succ, fail := st.Outcomes()
+	if succ+fail != 6 {
+		t.Fatalf("outcome indices count %d records", succ+fail)
+	}
+}
+
+// TestAddBatchFlushFailurePoisons asserts the all-or-nothing staged
+// contract: a failed flush commits nothing, and the store refuses later
+// writes (the burned sequence numbers make them uncommittable) while
+// reads keep working.
+func TestAddBatchFlushFailurePoisons(t *testing.T) {
+	s := testSpace(t)
+	sink := &stagingSink{}
+	st := NewStore(s)
+	st.SetSink(sink)
+	pre := batchEntries(t, s, 2)
+	if _, err := st.AddBatch(pre[:1]); err != nil {
+		t.Fatal(err)
+	}
+	sink.failNext = true
+	if _, err := st.AddBatch(batchEntries(t, s, 4)[1:]); err == nil {
+		t.Fatal("AddBatch must surface the flush failure")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("failed batch committed: store has %d records", st.Len())
+	}
+	if err := st.Add(pre[1].Instance, pre[1].Outcome, "late"); err == nil {
+		t.Fatal("poisoned store accepted a write")
+	}
+	if _, err := st.AddBatch(pre[1:]); err == nil {
+		t.Fatal("poisoned store accepted a batch")
+	}
+	if out, ok := st.Lookup(pre[0].Instance); !ok || out != pre[0].Outcome {
+		t.Fatalf("reads broken after poison: %v, %v", out, ok)
+	}
+}
+
+// TestAddBatchPlainSinkPartialFailure covers the legacy-sink path: entries
+// append one by one, and a mid-batch sink failure reports the committed
+// prefix in added.
+func TestAddBatchPlainSinkPartialFailure(t *testing.T) {
+	s := testSpace(t)
+	sink := &recordingSink{}
+	st := NewStore(s)
+	st.SetSink(sink)
+	entries := batchEntries(t, s, 3)
+	if added, err := st.AddBatch(entries); err != nil || added != 3 {
+		t.Fatalf("AddBatch = %d, %v", added, err)
+	}
+	if len(sink.recs) != 3 {
+		t.Fatalf("plain sink saw %d appends", len(sink.recs))
+	}
+	sink.fail = true
+	more := batchEntries(t, s, 6)[3:]
+	added, err := st.AddBatch(more)
+	if err == nil {
+		t.Fatal("AddBatch must surface the sink failure")
+	}
+	if added != 0 || st.Len() != 3 {
+		t.Fatalf("added = %d, Len = %d; want 0 and 3", added, st.Len())
+	}
+	sink.fail = false
+	if added, err := st.AddBatch(more); err != nil || added != 3 {
+		t.Fatalf("retry AddBatch = %d, %v", added, err)
+	}
+}

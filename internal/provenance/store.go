@@ -19,6 +19,17 @@
 // semantics: no record becomes queryable unless its log append succeeded,
 // and rebuilding a store by replaying the log reproduces the indices
 // exactly.
+//
+// Sinks that also implement StagedSink split the append into a staging
+// phase (under the write lock, cheap: frames are assembled into the sink's
+// pending commit group) and a durability wait (outside the lock), so
+// concurrent Adds overlap in the expensive part — the sink's write+fsync —
+// instead of serializing it under the store lock. Records in flight are
+// tracked until durable and committed to the indices strictly in sequence
+// order; write-ahead semantics are preserved (a record is never queryable
+// before it is durable). AddBatch amortizes further: one lock acquisition,
+// one staged multi-record append, and one durability wait for a whole
+// hypothesis set.
 package provenance
 
 import (
@@ -43,9 +54,43 @@ type Record struct {
 // enters the in-memory log and indices: if Append fails, the Add fails and
 // the store is unchanged. Appends therefore arrive exactly in sequence
 // order, without duplicates, and a sink that persists them (internal/
-// provlog) is a write-ahead log of the store.
+// provlog) is a write-ahead log of the store. Sinks that also implement
+// StagedSink take the staged path instead: Append is bypassed in favor of
+// Stage plus an out-of-lock durability wait.
 type Sink interface {
 	Append(Record) error
+}
+
+// StagedSink is an optional Sink extension for group durability. Stage is
+// called under the store's write lock with a batch of records in sequence
+// order; it must buffer them cheaply and return a wait function. The store
+// releases its write lock and then calls wait, which blocks until the
+// staged records are durable (typically coalesced with concurrently staged
+// records into one write and one fsync — see internal/provlog's
+// group-commit). A non-nil error from wait means none of the staged records
+// may be treated as durable; the store drops them without committing.
+type StagedSink interface {
+	Sink
+	Stage(recs []Record) (wait func() error, err error)
+}
+
+// Entry is one record-to-be of AddBatch: an instance, its evaluation, and
+// the component that ran it. Sequence numbers are assigned by the store.
+type Entry struct {
+	Instance pipeline.Instance
+	Outcome  pipeline.Outcome
+	Source   string
+}
+
+// stagedRec tracks one record between staging and commit. done is closed
+// when the record leaves the staged set (committed or dropped), so a
+// concurrent Add of the same instance can wait for the outcome instead of
+// racing it.
+type stagedRec struct {
+	rec     Record
+	done    chan struct{}
+	durable bool
+	failed  bool
 }
 
 // Store is an append-only, thread-safe provenance log over a single
@@ -60,6 +105,17 @@ type Store struct {
 	// byKey maps instance identity to log position (hash-bucketed with
 	// Equal confirmation; see pipeline.InstanceMap).
 	byKey *pipeline.InstanceMap[int32]
+
+	// Staged-commit state (StagedSink path): records whose sink append has
+	// been staged but whose durability is still pending. nextSeq is the
+	// next sequence to assign — len(log) plus the records in flight.
+	// stagedByH buckets the in-flight records by instance hash for the
+	// duplicate check; staged keeps them in sequence order for the drain.
+	nextSeq   int
+	staged    []*stagedRec
+	stagedByH map[uint64][]*stagedRec
+	stageOne  [1]Record // single-record staging scratch, used under mu
+	stageErr  error     // set on staged-sink failure; poisons writes (reads stay valid)
 
 	// Outcome partitions: sequence lists preserve execution order for
 	// O(matches) enumeration; bitsets drive the boolean-algebra queries.
@@ -111,6 +167,10 @@ func (st *Store) SetSink(sink Sink) {
 // Add appends a record and updates every index. It fails for instances of
 // a different space, for unknown outcomes, and for instances already
 // recorded (deterministic evaluation makes duplicates meaningless).
+//
+// With a StagedSink attached, the durability wait happens outside the
+// store's write lock, so concurrent Adds coalesce into the sink's commit
+// groups instead of serializing one fsync each under the lock.
 func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) error {
 	if in.Space() != st.space {
 		return fmt.Errorf("provenance: instance belongs to a different space")
@@ -119,21 +179,203 @@ func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) 
 		return fmt.Errorf("provenance: cannot record outcome %v", out)
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if _, dup := st.byKey.Get(in); dup {
+		st.mu.Unlock()
 		return fmt.Errorf("provenance: instance %v already recorded", in)
 	}
-	seq := len(st.log)
-	rec := Record{Seq: seq, Instance: in, Outcome: out, Source: source}
-	if st.sink != nil {
-		// Write-ahead: the record must be durable before it is queryable.
-		if err := st.sink.Append(rec); err != nil {
-			return fmt.Errorf("provenance: sink: %w", err)
+	ss, ok := st.sink.(StagedSink)
+	if !ok {
+		defer st.mu.Unlock()
+		rec := Record{Seq: st.nextSeq, Instance: in, Outcome: out, Source: source}
+		if st.sink != nil {
+			// Write-ahead: the record must be durable before it is queryable.
+			if err := st.sink.Append(rec); err != nil {
+				return fmt.Errorf("provenance: sink: %w", err)
+			}
+		}
+		st.nextSeq++
+		st.commitRecordLocked(rec)
+		return nil
+	}
+	if st.stageErr != nil {
+		err := st.stageErr
+		st.mu.Unlock()
+		return err
+	}
+	if e := st.stagedLookupLocked(in); e != nil {
+		// The same instance is in flight on another goroutine; wait for its
+		// fate so the caller's follow-up Lookup sees the committed record.
+		// (e's fields are settled before done closes, so the unlocked reads
+		// below are safe.)
+		done := e.done
+		st.mu.Unlock()
+		<-done
+		if e.failed {
+			st.mu.Lock()
+			err := st.stageErr
+			st.mu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("provenance: concurrent write of %v failed", in)
+			}
+			return err
+		}
+		return fmt.Errorf("provenance: instance %v already recorded", in)
+	}
+	st.stageOne[0] = Record{Seq: st.nextSeq, Instance: in, Outcome: out, Source: source}
+	wait, err := ss.Stage(st.stageOne[:1])
+	if err != nil {
+		st.mu.Unlock()
+		return fmt.Errorf("provenance: sink: %w", err)
+	}
+	e := &stagedRec{rec: st.stageOne[0], done: make(chan struct{})}
+	st.nextSeq++
+	st.stagePushLocked(e)
+	st.mu.Unlock()
+
+	werr := wait()
+
+	st.mu.Lock()
+	if werr != nil {
+		e.failed = true
+		st.poisonLocked(werr)
+	} else {
+		e.durable = true
+	}
+	st.drainStagedLocked()
+	st.mu.Unlock()
+	if werr != nil {
+		return fmt.Errorf("provenance: sink: %w", werr)
+	}
+	return nil
+}
+
+// AddBatch records a batch of evaluations with one lock acquisition and —
+// when the sink supports staging — one multi-record sink append and one
+// durability wait for the whole batch. Entries whose instance is already
+// recorded (or duplicated within the batch, or in flight on another
+// goroutine) are skipped, not errors: batch callers dedupe against
+// memoized history up front, but races with concurrent evaluations of the
+// same instance are benign and the earlier record is authoritative. An
+// entry skipped as in flight counts on its winner: should the winner's
+// commit window then fail, that record is lost — but every such failure
+// write-poisons the store, so the session is already terminal and no later
+// write can silently diverge. It
+// returns how many entries were added.
+//
+// Validation errors (wrong space, unknown outcome) reject the whole batch
+// before anything is staged. A sink failure on the staged path commits
+// nothing; on the plain-Sink path entries are appended one by one and a
+// failure stops the batch, with the already-appended prefix committed —
+// added reports exactly how many.
+func (st *Store) AddBatch(entries []Entry) (added int, err error) {
+	for i := range entries {
+		if entries[i].Instance.Space() != st.space {
+			return 0, fmt.Errorf("provenance: entry %d: instance belongs to a different space", i)
+		}
+		if o := entries[i].Outcome; o != pipeline.Succeed && o != pipeline.Fail {
+			return 0, fmt.Errorf("provenance: entry %d: cannot record outcome %v", i, o)
 		}
 	}
-	st.byKey.Put(in, int32(seq))
+	st.mu.Lock()
+	ss, staged := st.sink.(StagedSink)
+	if !staged {
+		defer st.mu.Unlock()
+		for i := range entries {
+			in := entries[i].Instance
+			if _, dup := st.byKey.Get(in); dup {
+				continue
+			}
+			rec := Record{Seq: st.nextSeq, Instance: in, Outcome: entries[i].Outcome, Source: entries[i].Source}
+			if st.sink != nil {
+				if err := st.sink.Append(rec); err != nil {
+					return added, fmt.Errorf("provenance: sink: %w", err)
+				}
+			}
+			st.nextSeq++
+			st.commitRecordLocked(rec)
+			added++
+		}
+		return added, nil
+	}
+
+	if st.stageErr != nil {
+		err := st.stageErr
+		st.mu.Unlock()
+		return 0, err
+	}
+	recs := make([]Record, 0, len(entries))
+	seen := pipeline.NewInstanceMap[struct{}](len(entries))
+	for i := range entries {
+		in := entries[i].Instance
+		if _, dup := st.byKey.Get(in); dup {
+			continue
+		}
+		if st.stagedLookupLocked(in) != nil {
+			continue
+		}
+		if !seen.Put(in, struct{}{}) {
+			continue
+		}
+		recs = append(recs, Record{
+			Seq: st.nextSeq + len(recs), Instance: in,
+			Outcome: entries[i].Outcome, Source: entries[i].Source,
+		})
+	}
+	if len(recs) == 0 {
+		st.mu.Unlock()
+		return 0, nil
+	}
+	wait, err := ss.Stage(recs)
+	if err != nil {
+		st.mu.Unlock()
+		return 0, fmt.Errorf("provenance: sink: %w", err)
+	}
+	es := make([]*stagedRec, len(recs))
+	for i, rec := range recs {
+		es[i] = &stagedRec{rec: rec, done: make(chan struct{})}
+		st.stagePushLocked(es[i])
+	}
+	st.nextSeq += len(recs)
+	st.mu.Unlock()
+
+	werr := wait()
+
+	st.mu.Lock()
+	if werr != nil {
+		st.poisonLocked(werr)
+	}
+	for _, e := range es {
+		if werr != nil {
+			e.failed = true
+		} else {
+			e.durable = true
+		}
+	}
+	st.drainStagedLocked()
+	st.mu.Unlock()
+	if werr != nil {
+		return 0, fmt.Errorf("provenance: sink: %w", werr)
+	}
+	return len(recs), nil
+}
+
+// poisonLocked marks the store write-poisoned after a staged-sink failure:
+// the failed records' sequence numbers are burned (later staged records may
+// already hold higher ones), so no later record could ever commit at its
+// assigned position. Reads and already-committed records stay valid.
+func (st *Store) poisonLocked(cause error) {
+	if st.stageErr == nil {
+		st.stageErr = fmt.Errorf("provenance: store write-poisoned by sink failure: %w", cause)
+	}
+}
+
+// commitRecordLocked appends a record to the log and updates every index.
+// The caller holds the write lock and guarantees rec.Seq == len(st.log).
+func (st *Store) commitRecordLocked(rec Record) {
+	seq := rec.Seq
+	st.byKey.Put(rec.Instance, int32(seq))
 	st.log = append(st.log, rec)
-	if out == pipeline.Succeed {
+	if rec.Outcome == pipeline.Succeed {
 		st.succSeqs = append(st.succSeqs, int32(seq))
 		st.succBits.set(seq)
 	} else {
@@ -141,13 +383,66 @@ func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) 
 		st.failBits.set(seq)
 	}
 	for i := 0; i < st.space.Len(); i++ {
-		c := int(in.Code(i))
+		c := int(rec.Instance.Code(i))
 		for len(st.posting[i]) <= c {
 			st.posting[i] = append(st.posting[i], nil)
 		}
 		st.posting[i][c].set(seq)
 	}
+}
+
+// stagedLookupLocked returns the in-flight staged record for in, if any.
+func (st *Store) stagedLookupLocked(in pipeline.Instance) *stagedRec {
+	for _, e := range st.stagedByH[in.Hash()] {
+		if e.rec.Instance.Equal(in) {
+			return e
+		}
+	}
 	return nil
+}
+
+// stagePushLocked registers a staged record for the duplicate check and the
+// sequence-ordered drain.
+func (st *Store) stagePushLocked(e *stagedRec) {
+	if st.stagedByH == nil {
+		st.stagedByH = make(map[uint64][]*stagedRec)
+	}
+	st.staged = append(st.staged, e)
+	h := e.rec.Instance.Hash()
+	st.stagedByH[h] = append(st.stagedByH[h], e)
+}
+
+// drainStagedLocked commits the resolved prefix of the staged set. Records
+// become durable strictly in sequence order (commit groups flush the
+// pending buffer wholesale), but the goroutines observing the flush reach
+// the lock in any order, so each marks its own records and drains whatever
+// contiguous prefix has been resolved — later records wait for their
+// predecessors' (already awake) goroutines. Failed records drop without
+// committing; nothing behind a failure can be durable, because a group
+// flush failure poisons the sink and every later wait fails too.
+func (st *Store) drainStagedLocked() {
+	for len(st.staged) > 0 {
+		e := st.staged[0]
+		if !e.durable && !e.failed {
+			return
+		}
+		st.staged = st.staged[1:]
+		h := e.rec.Instance.Hash()
+		bucket := st.stagedByH[h]
+		for i := range bucket {
+			if bucket[i] == e {
+				st.stagedByH[h] = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(st.stagedByH[h]) == 0 {
+			delete(st.stagedByH, h)
+		}
+		if e.durable && e.rec.Seq == len(st.log) {
+			st.commitRecordLocked(e.rec)
+		}
+		close(e.done)
+	}
 }
 
 // Lookup returns the recorded outcome for the instance, if any. Hits

@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/pipeline"
 	"repro/internal/provenance"
@@ -32,6 +33,26 @@ import (
 // given. At roughly 4·P+8 bytes per record it holds on the order of 100k
 // records per segment for a ten-parameter pipeline.
 const DefaultSegmentSize = 4 << 20
+
+// DefaultMaxBatch is the commit-window record cap when SyncPolicy.MaxBatch
+// is not set.
+const DefaultMaxBatch = 4096
+
+// SyncPolicy tunes group commit: how appends staged by concurrent writers
+// coalesce into commit windows, each flushed with one buffered write (and,
+// under WithSync, one fsync).
+type SyncPolicy struct {
+	// Interval is how long a flush leader waits for more appends to join
+	// the window before writing. Zero flushes immediately — natural
+	// batching still coalesces everything staged while the previous flush
+	// was in flight, which is where the group-commit win comes from under
+	// load; a positive interval trades latency for larger windows.
+	Interval time.Duration
+	// MaxBatch caps the records in one commit window: a window that
+	// reaches it flushes without waiting out the Interval. <= 0 takes
+	// DefaultMaxBatch.
+	MaxBatch int
+}
 
 // spaceFile is the JSON spec of the space, written into the log directory
 // so a session can be resumed without re-declaring the space (ReadSpace).
@@ -51,16 +72,35 @@ func WithSegmentSize(n int64) Option {
 	}
 }
 
-// WithSync makes every append (and segment creation) fsync before
-// returning. Off by default: appends are still synchronous write syscalls
-// in Store.Add, but leave flushing to the OS, which loses at most the tail
-// of the log on a machine crash — exactly what recovery truncates anyway.
+// WithSync makes every commit-window flush (and segment creation) fsync
+// before completing. Off by default: appends are still synchronous write
+// syscalls, but leave flushing to the OS, which loses at most the tail of
+// the log on a machine crash — exactly what recovery truncates anyway.
 func WithSync(on bool) Option {
 	return func(l *Log) { l.sync = on }
 }
 
-// Log is an open write-ahead log. It is safe for concurrent use, though in
-// practice the provenance store serializes appends under its write lock.
+// WithSyncPolicy sets the group-commit windowing policy (see SyncPolicy).
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(l *Log) { l.policy = p }
+}
+
+// commitGroup is one commit window: the set of records staged between two
+// flushes. Followers park on the leader's done channel (Log.flushDone);
+// flushed/err record the window's fate for them to read on wake-up.
+type commitGroup struct {
+	recs    int
+	full    chan struct{} // closed when recs reaches MaxBatch, cutting the Interval short
+	fullSet bool
+	flushed bool
+	err     error
+}
+
+// Log is an open write-ahead log. It is safe for concurrent use: appends
+// are staged under the log's mutex and made durable by group commit —
+// concurrent writers coalesce into one buffered write (and one fsync under
+// WithSync) per commit window, a leader/follower pattern where the first
+// waiter flushes everything staged and the rest park on its done channel.
 type Log struct {
 	mu          sync.Mutex
 	dir         string
@@ -68,11 +108,12 @@ type Log struct {
 	fingerprint uint64
 	segSize     int64
 	sync        bool
+	policy      SyncPolicy
 
 	f        *os.File
 	lock     *os.File // flock-held lock file; nil where unsupported
 	segIndex uint32
-	size     int64
+	size     int64 // flusher-owned once open; serialized by flushing
 	nextSeq  int
 
 	// persisted counts, per parameter, the codes already written as dict
@@ -80,8 +121,19 @@ type Log struct {
 	persisted []int
 	sourceID  map[string]uint16
 
-	buf  []byte // frame assembly scratch, one Write per append
-	undo []int  // persisted snapshot for rollback on write failure
+	// Group-commit state: staged frames accumulate in pending (sequence
+	// order — staging happens under mu) until a leader swaps the buffer out
+	// and flushes it, recycling it afterwards when no stager replaced it.
+	pending      []byte
+	pendingRecs  int
+	pendingFirst int // seq of the first pending record (segment rotation header)
+	cur          *commitGroup
+	flushing     bool
+	flushDone    chan struct{} // the active leader's done channel
+
+	undo     []int                // persisted snapshot for rollback on a failed stage
+	addedSrc []string             // sources interned by the stage in progress, for rollback
+	fastOne  [1]provenance.Record // Append fast-path scratch, used under mu
 
 	broken error // set when the on-disk state is unknown; poisons the log
 	closed bool
@@ -281,104 +333,316 @@ func (l *Log) SegmentCount() int {
 
 // Append implements provenance.Sink: it durably logs one record, emitting
 // dictionary frames first for any value codes or source strings the log has
-// not seen. Records must arrive in sequence order without gaps — exactly
-// how the store's Add, which calls Append under its write lock, produces
-// them. On a write failure the in-memory dictionaries roll back and the
-// partial write is trimmed, so a failed append leaves both the file and the
-// log consistent; only a failed trim poisons the log.
+// not seen. Records must arrive in sequence order without gaps. An
+// uncontended Append stages and writes inline (allocation-free after
+// warm-up, like the pre-group-commit path); when other appends are staged
+// or a flush is in flight it degrades to Stage plus the durability wait,
+// coalescing into the commit window.
+//
+// A failed inline write rolls back — the stage snapshot restores the
+// dictionaries and the partial write is trimmed — so a transient error
+// (say, a full disk) fails only this append and the log stays usable;
+// only a failed trim poisons it. Commit windows with multiple writers
+// cannot roll back (their waiters have interleaved dictionary state), so
+// group-path flush failures always poison.
 func (l *Log) Append(r provenance.Record) error {
 	l.mu.Lock()
+	if l.cur == nil && !l.flushing && l.pendingRecs == 0 {
+		defer l.mu.Unlock()
+		l.fastOne[0] = r
+		if err := l.stageLocked(l.fastOne[:1]); err != nil {
+			return err
+		}
+		frames, firstSeq := l.pending, l.pendingFirst
+		l.pending = frames[:0]
+		l.pendingRecs = 0
+		if err := l.writeWindow(frames, firstSeq, true); err != nil {
+			var fe *flushError
+			if errors.As(err, &fe) && !fe.dirty {
+				// The file is back at its pre-append state; undo the stage
+				// (the snapshot from stageLocked is still current — we have
+				// held the mutex throughout).
+				copy(l.persisted, l.undo)
+				for _, s := range l.addedSrc {
+					delete(l.sourceID, s)
+				}
+				l.nextSeq--
+				return fmt.Errorf("provlog: append: %w", err)
+			}
+			if l.broken == nil {
+				l.broken = fmt.Errorf("provlog: log state unknown after failed flush: %w", err)
+			}
+			return l.broken
+		}
+		return nil
+	}
+	l.mu.Unlock()
+	wait, err := l.Stage([]provenance.Record{r})
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// Stage implements provenance.StagedSink: it assembles the records' frames
+// into the pending commit window and returns a wait function that blocks
+// until the window is durable. Records must arrive in sequence order
+// without gaps — exactly how the store produces them under its write lock.
+// A staging error (wrong space or sequence, oversized value or source)
+// rolls the window back to its pre-call state and stages nothing; a flush
+// error fails every record of the window and poisons the log, because the
+// on-disk tail is no longer known to match the staged dictionaries.
+func (l *Log) Stage(recs []provenance.Record) (wait func() error, err error) {
+	if len(recs) == 0 {
+		return func() error { return nil }, nil
+	}
+	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.stageLocked(recs); err != nil {
+		return nil, err
+	}
+	if l.cur == nil {
+		l.cur = &commitGroup{full: make(chan struct{})}
+	}
+	g := l.cur
+	g.recs += len(recs)
+	if max := l.maxBatch(); g.recs >= max && !g.fullSet {
+		g.fullSet = true
+		close(g.full)
+	}
+	return func() error { return l.waitDurable(g) }, nil
+}
+
+// stageLocked validates the records and appends their frames (dictionary
+// entries first) to the pending buffer. On error the dictionaries and the
+// buffer roll back; nothing of the batch is staged.
+func (l *Log) stageLocked(recs []provenance.Record) error {
 	if l.closed {
 		return fmt.Errorf("provlog: log is closed")
 	}
 	if l.broken != nil {
 		return l.broken
 	}
-	if r.Instance.Space() != l.space {
-		return fmt.Errorf("provlog: record belongs to a different space")
-	}
-	if r.Seq != l.nextSeq {
-		return fmt.Errorf("provlog: append of record %d, want %d", r.Seq, l.nextSeq)
-	}
-	if l.size >= l.segSize {
-		if err := l.rotate(); err != nil {
-			return err
-		}
-	}
-
-	if len(r.Source) > math.MaxUint16 {
-		return fmt.Errorf("provlog: source %.32q... is %d bytes, limit %d",
-			r.Source, len(r.Source), math.MaxUint16)
-	}
-	// Assemble dictionary and record frames into one buffer, one Write.
-	buf := l.buf[:0]
 	undo := append(l.undo[:0], l.persisted...)
-	newSource := false
-	for i := 0; i < l.space.Len(); i++ {
-		c := int(r.Instance.Code(i))
-		for l.persisted[i] <= c {
-			code := uint32(l.persisted[i])
-			v := l.space.InternedValue(i, code)
-			// Reject what the scanner would refuse to read back: an
-			// oversized label would pass the write and poison the log.
-			if v.Kind() == pipeline.Categorical && len(v.Str()) > maxBlob {
-				copy(l.persisted, undo)
-				return fmt.Errorf("provlog: categorical value of parameter %q is %d bytes, limit %d",
-					l.space.At(i).Name, len(v.Str()), maxBlob)
-			}
-			buf = appendDictFrame(buf, uint16(i), code, v)
-			l.persisted[i]++
-		}
-	}
-	id, ok := l.sourceID[r.Source]
-	if !ok {
-		if len(l.sourceID) > math.MaxUint16 {
-			copy(l.persisted, undo)
-			return fmt.Errorf("provlog: too many distinct sources")
-		}
-		id = uint16(len(l.sourceID))
-		buf = appendSourceFrame(buf, id, r.Source)
-		l.sourceID[r.Source] = id
-		newSource = true
-	}
-	buf = appendExecFrame(buf, r.Instance, r.Outcome, id)
-	l.buf = buf
-
+	l.undo = undo // keep the field aliased even if append reallocated
+	l.addedSrc = l.addedSrc[:0]
 	rollback := func(reason error) error {
 		copy(l.persisted, undo)
-		if newSource {
-			delete(l.sourceID, r.Source)
+		for _, s := range l.addedSrc {
+			delete(l.sourceID, s)
 		}
-		if terr := l.f.Truncate(l.size); terr != nil {
-			l.broken = fmt.Errorf("provlog: log state unknown after failed append (%v) and failed trim (%v)", reason, terr)
-			return l.broken
-		}
-		if _, serr := l.f.Seek(l.size, 0); serr != nil {
-			l.broken = fmt.Errorf("provlog: log state unknown after failed append (%v) and failed seek (%v)", reason, serr)
-			return l.broken
-		}
-		return fmt.Errorf("provlog: append: %w", reason)
+		return reason
 	}
-	if _, err := l.f.Write(buf); err != nil {
-		return rollback(err)
-	}
-	if l.sync {
-		if err := l.f.Sync(); err != nil {
-			return rollback(err)
+	buf := l.pending
+	want := l.nextSeq
+	for _, r := range recs {
+		if r.Instance.Space() != l.space {
+			return rollback(fmt.Errorf("provlog: record belongs to a different space"))
 		}
+		if r.Seq != want {
+			return rollback(fmt.Errorf("provlog: append of record %d, want %d", r.Seq, want))
+		}
+		if len(r.Source) > math.MaxUint16 {
+			return rollback(fmt.Errorf("provlog: source %.32q... is %d bytes, limit %d",
+				r.Source, len(r.Source), math.MaxUint16))
+		}
+		for i := 0; i < l.space.Len(); i++ {
+			c := int(r.Instance.Code(i))
+			for l.persisted[i] <= c {
+				code := uint32(l.persisted[i])
+				v := l.space.InternedValue(i, code)
+				// Reject what the scanner would refuse to read back: an
+				// oversized label would pass the write and poison the log.
+				if v.Kind() == pipeline.Categorical && len(v.Str()) > maxBlob {
+					return rollback(fmt.Errorf("provlog: categorical value of parameter %q is %d bytes, limit %d",
+						l.space.At(i).Name, len(v.Str()), maxBlob))
+				}
+				buf = appendDictFrame(buf, uint16(i), code, v)
+				l.persisted[i]++
+			}
+		}
+		id, ok := l.sourceID[r.Source]
+		if !ok {
+			if len(l.sourceID) > math.MaxUint16 {
+				return rollback(fmt.Errorf("provlog: too many distinct sources"))
+			}
+			id = uint16(len(l.sourceID))
+			buf = appendSourceFrame(buf, id, r.Source)
+			l.sourceID[r.Source] = id
+			l.addedSrc = append(l.addedSrc, r.Source)
+		}
+		buf = appendExecFrame(buf, r.Instance, r.Outcome, id)
+		want++
 	}
-	l.size += int64(len(buf))
-	l.nextSeq++
+	if l.pendingRecs == 0 {
+		l.pendingFirst = recs[0].Seq
+	}
+	l.pending = buf
+	l.pendingRecs += len(recs)
+	l.nextSeq = want
 	return nil
 }
 
-// rotate seals the active segment and starts the next one. If creating the
-// next segment fails, the current one stays active and the append that
-// triggered rotation fails; a later append retries.
-func (l *Log) rotate() error {
+func (l *Log) maxBatch() int {
+	if l.policy.MaxBatch > 0 {
+		return l.policy.MaxBatch
+	}
+	return DefaultMaxBatch
+}
+
+// waitDurable blocks until g's commit window has been flushed and returns
+// its fate. The first waiter to find no flush in progress becomes the
+// leader: it waits out the sync policy's window, swaps the pending buffer,
+// and performs the single write (+fsync) for everything staged; followers
+// park on the leader's done channel and re-check on wake-up.
+func (l *Log) waitDurable(g *commitGroup) error {
+	l.mu.Lock()
+	for {
+		if g.flushed {
+			err := g.err
+			l.mu.Unlock()
+			return err
+		}
+		if l.flushing {
+			ch := l.flushDone
+			l.mu.Unlock()
+			<-ch
+			l.mu.Lock()
+			continue
+		}
+		l.leaderFlushLocked(g, true)
+	}
+}
+
+// leaderFlushLocked runs one flush cycle: optionally waits out the commit
+// window, takes the pending buffer, writes it outside the lock, marks the
+// flushed group, and wakes the followers. The caller holds l.mu with
+// l.flushing false; it returns with l.mu held again.
+func (l *Log) leaderFlushLocked(g *commitGroup, window bool) {
+	l.flushing = true
+	done := make(chan struct{})
+	l.flushDone = done
+	if window && g != nil && l.policy.Interval > 0 && !g.fullSet {
+		l.mu.Unlock()
+		t := time.NewTimer(l.policy.Interval)
+		select {
+		case <-t.C:
+		case <-g.full:
+			t.Stop()
+		}
+		l.mu.Lock()
+	}
+	frames := l.pending
+	firstSeq := l.pendingFirst
+	flushedGroup := l.cur
+	broken := l.broken
+	l.cur = nil
+	l.pending = nil
+	l.pendingRecs = 0
+	l.mu.Unlock()
+
+	var err error
+	switch {
+	case broken != nil:
+		// A window staged before an earlier flush failed: the on-disk tail
+		// is unknown, so fail it without touching the file — writing after
+		// the failure point would corrupt the segment beyond what torn-tail
+		// recovery repairs.
+		err = broken
+	case len(frames) > 0:
+		err = l.writeWindow(frames, firstSeq, false)
+	}
+
+	// Any failure here poisons the log, even one that provably wrote
+	// nothing (a failed rotation): the window's stage already advanced the
+	// dictionary counters for several interleaved writers, and discarding
+	// the window leaves them claiming dict frames that never reached disk —
+	// unlike the single-writer Append fast path, there is no snapshot that
+	// can roll a multi-writer window back.
+
+	l.mu.Lock()
+	if l.pending == nil {
+		l.pending = frames[:0] // recycle the flushed buffer
+	}
+	if flushedGroup != nil {
+		flushedGroup.flushed = true
+		flushedGroup.err = err
+	}
+	if err != nil && l.broken == nil {
+		// The on-disk tail no longer matches the staged dictionaries and
+		// sequence numbers; no later append can be written consistently.
+		l.broken = fmt.Errorf("provlog: log state unknown after failed flush: %w", err)
+	}
+	l.flushing = false
+	close(done)
+}
+
+// flushError reports a failed commit-window write. dirty means the
+// partial write could not be trimmed back to the pre-window boundary, so
+// the on-disk tail no longer matches the in-memory state.
+type flushError struct {
+	cause error
+	dirty bool
+}
+
+func (e *flushError) Error() string {
+	if e.dirty {
+		return fmt.Sprintf("%v (and the partial write could not be trimmed)", e.cause)
+	}
+	return e.cause.Error()
+}
+
+func (e *flushError) Unwrap() error { return e.cause }
+
+// writeWindow writes one commit window to the active segment, rotating
+// first if the segment is over its size threshold. Callers either hold
+// l.mu (the Append fast path) or own the flush (l.flushing, which
+// serializes every other toucher of l.f and l.size); rotation updates
+// l.segIndex, which SegmentCount reads, so it always runs under the mutex.
+// Write and fsync failures come back as *flushError, trimming the partial
+// write back to the window boundary when possible.
+func (l *Log) writeWindow(frames []byte, firstSeq int, muHeld bool) error {
+	if l.size >= l.segSize {
+		if !muHeld {
+			l.mu.Lock()
+		}
+		err := l.rotate(firstSeq)
+		if !muHeld {
+			l.mu.Unlock()
+		}
+		if err != nil {
+			return &flushError{cause: err}
+		}
+	}
+	fail := func(cause error) error {
+		// Trim the partial write so a later reader sees a clean tail.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			return &flushError{cause: cause, dirty: true}
+		}
+		if _, serr := l.f.Seek(l.size, 0); serr != nil {
+			return &flushError{cause: cause, dirty: true}
+		}
+		return &flushError{cause: cause}
+	}
+	if _, err := l.f.Write(frames); err != nil {
+		return fail(err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	l.size += int64(len(frames))
+	return nil
+}
+
+// rotate seals the active segment and starts the next one, whose header
+// names firstSeq as its first record. If creating the next segment fails,
+// the current one stays active and the flush that triggered rotation
+// fails; a later flush retries.
+func (l *Log) rotate(firstSeq int) error {
 	old, oldIndex, oldSize := l.f, l.segIndex, l.size
-	if err := l.createSegment(l.segIndex+1, l.nextSeq); err != nil {
+	if err := l.createSegment(l.segIndex+1, firstSeq); err != nil {
 		l.f, l.segIndex, l.size = old, oldIndex, oldSize
 		return fmt.Errorf("provlog: rotating segment: %w", err)
 	}
@@ -392,9 +656,10 @@ func (l *Log) rotate() error {
 	return nil
 }
 
-// Close flushes and closes the active segment. Further appends fail, so a
-// store still holding the log as its sink rejects new records rather than
-// silently dropping durability.
+// Close drains any in-flight commit window, flushes pending frames, and
+// closes the active segment. Further appends fail, so a store still
+// holding the log as its sink rejects new records rather than silently
+// dropping durability.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -402,6 +667,17 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	for l.flushing {
+		ch := l.flushDone
+		l.mu.Unlock()
+		<-ch
+		l.mu.Lock()
+	}
+	if l.pendingRecs > 0 {
+		// Staged records whose waiters have not flushed yet: write them out
+		// and wake the waiters with the window's fate.
+		l.leaderFlushLocked(nil, false)
+	}
 	var err error
 	if l.f != nil {
 		err = l.f.Sync()

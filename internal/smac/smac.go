@@ -84,17 +84,30 @@ func Run(ctx context.Context, ex *exec.Executor, maxNew int, opts Options) ([]pi
 		}
 	}
 
-	// Initial design: random configurations.
-	for i := 0; i < opts.InitialDesign && len(executed) < maxNew; i++ {
-		if err := ctx.Err(); err != nil {
-			return executed, err
+	// Initial design: one batched round of random configurations — the
+	// candidates are independent hypotheses, so they dispatch as a set and
+	// their provenance commits in one batch.
+	design := make([]pipeline.Instance, 0, opts.InitialDesign)
+	seen := pipeline.NewInstanceMap[struct{}](opts.InitialDesign)
+	for i := 0; i < opts.InitialDesign && len(design) < maxNew-len(executed); i++ {
+		in := s.RandomInstance(opts.Rand)
+		if _, known := ex.Store().Lookup(in); known {
+			continue // free, not counted
 		}
-		_, _, err := evaluate(s.RandomInstance(opts.Rand))
-		if errors.Is(err, exec.ErrBudgetExhausted) {
+		if seen.Put(in, struct{}{}) {
+			design = append(design, in)
+		}
+	}
+	for _, r := range ex.EvaluateBatch(ctx, design) {
+		switch {
+		case r.Err == nil:
+			executed = append(executed, r.Instance)
+		case errors.Is(r.Err, exec.ErrBudgetExhausted):
 			return executed, nil
-		}
-		if err != nil {
-			return executed, err
+		case errors.Is(r.Err, exec.ErrUnknownInstance):
+			// Untestable candidate; skip.
+		default:
+			return executed, r.Err
 		}
 	}
 
