@@ -7,7 +7,12 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -447,6 +452,170 @@ func BenchmarkProvlogReplay100k(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/records, "ns/record")
+}
+
+// --- Checkpointed resume ---------------------------------------------------
+
+// openBench lazily builds two state directories holding the same 1M-record
+// history: one as a raw WAL (full replay on Open), one compacted into a
+// checkpoint plus an empty suffix. Built once per process; TestMain removes
+// the tree.
+var openBench struct {
+	once            sync.Once
+	base            string
+	walDir, ckptDir string
+	err             error
+}
+
+const openBenchRecords = 1_000_000
+
+func openBenchDirs(b *testing.B) (string, string) {
+	b.Helper()
+	openBench.once.Do(func() {
+		openBench.err = buildOpenBenchDirs()
+	})
+	if openBench.err != nil {
+		b.Fatal(openBench.err)
+	}
+	return openBench.walDir, openBench.ckptDir
+}
+
+func buildOpenBenchDirs() error {
+	base, err := os.MkdirTemp("", "bugdoc-openbench-")
+	if err != nil {
+		return err
+	}
+	openBench.base = base
+	openBench.walDir = filepath.Join(base, "wal")
+	openBench.ckptDir = filepath.Join(base, "ckpt")
+
+	space := openBenchSpace()
+	l, st, err := provlog.Open(openBench.walDir, space)
+	if err != nil {
+		return err
+	}
+	const chunk = 8192
+	vals := make([]pipeline.Value, space.Len())
+	entries := make([]provenance.Entry, 0, chunk)
+	for at := 0; at < openBenchRecords; at += chunk {
+		n := chunk
+		if at+n > openBenchRecords {
+			n = openBenchRecords - at
+		}
+		entries = entries[:0]
+		for k := 0; k < n; k++ {
+			x := at + k
+			for i := 0; i < space.Len(); i++ {
+				dom := space.At(i).Domain
+				vals[i] = dom[x%len(dom)]
+				x /= len(dom)
+			}
+			in, err := pipeline.NewInstance(space, vals)
+			if err != nil {
+				return err
+			}
+			out := pipeline.Succeed
+			if in.Hash()&1 == 0 {
+				out = pipeline.Fail
+			}
+			entries = append(entries, provenance.Entry{Instance: in, Outcome: out, Source: "bench"})
+		}
+		if added, err := st.AddBatch(entries); err != nil || added != n {
+			return fmt.Errorf("openbench: AddBatch = %d, %v", added, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		return err
+	}
+
+	// The checkpointed twin: identical bytes, then one compaction.
+	if err := os.MkdirAll(openBench.ckptDir, 0o755); err != nil {
+		return err
+	}
+	names, err := filepath.Glob(filepath.Join(openBench.walDir, "*"))
+	if err != nil {
+		return err
+	}
+	for _, p := range names {
+		if filepath.Base(p) == "wal.lock" {
+			continue
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(openBench.ckptDir, filepath.Base(p)), data, 0o644); err != nil {
+			return err
+		}
+	}
+	l2, _, err := provlog.Open(openBench.ckptDir, openBenchSpace())
+	if err != nil {
+		return err
+	}
+	if err := l2.Checkpoint(); err != nil {
+		l2.Close()
+		return err
+	}
+	return l2.Close()
+}
+
+// openBenchSpace reconstructs the benchmark space fresh, the way a resumed
+// process reconstructs its space from the spec.
+func openBenchSpace() *pipeline.Space {
+	r := rand.New(rand.NewSource(29))
+	sp, err := synth.Generate(r, synth.Config{MinParams: 8, MaxParams: 8, MinValues: 6, MaxValues: 8}, synth.Disjunction)
+	if err != nil {
+		panic(err)
+	}
+	return sp.Space
+}
+
+func benchOpen(b *testing.B, dir string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Collect the previous iteration's ~0.5GB store outside the timer:
+		// a real resume opens into a fresh heap, not over a dying one.
+		b.StopTimer()
+		runtime.GC()
+		b.StartTimer()
+		l, st, err := provlog.Open(dir, openBenchSpace())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Len() != openBenchRecords {
+			b.Fatalf("opened %d records, want %d", st.Len(), openBenchRecords)
+		}
+		if err := l.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/openBenchRecords, "ns/record")
+}
+
+// BenchmarkOpenFullReplay1M measures resuming a 1M-record debugging
+// session the pre-compaction way: Open replays the entire append-ordered
+// WAL, frame by frame, so resume cost grows with the session's whole past.
+func BenchmarkOpenFullReplay1M(b *testing.B) {
+	walDir, _ := openBenchDirs(b)
+	benchOpen(b, walDir)
+}
+
+// BenchmarkOpenCheckpointed1M measures resuming the same 1M-record history
+// after compaction: Open bulk-loads the sorted checkpoint run and replays
+// only the (empty) WAL suffix past its watermark — the bounded-cost resume
+// path, gated in CI against BENCH_BASELINE.json.
+func BenchmarkOpenCheckpointed1M(b *testing.B) {
+	_, ckptDir := openBenchDirs(b)
+	benchOpen(b, ckptDir)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if openBench.base != "" {
+		os.RemoveAll(openBench.base)
+	}
+	os.Exit(code)
 }
 
 // --- Batched dispatch and group commit -------------------------------------

@@ -183,19 +183,31 @@ func WithFsync(on bool) Option {
 	return func(s *Session) { s.fsync = on }
 }
 
+// WithCompactEvery schedules automatic compaction for a durable session:
+// whenever n records have been logged past the newest checkpoint, the
+// write-ahead log folds its sealed history into a checkpoint in the
+// background and collects the superseded segments, keeping resume cost
+// bounded by the live history instead of the session's whole past. n <= 0
+// (the default) disables automatic compaction; Session.Checkpoint compacts
+// on demand either way. It has no effect without WithDurability.
+func WithCompactEvery(n int) Option {
+	return func(s *Session) { s.compactEvery = n }
+}
+
 // Session is a debugging session over one pipeline: an oracle, a provenance
 // store, and budgeted, parallel execution — optionally durable and
 // resumable (WithDurability, ResumeSession).
 type Session struct {
-	space      *Space
-	ex         *exec.Executor
-	seed       int64
-	budget     int
-	workers    int
-	history    []Record
-	stateDir   string
-	syncPolicy *SyncPolicy
-	fsync      bool
+	space        *Space
+	ex           *exec.Executor
+	seed         int64
+	budget       int
+	workers      int
+	history      []Record
+	stateDir     string
+	syncPolicy   *SyncPolicy
+	fsync        bool
+	compactEvery int
 }
 
 // NewSession builds a session for the pipeline described by space whose
@@ -219,6 +231,10 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 		}
 		if s.syncPolicy != nil {
 			logOpts = append(logOpts, provlog.WithSyncPolicy(*s.syncPolicy))
+		}
+		if s.compactEvery > 0 {
+			logOpts = append(logOpts, provlog.WithCompactPolicy(
+				provlog.CompactPolicy{EveryRecords: s.compactEvery}))
 		}
 		if len(logOpts) > 0 {
 			exOpts = append(exOpts, exec.WithLogOptions(logOpts...))
@@ -275,6 +291,14 @@ func ResumeSession(dir string, oracle Oracle, opts ...Option) (*Session, error) 
 // before its state directory is resumed; non-durable sessions close as a
 // no-op.
 func (s *Session) Close() error { return s.ex.Close() }
+
+// Checkpoint compacts a durable session's write-ahead log: the history
+// executed so far folds into a checkpoint file, superseded segments are
+// collected, and the next ResumeSession loads the checkpoint instead of
+// replaying the whole WAL. The session stays usable throughout. It fails
+// for sessions without WithDurability; see WithCompactEvery for automatic
+// compaction.
+func (s *Session) Checkpoint() error { return s.ex.Checkpoint() }
 
 // Store exposes the session's provenance.
 func (s *Session) Store() *Store { return s.ex.Store() }

@@ -170,3 +170,70 @@ func TestDurableSessionCompletedRunReplaysFree(t *testing.T) {
 		t.Fatalf("resumed run executed %d new instances, want 0", len(o.calls)-paid)
 	}
 }
+
+// TestSessionCheckpointResume runs a full durable search, compacts the
+// session's log, and resumes it twice: the resumed searches must be served
+// entirely from the checkpointed provenance — zero repeated oracle calls —
+// and reach the same root causes.
+func TestSessionCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	oracle := &killableOracle{calls: make(map[string]int), quota: -1}
+
+	s1, err := bugdoc.NewSession(durabilitySpace(), oracle.oracle(),
+		bugdoc.WithDurability(dir), bugdoc.WithWorkers(2), bugdoc.WithCompactEvery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Seed(ctx); err != nil {
+		t.Fatal(err)
+	}
+	causes, err := s1.FindAll(ctx, bugdoc.DebuggingDecisionTrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(causes) == 0 {
+		t.Fatal("first run asserted no root cause")
+	}
+	spent := s1.Spent()
+	if err := s1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if spent == 0 {
+		t.Fatal("first run executed nothing")
+	}
+
+	for round := 0; round < 2; round++ {
+		s2, err := bugdoc.ResumeSession(dir, oracle.oracle(), bugdoc.WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.Store().Len() != spent {
+			t.Fatalf("round %d: resumed store has %d records, want %d", round, s2.Store().Len(), spent)
+		}
+		causes2, err := s2.FindAll(ctx, bugdoc.DebuggingDecisionTrees)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if causes2.String() != causes.String() {
+			t.Fatalf("round %d: resumed causes %v, want %v", round, causes2, causes)
+		}
+		if s2.Spent() != 0 {
+			t.Fatalf("round %d: resumed session spent %d new executions, want 0", round, s2.Spent())
+		}
+		if round == 0 {
+			if err := s2.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := oracle.maxCalls(); got != 1 {
+		t.Fatalf("an instance reached the oracle %d times across checkpointed resumes, want at most once", got)
+	}
+}

@@ -1,6 +1,8 @@
 // Command bugdoc debugs a computational pipeline from the command line.
+// See docs/CLI.md for the full reference with a worked kill → resume →
+// compact session.
 //
-// Two modes:
+// Input modes (exactly one):
 //
 //	# Historical mode: debug a provenance log (no new executions possible).
 //	bugdoc -spec pipeline.json -provenance runs.csv -algo ddt -goal all
@@ -10,8 +12,16 @@
 //	bugdoc -demo polygamy -algo ddt -goal all
 //	bugdoc -demo gan -algo stacked
 //
-//	# Durable mode: write-ahead log every execution so a killed run
-//	# resumes without re-spending oracle budget.
+// Search flags: -algo picks shortcut | stacked | ddt, -goal picks one
+// (any minimal definitive root cause) or all, -budget caps new pipeline
+// executions (-1 = unlimited), -workers sizes the parallel dispatch pool,
+// -seed fixes the sampling randomness, and -latency simulates expensive
+// pipelines by delaying every oracle call.
+//
+// Durability flags: -state-dir write-ahead logs every execution so a
+// killed run resumes (with -resume requiring prior state) without
+// re-spending oracle budget:
+//
 //	bugdoc -demo polygamy -algo ddt -goal all -state-dir ./state
 //	bugdoc -demo polygamy -algo ddt -goal all -state-dir ./state -resume
 //
@@ -23,6 +33,20 @@
 //	# omit the flag to leave flushing to the OS.
 //	bugdoc -demo polygamy -algo ddt -goal all -state-dir ./state \
 //	    -workers 8 -sync 2ms
+//
+// Compaction flags: long sessions accumulate a WAL whose replay cost grows
+// with the whole past. -checkpoint-every N folds the log into a sorted
+// checkpoint in the background every N logged records, and -compact runs
+// one compaction over an existing state directory and exits (no search;
+// the space comes from the persisted spec, so not even -demo/-spec is
+// needed):
+//
+//	bugdoc -demo polygamy -algo ddt -goal all -state-dir ./state \
+//	    -checkpoint-every 10000
+//	bugdoc -state-dir ./state -compact
+//
+// After compaction, resuming loads the checkpoint and replays only the WAL
+// suffix past its watermark — resume cost is bounded by the live history.
 //
 // The algorithms submit hypothesis sets (DDT suspect verifications,
 // stacked-shortcut candidate rounds) as batches: the executor dedupes them
@@ -40,6 +64,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -73,8 +98,14 @@ func run() error {
 		resume   = flag.Bool("resume", false, "require existing state in -state-dir and continue it")
 		latency  = flag.Duration("latency", 0, "simulated per-execution latency (e.g. 50ms)")
 		syncWin  = flag.Duration("sync", -1, "fsync the WAL with this group-commit window (e.g. 2ms; 0 = every window; < 0 = no fsync)")
+		compact  = flag.Bool("compact", false, "fold the -state-dir WAL into a checkpoint, collect superseded segments, and exit")
+		ckptN    = flag.Int("checkpoint-every", 0, "compact the WAL in the background every N logged records (0 = only on -compact)")
 	)
 	flag.Parse()
+
+	if *compact {
+		return compactStateDir(*stateDir, *specPath)
+	}
 
 	var algo core.Algorithm
 	switch *algoName {
@@ -120,6 +151,10 @@ func run() error {
 			logOpts = append(logOpts,
 				provlog.WithSync(true),
 				provlog.WithSyncPolicy(provlog.SyncPolicy{Interval: *syncWin}))
+		}
+		if *ckptN > 0 {
+			logOpts = append(logOpts,
+				provlog.WithCompactPolicy(provlog.CompactPolicy{EveryRecords: *ckptN}))
 		}
 		lg, durable, err := provlog.Open(*stateDir, st.Space(), logOpts...)
 		if err != nil {
@@ -167,6 +202,66 @@ func run() error {
 	fmt.Printf("new executions:  %d\n", ex.Spent())
 	fmt.Printf("root causes:     %v\n", causes)
 	return nil
+}
+
+// compactStateDir runs one explicit compaction over an existing state
+// directory: open (replaying checkpoint + WAL suffix), fold everything
+// into a fresh checkpoint, collect superseded files, and report the
+// before/after shape. The parameter space comes from specPath when given,
+// otherwise from the spec persisted alongside the log.
+func compactStateDir(stateDir, specPath string) error {
+	if stateDir == "" {
+		return fmt.Errorf("-compact requires -state-dir")
+	}
+	if !provlog.Exists(stateDir) {
+		return fmt.Errorf("-compact: no session state in %s", stateDir)
+	}
+	var space *pipeline.Space
+	var err error
+	if specPath != "" {
+		sf, err := os.Open(specPath)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		space, err = spec.Read(sf)
+		if err != nil {
+			return err
+		}
+	} else {
+		space, err = provlog.ReadSpace(stateDir)
+		if err != nil {
+			return err
+		}
+	}
+	segsBefore, err := countFiles(stateDir, "wal-*.seg")
+	if err != nil {
+		return err
+	}
+	lg, st, err := provlog.Open(stateDir, space)
+	if err != nil {
+		return err
+	}
+	if err := lg.Checkpoint(); err != nil {
+		lg.Close()
+		return err
+	}
+	if err := lg.Close(); err != nil {
+		return err
+	}
+	segsAfter, err := countFiles(stateDir, "wal-*.seg")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted:       %s\n", stateDir)
+	fmt.Printf("records:         %d (checkpoint watermark)\n", st.Len())
+	fmt.Printf("segments:        %d -> %d\n", segsBefore, segsAfter)
+	return nil
+}
+
+func countFiles(dir, pattern string) (int, error) {
+	names, err := filepath.Glob(filepath.Join(dir, pattern))
+	return len(names), err
 }
 
 // historical loads the spec and provenance and replays the log.

@@ -6,6 +6,13 @@
 // benchmark harness that regenerates every table and figure of the paper's
 // evaluation is cmd/bugdoc-bench, with Go benchmarks in bench_test.go.
 //
+// Deeper documentation lives under docs/: docs/ARCHITECTURE.md maps the
+// layers (pipeline → provenance → provlog → exec → bugdoc → cmd), the
+// group-commit and compaction lifecycles, and the invariants each layer
+// owns; docs/ONDISK.md specifies the write-ahead log and checkpoint binary
+// formats byte by byte, with the crash-recovery rules; docs/CLI.md is the
+// cmd/bugdoc reference with a worked kill → resume → compact session.
+//
 // # Execution-core architecture: interned values and columnar indices
 //
 // The paper's cost model counts pipeline executions, so the in-process
@@ -93,7 +100,41 @@
 //     intact frame prefix — torture-tested at every byte offset of a
 //     multi-record batch (internal/provlog).
 //
+// # Segment compaction and checkpointed resume
+//
+// Long sessions accumulate WAL segments, and replaying the whole past on
+// every Open would make resume cost grow without bound. Compaction
+// (provlog.Log.Checkpoint, bugdoc.Session.Checkpoint, the
+// provlog.CompactPolicy auto-trigger, cmd/bugdoc -compact and
+// -checkpoint-every) folds the committed history into a checkpoint file:
+// a sorted run keyed by instance hash, deduplicated last-write-wins, with
+// the value and source dictionaries consolidated into dense tables and a
+// footer carrying record count, sequence watermark, space fingerprint,
+// and a whole-file CRC-32C. The checkpoint becomes visible only by
+// fsync+rename, and only then are the segments it covers deleted, so a
+// crash at any point of a compaction recovers (torture-tested stage by
+// stage).
+//
+//   - Open loads the newest valid checkpoint with one index-free
+//     sequential (mmap-backed) pass: rows adopt wholesale into the store
+//     as its base run — code-only instances over the shared decoded
+//     matrix, identity served by binary search over the stored hash
+//     order, outcome/posting indices built lazily on first query — and
+//     only the WAL suffix past the watermark replays frame by frame.
+//   - Resume cost is bounded by live history, not total history:
+//     BenchmarkOpenCheckpointed1M opens a 1M-record session several times
+//     faster than BenchmarkOpenFullReplay1M replays the identical records
+//     (both gated in CI).
+//   - A checkpoint + WAL-suffix store is differentially tested to be
+//     identical — records, dictionaries, and indexed query behavior — to
+//     a full-WAL replay of the same bytes, across randomized histories.
+//
+// docs/ONDISK.md specifies both binary formats byte by byte with the full
+// crash matrix; docs/ARCHITECTURE.md diagrams the lifecycles.
+//
 // CI gates the hot paths with a benchmark-regression job: cmd/benchdiff
 // compares median ns/op of the gated benchmarks against the committed
-// BENCH_BASELINE.json and fails the build on >25% regression.
+// BENCH_BASELINE.json and fails the build on >25% regression. A docs
+// drift gate (cmd/doclint) fails the build when exported symbols of
+// bugdoc, internal/provenance, or internal/provlog lack godoc comments.
 package repro

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/pipeline"
+	"repro/internal/provenance"
 )
 
 func durableSpace() *pipeline.Space {
@@ -108,5 +109,96 @@ func TestNewDurableResume(t *testing.T) {
 	}
 	if got := counter.max(); got != 1 {
 		t.Fatalf("an instance reached the oracle %d times, want at most once", got)
+	}
+}
+
+// TestNewDurableCheckpointResume compacts the log mid-session and resumes
+// twice more: every previously evaluated instance must be served from the
+// checkpointed provenance with zero repeated oracle calls, and instances
+// evaluated after the checkpoint must survive via the WAL suffix.
+func TestNewDurableCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	counter := &callCounter{calls: make(map[string]int)}
+
+	s1 := durableSpace()
+	e1, err := NewDurable(counter.oracle(), s1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Checkpoint(); err != nil {
+		t.Fatal(err) // empty-log checkpoint must be a clean no-op
+	}
+	var all []pipeline.Instance
+	for _, x := range s1.Domain("x") {
+		for _, m := range s1.Domain("mode") {
+			all = append(all, pipeline.MustInstance(s1, x, m))
+		}
+	}
+	half := len(all) / 2
+	for _, in := range all[:half] {
+		if _, err := e1.Evaluate(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The suffix: evaluations landing after the checkpoint.
+	for _, in := range all[half:] {
+		if _, err := e1.Evaluate(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 2; round++ {
+		s2 := durableSpace()
+		e2, err := NewDurable(counter.oracle(), s2, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e2.Store().Len() != len(all) {
+			t.Fatalf("round %d: store has %d records, want %d", round, e2.Store().Len(), len(all))
+		}
+		for _, x := range s2.Domain("x") {
+			for _, m := range s2.Domain("mode") {
+				if _, err := e2.Evaluate(ctx, pipeline.MustInstance(s2, x, m)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if e2.Spent() != 0 {
+			t.Fatalf("round %d: resumed run spent %d executions, want 0", round, e2.Spent())
+		}
+		if round == 0 {
+			// Compact again on resume so the second round loads a
+			// checkpoint that itself came from checkpoint + suffix.
+			if err := e2.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := counter.max(); got != 1 {
+		t.Fatalf("an instance reached the oracle %d times, want at most once", got)
+	}
+	if got := e1.Store(); got != nil && got.Len() != len(all) {
+		t.Fatalf("store drifted to %d records", got.Len())
+	}
+}
+
+// TestCheckpointNonDurable verifies executors without a log refuse to
+// checkpoint instead of silently doing nothing.
+func TestCheckpointNonDurable(t *testing.T) {
+	s := durableSpace()
+	counter := &callCounter{calls: make(map[string]int)}
+	e := New(counter.oracle(), provenance.NewStore(s))
+	if err := e.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on a non-durable executor succeeded")
 	}
 }

@@ -4,6 +4,19 @@
 // *new* instances executed), and dispatches independent instances across a
 // pool of workers (Section 4.3, "each pipeline instance is independent;
 // hence different instances can be run in parallel").
+//
+// Executors come in two flavors: New builds a volatile one over an
+// existing store, and NewDurable write-ahead logs every oracle result
+// under a state directory (internal/provlog) so a killed run resumes with
+// zero repeated oracle calls. Durable executors also support Checkpoint,
+// which compacts the log so resume cost stays bounded by the live history
+// (see docs/ARCHITECTURE.md for how the layers fit together).
+//
+// EvaluateAll and EvaluateBatch dispatch whole hypothesis sets: both
+// dedupe against memoized history and claim budget deterministically in
+// input order; EvaluateBatch additionally commits every result through
+// one provenance batch append, so a durable round costs one commit window
+// (one fsync) instead of one per record.
 package exec
 
 import (
@@ -124,6 +137,20 @@ func (e *Executor) Close() error {
 		return nil
 	}
 	return e.log.Close()
+}
+
+// Checkpoint folds the durability log's sealed history into a checkpoint
+// and garbage-collects the segments it supersedes, so reopening the state
+// directory loads the checkpoint instead of replaying the whole WAL (see
+// provlog.Log.Checkpoint). The executor stays live: evaluations continue
+// while the compaction runs. It fails for executors built by New, which
+// have no log. For periodic compaction, thread
+// provlog.WithCompactPolicy through WithLogOptions instead.
+func (e *Executor) Checkpoint() error {
+	if e.log == nil {
+		return fmt.Errorf("exec: executor has no durability log to checkpoint")
+	}
+	return e.log.Checkpoint()
 }
 
 // Store returns the provenance store backing the executor.

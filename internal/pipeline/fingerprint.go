@@ -88,3 +88,54 @@ func (s *Space) InstancesFromCodes(flat []uint32, out []Instance) error {
 	}
 	return nil
 }
+
+// InstancesAdoptingCodes builds len(out) code-only instances over flat, a
+// row-major matrix of len(out) × Len interned codes, adopting flat itself
+// as the shared backing of every code vector — the caller hands over
+// ownership and must not modify it afterwards. hashes[r] must be the
+// precomputed identity hash of row r (HashCodes); bulk loaders compute it
+// while decoding, and this constructor trusts it rather than hashing
+// again.
+//
+// Unlike InstancesFromCodes, no Value slice is materialized: the instances
+// resolve values through the intern table on demand (see Instance), so
+// adopting a checkpoint of any size costs O(1) per instance beyond the
+// code validation. Every code must already be assigned (see NumCodes).
+func (s *Space) InstancesAdoptingCodes(flat []uint32, hashes []uint64, out []Instance) error {
+	if len(hashes) != len(out) {
+		return fmt.Errorf("pipeline: %d hashes for %d instances", len(hashes), len(out))
+	}
+	return s.AdoptInstances(flat, hashes, func(r int, in Instance) { out[r] = in })
+}
+
+// AdoptInstances is the streaming form of InstancesAdoptingCodes: emit is
+// called once per row, in row order, with the code-only instance over
+// flat's r-th row — bulk loaders that place instances somewhere other
+// than a plain slice (a provenance record table, say) skip the
+// intermediate instance array entirely. Ownership and hash semantics are
+// those of InstancesAdoptingCodes.
+func (s *Space) AdoptInstances(flat []uint32, hashes []uint64, emit func(r int, in Instance)) error {
+	p := s.Len()
+	if p == 0 || len(flat)%p != 0 {
+		return fmt.Errorf("pipeline: %d codes over %d parameters", len(flat), p)
+	}
+	n := len(flat) / p
+	if len(hashes) != n {
+		return fmt.Errorf("pipeline: %d hashes for %d instances", len(hashes), n)
+	}
+	limits := make([]uint32, p)
+	for i := 0; i < p; i++ {
+		limits[i] = uint32(s.intern.size(i))
+	}
+	for r := 0; r < n; r++ {
+		row := flat[r*p : (r+1)*p : (r+1)*p]
+		for i, c := range row {
+			if c >= limits[i] {
+				return fmt.Errorf("pipeline: parameter %q has no interned code %d",
+					s.At(i).Name, c)
+			}
+		}
+		emit(r, Instance{space: s, codes: row, hash: hashes[r]})
+	}
+	return nil
+}

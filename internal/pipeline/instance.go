@@ -12,9 +12,15 @@ import (
 // Alongside its values, every instance caches the interned code vector and
 // a precomputed 64-bit hash of it (see intern.go), so identity operations
 // and memoization lookups are allocation-free integer work.
+//
+// Instances built by the bulk loaders (InstancesAdoptingCodes) carry no
+// materialized value slice at all: vals is nil and Value resolves each
+// code through the space's intern table on demand. The observable values
+// are identical — codes determine values exactly — so the two forms are
+// interchangeable; only the storage strategy differs.
 type Instance struct {
 	space *Space
-	vals  []Value
+	vals  []Value // nil for code-only instances; resolve via the intern table
 	codes []uint32
 	hash  uint64
 }
@@ -102,10 +108,15 @@ func (in Instance) IsValid() bool { return in.space != nil }
 func (in Instance) Space() *Space { return in.space }
 
 // Len returns the number of parameters.
-func (in Instance) Len() int { return len(in.vals) }
+func (in Instance) Len() int { return len(in.codes) }
 
 // Value returns the value of the i-th parameter (CP_i[p] for p at index i).
-func (in Instance) Value(i int) Value { return in.vals[i] }
+func (in Instance) Value(i int) Value {
+	if in.vals == nil {
+		return in.space.intern.value(i, in.codes[i])
+	}
+	return in.vals[i]
+}
 
 // ByName returns the value of the named parameter.
 func (in Instance) ByName(name string) (Value, bool) {
@@ -113,7 +124,7 @@ func (in Instance) ByName(name string) (Value, bool) {
 	if !ok {
 		return Value{}, false
 	}
-	return in.vals[i], true
+	return in.Value(i), true
 }
 
 // With returns a copy of the instance with parameter i set to v.
@@ -125,8 +136,14 @@ func (in Instance) With(i int, v Value) Instance {
 		panic(fmt.Sprintf("pipeline: parameter %q (%v) cannot hold %v value",
 			in.space.At(i).Name, in.space.At(i).Kind, v.Kind()))
 	}
-	vals := make([]Value, len(in.vals))
-	copy(vals, in.vals)
+	vals := make([]Value, len(in.codes))
+	if in.vals == nil {
+		for j := range vals {
+			vals[j] = in.Value(j)
+		}
+	} else {
+		copy(vals, in.vals)
+	}
 	vals[i] = v
 	codes := make([]uint32, len(in.codes))
 	copy(codes, in.codes)
@@ -180,8 +197,8 @@ func (in Instance) DiffCount(other Instance) int {
 	if in.space != other.space {
 		// Codes are only comparable within one space; fall back to values.
 		n := 0
-		for i := range in.vals {
-			if in.vals[i] != other.vals[i] {
+		for i := range in.codes {
+			if in.Value(i) != other.Value(i) {
 				n++
 			}
 		}
@@ -199,9 +216,9 @@ func (in Instance) DiffCount(other Instance) int {
 // Assignments returns the instance as (parameter, value) pairs in space
 // order (the paper's Pv_i list).
 func (in Instance) Assignments() []Assignment {
-	as := make([]Assignment, len(in.vals))
-	for i, v := range in.vals {
-		as[i] = Assignment{Param: in.space.At(i).Name, Value: v}
+	as := make([]Assignment, len(in.codes))
+	for i := range as {
+		as[i] = Assignment{Param: in.space.At(i).Name, Value: in.Value(i)}
 	}
 	return as
 }
@@ -212,11 +229,11 @@ func (in Instance) Assignments() []Assignment {
 // lookups use the interned code vector and Hash instead.
 func (in Instance) Key() string {
 	var b strings.Builder
-	for i, v := range in.vals {
+	for i := range in.codes {
 		if i > 0 {
 			b.WriteByte(0x1f) // ASCII unit separator: cannot appear in value keys
 		}
-		b.WriteString(v.key())
+		b.WriteString(in.Value(i).key())
 	}
 	return b.String()
 }
@@ -225,13 +242,13 @@ func (in Instance) Key() string {
 func (in Instance) String() string {
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, v := range in.vals {
+	for i := range in.codes {
 		if i > 0 {
 			b.WriteString(", ")
 		}
 		b.WriteString(in.space.At(i).Name)
 		b.WriteByte('=')
-		b.WriteString(v.String())
+		b.WriteString(in.Value(i).String())
 	}
 	b.WriteByte('}')
 	return b.String()

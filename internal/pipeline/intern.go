@@ -144,6 +144,12 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
+// HashCodes returns the hash an Instance over this code vector carries
+// (Instance.Hash): FNV-1a over the little-endian bytes of the codes. Bulk
+// loaders (the provenance checkpoint reader) use it to compute instance
+// hashes straight from decoded code rows, before any Instance exists.
+func HashCodes(codes []uint32) uint64 { return hashCodes(codes) }
+
 func hashCodes(codes []uint32) uint64 {
 	h := uint64(fnvOffset64)
 	for _, c := range codes {

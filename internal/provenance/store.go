@@ -12,6 +12,14 @@
 // as bitset intersections instead of whole-log scans, and Snapshot exposes
 // a zero-copy read-only view of the log for bulk consumers.
 //
+// Identity is two-tiered, LSM-style: records added one by one live in the
+// hash map, while a checkpoint bulk-load (LoadSortedRun) adopts its
+// hash-sorted run wholesale and serves identity probes by binary search,
+// deferring the outcome and posting indices to the first query that needs
+// them — so resuming a huge session builds no per-record index at all.
+// Either way the store behaves identically; the deferral is never
+// observable.
+//
 // The store itself is volatile; durability is delegated to a pluggable
 // Sink. A sink's Append runs inside Add, under the store's write lock and
 // before the in-memory indices are updated, so a durable sink (the
@@ -103,8 +111,23 @@ type Store struct {
 	sink  Sink
 
 	// byKey maps instance identity to log position (hash-bucketed with
-	// Equal confirmation; see pipeline.InstanceMap).
+	// Equal confirmation; see pipeline.InstanceMap). Records adopted as a
+	// base run (LoadSortedRun) are not in byKey: identity probes for them
+	// binary-search the baseHash/baseSeq arrays instead, LSM-style, so a
+	// checkpoint load never pays to build a hash index.
 	byKey *pipeline.InstanceMap[int32]
+
+	// The base run: a log prefix adopted from a sorted checkpoint.
+	// baseHash is ascending; baseSeq[i] is the log position of the record
+	// whose instance hashes to baseHash[i] (ties ordered by seq).
+	// baseUnindexed is the length of the base prefix whose outcome and
+	// posting indices have not been built yet: LoadSortedRun defers them,
+	// and the first query that needs them triggers indexBaseLocked. The
+	// memoization path (Lookup) never does — resuming a session stays
+	// index-free until a history query actually runs.
+	baseHash      []uint64
+	baseSeq       []int32
+	baseUnindexed int
 
 	// Staged-commit state (StagedSink path): records whose sink append has
 	// been staged but whose durability is still pending. nextSeq is the
@@ -179,7 +202,7 @@ func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) 
 		return fmt.Errorf("provenance: cannot record outcome %v", out)
 	}
 	st.mu.Lock()
-	if _, dup := st.byKey.Get(in); dup {
+	if _, dup := st.lookupSeqLocked(in); dup {
 		st.mu.Unlock()
 		return fmt.Errorf("provenance: instance %v already recorded", in)
 	}
@@ -282,7 +305,7 @@ func (st *Store) AddBatch(entries []Entry) (added int, err error) {
 		defer st.mu.Unlock()
 		for i := range entries {
 			in := entries[i].Instance
-			if _, dup := st.byKey.Get(in); dup {
+			if _, dup := st.lookupSeqLocked(in); dup {
 				continue
 			}
 			rec := Record{Seq: st.nextSeq, Instance: in, Outcome: entries[i].Outcome, Source: entries[i].Source}
@@ -307,7 +330,7 @@ func (st *Store) AddBatch(entries []Entry) (added int, err error) {
 	seen := pipeline.NewInstanceMap[struct{}](len(entries))
 	for i := range entries {
 		in := entries[i].Instance
-		if _, dup := st.byKey.Get(in); dup {
+		if _, dup := st.lookupSeqLocked(in); dup {
 			continue
 		}
 		if st.stagedLookupLocked(in) != nil {
@@ -377,13 +400,25 @@ func (st *Store) commitRecordLocked(rec Record) {
 	st.log = append(st.log, rec)
 	if rec.Outcome == pipeline.Succeed {
 		st.succSeqs = append(st.succSeqs, int32(seq))
-		st.succBits.set(seq)
 	} else {
 		st.failSeqs = append(st.failSeqs, int32(seq))
+	}
+	st.indexRecordBitsLocked(&rec)
+}
+
+// indexRecordBitsLocked sets the positional indices — the outcome bitset
+// and the per-(parameter, code) postings — for one record. It is the
+// single home of the posting-growth rule; the ordered seq lists are
+// maintained by the callers, which differ in where they append.
+func (st *Store) indexRecordBitsLocked(r *Record) {
+	seq := r.Seq
+	if r.Outcome == pipeline.Succeed {
+		st.succBits.set(seq)
+	} else {
 		st.failBits.set(seq)
 	}
 	for i := 0; i < st.space.Len(); i++ {
-		c := int(rec.Instance.Code(i))
+		c := int(r.Instance.Code(i))
 		for len(st.posting[i]) <= c {
 			st.posting[i] = append(st.posting[i], nil)
 		}
@@ -445,14 +480,224 @@ func (st *Store) drainStagedLocked() {
 	}
 }
 
+// loadValidateLocked shares the up-front checks of the two bulk loaders.
+func (st *Store) loadValidateLocked(recs []Record) error {
+	if st.sink != nil {
+		return fmt.Errorf("provenance: bulk load on a store with a sink attached")
+	}
+	if len(st.staged) > 0 {
+		return fmt.Errorf("provenance: bulk load with staged writes in flight")
+	}
+	base := len(st.log)
+	for i := range recs {
+		r := &recs[i]
+		if r.Instance.Space() != st.space {
+			return fmt.Errorf("provenance: record %d: instance belongs to a different space", i)
+		}
+		if r.Outcome != pipeline.Succeed && r.Outcome != pipeline.Fail {
+			return fmt.Errorf("provenance: record %d: cannot record outcome %v", i, r.Outcome)
+		}
+		if r.Seq != base+i {
+			return fmt.Errorf("provenance: record %d has sequence %d, want %d", i, r.Seq, base+i)
+		}
+	}
+	return nil
+}
+
+// loadIndexLocked appends recs to the log (adopting the slice wholesale
+// when the log is empty) and builds the outcome and posting indices.
+// Identity indexing is left to the caller — the hash map for LoadRecords,
+// the sorted base run for LoadSortedRun.
+func (st *Store) loadIndexLocked(recs []Record) {
+	if len(st.log) == 0 {
+		st.log = recs
+	} else {
+		st.log = append(st.log, recs...)
+	}
+	if cap(st.succSeqs) == 0 {
+		st.succSeqs = make([]int32, 0, len(recs))
+		st.failSeqs = make([]int32, 0, len(recs))
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.Outcome == pipeline.Succeed {
+			st.succSeqs = append(st.succSeqs, int32(r.Seq))
+		} else {
+			st.failSeqs = append(st.failSeqs, int32(r.Seq))
+		}
+		st.indexRecordBitsLocked(r)
+		st.nextSeq++
+	}
+}
+
+// LoadRecords bulk-commits a batch of already-durable records into the
+// store under one lock acquisition, without touching the sink. The records
+// must continue the log exactly: sequence numbers dense from Len() in
+// slice order, instances of the store's space, no duplicates, known
+// outcomes. Loading is equivalent to Add-ing the records in order (the
+// indices come out identical), minus the per-record locking and sink
+// staging. The store takes ownership of the slice when it is empty;
+// callers must not modify it afterwards.
+//
+// LoadRecords refuses stores with a sink attached (the records would
+// silently skip durability) or with staged writes in flight. On error the
+// store may be partially loaded and must be discarded; bulk loaders open a
+// fresh store per attempt.
+func (st *Store) LoadRecords(recs []Record) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.loadValidateLocked(recs); err != nil {
+		return err
+	}
+	for i := range recs {
+		if !st.byKey.Put(recs[i].Instance, int32(recs[i].Seq)) {
+			return fmt.Errorf("provenance: record %d: instance %v already recorded", i, recs[i].Instance)
+		}
+	}
+	st.loadIndexLocked(recs)
+	return nil
+}
+
+// LoadSortedRun adopts a decoded checkpoint run as the store's base tier:
+// recs in sequence order (dense from 0 — the store must be empty), plus
+// the run's hash ordering as two parallel arrays, hashes ascending and
+// seqs[i] the log position of the record hashing to hashes[i] (ties in seq
+// order). Unlike LoadRecords, no hash index is built — identity probes
+// against the base run binary-search the sorted arrays — and the outcome
+// and posting indices are deferred to the first query that needs them, so
+// loading a checkpoint of any size costs O(records) decode-adjacent work
+// and the memoization path is ready immediately. Records added after the
+// load go to the hash-map tier and index incrementally as usual; the
+// deferred base build merges in front of them (base sequences all precede
+// post-load ones, and bitsets are positional).
+//
+// The store takes ownership of all three slices. The caller vouches that
+// hashes are the records' instance hashes (internal/provlog verifies them
+// against the CRC-protected rows); sortedness is verified here, and
+// duplicate instances surface as a verification error since equal
+// instances hash adjacently.
+func (st *Store) LoadSortedRun(recs []Record, hashes []uint64, seqs []int32) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.loadValidateLocked(recs); err != nil {
+		return err
+	}
+	if len(st.log) != 0 || len(st.baseHash) != 0 {
+		return fmt.Errorf("provenance: LoadSortedRun into a non-empty store")
+	}
+	if len(hashes) != len(recs) || len(seqs) != len(recs) {
+		return fmt.Errorf("provenance: sorted run has %d hashes and %d seqs for %d records",
+			len(hashes), len(seqs), len(recs))
+	}
+	for i := range hashes {
+		if i > 0 && hashes[i] < hashes[i-1] {
+			return fmt.Errorf("provenance: sorted run out of order at row %d", i)
+		}
+		if int(seqs[i]) >= len(recs) {
+			return fmt.Errorf("provenance: sorted run row %d names seq %d of %d", i, seqs[i], len(recs))
+		}
+		if i > 0 && hashes[i] == hashes[i-1] &&
+			recs[seqs[i]].Instance.Equal(recs[seqs[i-1]].Instance) {
+			return fmt.Errorf("provenance: sorted run holds instance %v twice", recs[seqs[i]].Instance)
+		}
+	}
+	st.baseHash, st.baseSeq = hashes, seqs
+	st.log = recs
+	st.nextSeq = len(recs)
+	st.baseUnindexed = len(recs)
+	return nil
+}
+
+// ensureIndexed builds the deferred base-run indices if the store has any.
+// Every query that reads the outcome or posting indices calls it before
+// taking the read lock.
+func (st *Store) ensureIndexed() {
+	st.mu.RLock()
+	n := st.baseUnindexed
+	st.mu.RUnlock()
+	if n == 0 {
+		return
+	}
+	st.mu.Lock()
+	st.indexBaseLocked()
+	st.mu.Unlock()
+}
+
+// indexBaseLocked indexes the deferred base prefix: outcome sequence lists
+// are built for it and prepended to whatever post-load records have
+// already indexed (base sequences all precede them), and the positional
+// bitsets — outcome and posting — are or-ed in place.
+func (st *Store) indexBaseLocked() {
+	n := st.baseUnindexed
+	if n == 0 {
+		return
+	}
+	st.baseUnindexed = 0
+	baseSucc := make([]int32, 0, n)
+	baseFail := make([]int32, 0, n)
+	for seq := 0; seq < n; seq++ {
+		r := &st.log[seq]
+		if r.Outcome == pipeline.Succeed {
+			baseSucc = append(baseSucc, int32(seq))
+		} else {
+			baseFail = append(baseFail, int32(seq))
+		}
+		st.indexRecordBitsLocked(r)
+	}
+	st.succSeqs = append(baseSucc, st.succSeqs...)
+	st.failSeqs = append(baseFail, st.failSeqs...)
+}
+
+// lookupSeqLocked resolves an instance to its log position through both
+// identity tiers: the hash map over incrementally added records, then a
+// binary search of the base run adopted from a checkpoint.
+func (st *Store) lookupSeqLocked(in pipeline.Instance) (int32, bool) {
+	if i, ok := st.byKey.Get(in); ok {
+		return i, true
+	}
+	return st.baseLookupLocked(in)
+}
+
+// baseLookupLocked probes the sorted base run. Kept out of the map-hit
+// path: Lookup's memoization hit is the hottest operation in the system
+// and pays only a length check for the base tier.
+func (st *Store) baseLookupLocked(in pipeline.Instance) (int32, bool) {
+	h := in.Hash()
+	lo, hi := 0, len(st.baseHash)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.baseHash[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for ; lo < len(st.baseHash) && st.baseHash[lo] == h; lo++ {
+		seq := st.baseSeq[lo]
+		if st.log[seq].Instance.Equal(in) {
+			return seq, true
+		}
+	}
+	return 0, false
+}
+
 // Lookup returns the recorded outcome for the instance, if any. Hits
 // perform no allocations: the probe is the instance's precomputed hash
-// followed by an integer code-vector compare.
+// through the identity map (and, for checkpoint-loaded stores, a binary
+// search of the sorted base run) followed by an integer code-vector
+// compare.
 func (st *Store) Lookup(in pipeline.Instance) (pipeline.Outcome, bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	// The map probe is open-coded ahead of the base-run fallback so the
+	// common hit costs exactly what it did before the base tier existed.
 	if i, ok := st.byKey.Get(in); ok {
 		return st.log[i].Outcome, true
+	}
+	if len(st.baseHash) > 0 {
+		if i, ok := st.baseLookupLocked(in); ok {
+			return st.log[i].Outcome, true
+		}
 	}
 	return pipeline.OutcomeUnknown, false
 }
@@ -501,6 +746,7 @@ func (sn Snapshot) Records() []Record { return sn.recs }
 
 // Outcomes counts succeeding and failing records.
 func (st *Store) Outcomes() (succeed, fail int) {
+	st.ensureIndexed()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return len(st.succSeqs), len(st.failSeqs)
@@ -508,6 +754,7 @@ func (st *Store) Outcomes() (succeed, fail int) {
 
 // Failing returns the failing instances in execution order.
 func (st *Store) Failing() []pipeline.Instance {
+	st.ensureIndexed()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.bySeqsLocked(st.failSeqs)
@@ -515,6 +762,7 @@ func (st *Store) Failing() []pipeline.Instance {
 
 // Succeeding returns the succeeding instances in execution order.
 func (st *Store) Succeeding() []pipeline.Instance {
+	st.ensureIndexed()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.bySeqsLocked(st.succSeqs)
@@ -534,6 +782,7 @@ func (st *Store) bySeqsLocked(seqs []int32) []pipeline.Instance {
 // FirstFailing returns the earliest failing instance, the natural CP_f for
 // the Shortcut algorithms.
 func (st *Store) FirstFailing() (pipeline.Instance, bool) {
+	st.ensureIndexed()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if len(st.failSeqs) == 0 {
@@ -561,6 +810,7 @@ func (st *Store) DisjointSucceeding(ref pipeline.Instance) []pipeline.Instance {
 	if ref.Space() != st.space {
 		return nil // instances over different spaces are never disjoint
 	}
+	st.ensureIndexed()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	var out []pipeline.Instance
@@ -575,6 +825,7 @@ func (st *Store) DisjointSucceeding(ref pipeline.Instance) []pipeline.Instance {
 // ref on the most parameters — the heuristic stand-in for a disjoint good
 // instance when the Disjointness Condition does not hold.
 func (st *Store) MostDifferentSucceeding(ref pipeline.Instance) (pipeline.Instance, bool) {
+	st.ensureIndexed()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	best, bestDiff := pipeline.Instance{}, -1
@@ -593,6 +844,7 @@ func (st *Store) MostDifferentSucceeding(ref pipeline.Instance) (pipeline.Instan
 // remaining succeeding instances, reflecting the paper's "mutually disjoint
 // if possible".
 func (st *Store) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad bool) []pipeline.Instance {
+	st.ensureIndexed()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	var chosen []pipeline.Instance
@@ -689,6 +941,7 @@ func (st *Store) conjunctionBitsLocked(c predicate.Conjunction, base bitset) bit
 // sanity check ("whether any superset of the hypothetical root cause is in
 // an already executed successful execution").
 func (st *Store) AnySucceedingSatisfying(c predicate.Conjunction) (pipeline.Instance, bool) {
+	st.ensureIndexed()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if seq, ok := st.conjunctionBitsLocked(c, st.succBits).first(); ok {
@@ -701,6 +954,7 @@ func (st *Store) AnySucceedingSatisfying(c predicate.Conjunction) (pipeline.Inst
 // The satisfying set is materialized once and intersected with each outcome
 // bitset in place.
 func (st *Store) CountSatisfying(c predicate.Conjunction) (succeed, fail int) {
+	st.ensureIndexed()
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if len(c) == 0 {

@@ -1,0 +1,732 @@
+package provlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/provenance"
+)
+
+// Checkpoint files. A checkpoint is the log's sealed history folded into
+// one sorted run: every record with sequence below the watermark, keyed by
+// instance hash, with the dictionary frames that define its codes and
+// sources consolidated into dense tables. Open loads the newest valid
+// checkpoint with an index-free sequential scan and replays only the WAL
+// suffix past its watermark, so the cost of resuming a long session is
+// bounded by the live history, not its whole past (see docs/ONDISK.md for
+// the byte-level format and the crash-recovery rules).
+//
+// Layout (all integers little-endian; the trailing CRC-32C covers every
+// byte before it, so one pass over the file validates everything):
+//
+//	header  (16)  magic "BDCKPv01", parameter count (uint32), reserved
+//	              uint32 (zero)
+//	dict          per parameter, in space order: entry count (uint32),
+//	              then one entry per code in code order — kind byte, then
+//	              ordinal float64 bits or categorical uint32 length+bytes
+//	sources       entry count (uint32), then one entry per id in id
+//	              order — uint16 length + bytes
+//	records       recordCount fixed-width rows sorted by (instance hash,
+//	              seq): instance hash (uint64), interned codes (params ×
+//	              uint32), outcome byte, source id (uint16), seq (uint64)
+//	footer  (36)  magic "BDCKPend", record count (uint64), seq watermark
+//	              (uint64), space fingerprint (uint64), CRC-32C (uint32)
+//	              of bytes [0, size-4)
+//
+// The run is deduplicated last-write-wins per instance (ties on hash break
+// by seq; the survivor is the highest seq). A store-fed log never contains
+// two records of one instance, so v1 checkpoints always carry exactly
+// watermark records with dense sequences 0..watermark-1 — the loader
+// verifies this and a compactor that would have to drop a sequence refuses
+// to write the run instead.
+const (
+	ckptMagic       = "BDCKPv01"
+	ckptFooterMagic = "BDCKPend"
+	ckptHeaderSize  = 16
+	ckptFooterSize  = 36
+)
+
+// ckptCRC is the checksum the checkpoint file uses: CRC-32C (Castagnoli),
+// hardware-accelerated on amd64/arm64, unlike the WAL's frame-level IEEE
+// polynomial — a checkpoint validates tens of megabytes in one pass.
+var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// CompactPolicy schedules automatic compaction: when either threshold is
+// crossed by freshly logged data, the log folds its sealed history into a
+// new checkpoint in the background (one compaction at a time; a busy
+// trigger is skipped and retried at the next commit window).
+type CompactPolicy struct {
+	// EveryRecords triggers a checkpoint when at least this many records
+	// have been logged past the newest checkpoint's watermark. <= 0
+	// disables the record trigger.
+	EveryRecords int
+	// EveryBytes triggers a checkpoint when at least this many WAL bytes
+	// have been written since the newest checkpoint. <= 0 disables the
+	// size trigger.
+	EveryBytes int64
+}
+
+// WithCompactPolicy enables automatic background compaction (see
+// CompactPolicy). Without it the log only compacts on explicit Checkpoint
+// calls.
+func WithCompactPolicy(p CompactPolicy) Option {
+	return func(l *Log) { l.compact = p }
+}
+
+// ckptTestHook, when set, runs at the named stages of a compaction —
+// "tmp-written" (checkpoint bytes durable in the temp file, not yet
+// renamed), "renamed" (checkpoint in place, segments not yet collected),
+// and "gc" (after the first superseded file was removed). Returning an
+// error aborts the compaction at exactly that point, leaving the on-disk
+// state a SIGKILL would have left; the crash-during-compaction torture
+// tests drive every stage through it.
+var ckptTestHook func(stage string) error
+
+func ckptStage(stage string) error {
+	if ckptTestHook != nil {
+		return ckptTestHook(stage)
+	}
+	return nil
+}
+
+// ckptFile is one discovered checkpoint file.
+type ckptFile struct {
+	path      string
+	watermark int
+}
+
+func ckptPath(dir string, watermark int) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016d.ckpt", watermark))
+}
+
+// listCheckpoints returns the directory's checkpoint files ordered newest
+// (highest watermark) first. Only the name is parsed here; validity is
+// decided by loadCheckpoint.
+func listCheckpoints(dir string) ([]ckptFile, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	cks := make([]ckptFile, 0, len(names))
+	for _, p := range names {
+		base := filepath.Base(p)
+		numStr := strings.TrimSuffix(strings.TrimPrefix(base, "ckpt-"), ".ckpt")
+		n, err := strconv.ParseUint(numStr, 10, 63)
+		if err != nil {
+			return nil, fmt.Errorf("provlog: unrecognized checkpoint file %q", base)
+		}
+		cks = append(cks, ckptFile{path: p, watermark: int(n)})
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].watermark > cks[j].watermark })
+	return cks, nil
+}
+
+// removeStrayTmp deletes leftover checkpoint temp files — the debris of a
+// crash between writing and renaming a checkpoint. Called with the
+// directory lock held, so no live compactor owns them.
+func removeStrayTmp(dir string) {
+	if names, err := filepath.Glob(filepath.Join(dir, "ckpt-*.tmp")); err == nil {
+		for _, p := range names {
+			os.Remove(p)
+		}
+	}
+}
+
+// encodeCheckpoint renders the first w records of the snapshot as one
+// checkpoint file. The dictionary tables are derived from the record
+// prefix itself: the WAL emits a dict frame for every code up to the
+// largest one a record references, immediately before that record and in
+// the same commit window, so the codes 0..max(code) per parameter — and
+// the sources in first-use order — are exactly the dictionary state at the
+// watermark's position in the stream.
+func encodeCheckpoint(space *pipeline.Space, fingerprint uint64, sn provenance.Snapshot, w int) ([]byte, error) {
+	p := space.Len()
+	persisted := make([]int, p)
+	var sources []string
+	sourceID := make(map[string]uint16)
+	for i := 0; i < w; i++ {
+		rec := sn.At(i)
+		for j := 0; j < p; j++ {
+			if c := int(rec.Instance.Code(j)) + 1; c > persisted[j] {
+				persisted[j] = c
+			}
+		}
+		if _, ok := sourceID[rec.Source]; !ok {
+			if len(sources) > math.MaxUint16 {
+				return nil, fmt.Errorf("provlog: checkpoint: too many distinct sources")
+			}
+			sourceID[rec.Source] = uint16(len(sources))
+			sources = append(sources, rec.Source)
+		}
+	}
+
+	// The sorted run: record order by (instance hash, seq), deduplicated
+	// last-write-wins. A duplicate instance cannot come out of a
+	// provenance store, and dropping one would leave a sequence gap the
+	// loader rejects, so a survivor set smaller than w refuses to encode.
+	order := make([]int32, w)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ha, hb := sn.At(int(order[a])).Instance.Hash(), sn.At(int(order[b])).Instance.Hash()
+		if ha != hb {
+			return ha < hb
+		}
+		return order[a] < order[b]
+	})
+	kept := order[:0]
+	for i := 0; i < len(order); i++ {
+		if i+1 < len(order) {
+			this, next := sn.At(int(order[i])).Instance, sn.At(int(order[i+1])).Instance
+			if this.Hash() == next.Hash() && this.Equal(next) {
+				continue // last-write-wins: the higher seq follows in the order
+			}
+		}
+		kept = append(kept, order[i])
+	}
+	if len(kept) != w {
+		return nil, fmt.Errorf("provlog: checkpoint: snapshot holds duplicate instances (%d of %d records survive dedup)",
+			len(kept), w)
+	}
+
+	rowSize := 4*p + 19
+	buf := make([]byte, 0, ckptHeaderSize+w*rowSize+ckptFooterSize+4096)
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	for i := 0; i < p; i++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(persisted[i]))
+		for c := 0; c < persisted[i]; c++ {
+			v := space.InternedValue(i, uint32(c))
+			buf = append(buf, byte(v.Kind()))
+			if v.Kind() == pipeline.Ordinal {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Num()))
+			} else {
+				s := v.Str()
+				if len(s) > maxBlob {
+					return nil, fmt.Errorf("provlog: checkpoint: categorical value of parameter %q is %d bytes, limit %d",
+						space.At(i).Name, len(s), maxBlob)
+				}
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+				buf = append(buf, s...)
+			}
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sources)))
+	for _, s := range sources {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+		buf = append(buf, s...)
+	}
+	for _, seq := range kept {
+		rec := sn.At(int(seq))
+		buf = binary.LittleEndian.AppendUint64(buf, rec.Instance.Hash())
+		for i := 0; i < p; i++ {
+			buf = binary.LittleEndian.AppendUint32(buf, rec.Instance.Code(i))
+		}
+		buf = append(buf, byte(rec.Outcome))
+		buf = binary.LittleEndian.AppendUint16(buf, sourceID[rec.Source])
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Seq))
+	}
+	buf = append(buf, ckptFooterMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(kept)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w))
+	buf = binary.LittleEndian.AppendUint64(buf, fingerprint)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, ckptCRC))
+	return buf, nil
+}
+
+// writeCheckpointFile makes the encoded checkpoint durable: temp file,
+// fsync, atomic rename into the canonical name, directory fsync. A crash
+// at any point leaves either no checkpoint (a stray temp file Open sweeps
+// up) or a complete valid one — never a partial file under the real name.
+func writeCheckpointFile(dir string, buf []byte, watermark int) error {
+	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := ckptStage("tmp-written"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), ckptPath(dir, watermark)); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return ckptStage("renamed")
+}
+
+// errCkptInvalid marks a checkpoint file that fails validation; Open falls
+// back to an older checkpoint or a full WAL replay.
+var errCkptInvalid = errors.New("provlog: invalid checkpoint")
+
+func ckptInvalid(path, format string, args ...any) error {
+	return fmt.Errorf("%w %s: %s", errCkptInvalid, filepath.Base(path), fmt.Sprintf(format, args...))
+}
+
+// ckptState is what a loaded checkpoint seeds the suffix replay with: the
+// watermark below which records are already in the store, and the
+// dictionary state at that point in the stream.
+type ckptState struct {
+	watermark int
+	persisted []int
+	sources   []string
+	sourceID  map[string]uint16
+}
+
+// loadCheckpoint reads, validates, and decodes one checkpoint file into a
+// fresh store, adopting the rows as the store's sorted base run
+// (provenance.Store.LoadSortedRun): no hash index is built — the run's
+// hash order, recomputed from the code rows, serves identity probes by
+// binary search. The whole file is verified by its trailing CRC-32C before
+// any byte is interpreted; dictionary entries replay through Space.Intern
+// with the same code-agreement check the WAL replay performs.
+func loadCheckpoint(path string, space *pipeline.Space) (*provenance.Store, *ckptState, error) {
+	data, release, err := mapFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	if len(data) < ckptHeaderSize+ckptFooterSize {
+		return nil, nil, ckptInvalid(path, "file is %d bytes", len(data))
+	}
+	if crc32.Checksum(data[:len(data)-4], ckptCRC) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, nil, ckptInvalid(path, "checksum mismatch")
+	}
+	if string(data[:8]) != ckptMagic {
+		return nil, nil, ckptInvalid(path, "bad magic")
+	}
+	p := space.Len()
+	if got := binary.LittleEndian.Uint32(data[8:12]); int(got) != p {
+		return nil, nil, ckptInvalid(path, "checkpoint has %d parameters, space has %d", got, p)
+	}
+	footer := data[len(data)-ckptFooterSize:]
+	if string(footer[:8]) != ckptFooterMagic {
+		return nil, nil, ckptInvalid(path, "bad footer magic")
+	}
+	count := binary.LittleEndian.Uint64(footer[8:16])
+	watermark := binary.LittleEndian.Uint64(footer[16:24])
+	fingerprint := binary.LittleEndian.Uint64(footer[24:32])
+	if fingerprint != space.Fingerprint() {
+		return nil, nil, fmt.Errorf("provlog: %s: checkpoint fingerprint %016x does not match space fingerprint %016x (different space?)",
+			filepath.Base(path), fingerprint, space.Fingerprint())
+	}
+	if count != watermark {
+		return nil, nil, ckptInvalid(path, "%d records for watermark %d (sparse runs are not loadable)", count, watermark)
+	}
+	w := int(watermark)
+
+	// Dictionary tables: intern each code's value and require the space to
+	// assign the recorded code, exactly as WAL dict-frame replay does.
+	off := ckptHeaderSize
+	body := data[:len(data)-ckptFooterSize]
+	need := func(n int) ([]byte, error) {
+		if off+n > len(body) {
+			return nil, ckptInvalid(path, "truncated at offset %d", off)
+		}
+		b := body[off : off+n]
+		off += n
+		return b, nil
+	}
+	persisted := make([]int, p)
+	for i := 0; i < p; i++ {
+		b, err := need(4)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		persisted[i] = n
+		for c := 0; c < n; c++ {
+			kb, err := need(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			var v pipeline.Value
+			switch pipeline.Kind(kb[0]) {
+			case pipeline.Ordinal:
+				ob, err := need(8)
+				if err != nil {
+					return nil, nil, err
+				}
+				v = pipeline.Ord(math.Float64frombits(binary.LittleEndian.Uint64(ob)))
+			case pipeline.Categorical:
+				lb, err := need(4)
+				if err != nil {
+					return nil, nil, err
+				}
+				ln := binary.LittleEndian.Uint32(lb)
+				if ln > maxBlob {
+					return nil, nil, ckptInvalid(path, "categorical value of %d bytes", ln)
+				}
+				sb, err := need(int(ln))
+				if err != nil {
+					return nil, nil, err
+				}
+				v = pipeline.Cat(string(sb))
+			default:
+				return nil, nil, ckptInvalid(path, "dict entry with invalid kind %d", kb[0])
+			}
+			if got := space.Intern(i, v); got != uint32(c) {
+				return nil, nil, fmt.Errorf("provlog: %s: value %v of parameter %q interned as code %d, checkpoint says %d (checkpoint written against a different space?)",
+					filepath.Base(path), v, space.At(i).Name, got, c)
+			}
+		}
+	}
+	sb, err := need(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	nSources := int(binary.LittleEndian.Uint32(sb))
+	if nSources > math.MaxUint16+1 {
+		return nil, nil, ckptInvalid(path, "%d sources", nSources)
+	}
+	sources := make([]string, nSources)
+	sourceID := make(map[string]uint16, nSources)
+	for id := 0; id < nSources; id++ {
+		lb, err := need(2)
+		if err != nil {
+			return nil, nil, err
+		}
+		nb, err := need(int(binary.LittleEndian.Uint16(lb)))
+		if err != nil {
+			return nil, nil, err
+		}
+		sources[id] = string(nb)
+		sourceID[sources[id]] = uint16(id)
+	}
+
+	// The record section: fixed-width rows placed by their stored seq — a
+	// counting sort back into execution order, undoing the hash ordering
+	// without a comparison sort.
+	rowSize := 4*p + 19
+	rows := body[off:]
+	if len(rows) != w*rowSize {
+		return nil, nil, ckptInvalid(path, "record section is %d bytes, want %d rows of %d", len(rows), w, rowSize)
+	}
+	// Everything decodes sequentially in row (hash) order — codes,
+	// outcomes, sources, hashes — so the only scattered pass is the final
+	// placement of records into sequence order, a counting sort by the
+	// stored seq. Rows carry their instance hash so the load never
+	// re-hashes 10^6 code vectors; the CRC guards integrity, and a
+	// deterministic sample of rows is recomputed to catch a systematically
+	// wrong writer.
+	flat := make([]uint32, w*p)
+	outs := make([]pipeline.Outcome, w)
+	srcs := make([]uint16, w)
+	hashes := make([]uint64, w)
+	seqs := make([]int32, w)
+	hashStride := w/1024 + 1
+	for r := 0; r < w; r++ {
+		row := rows[r*rowSize : (r+1)*rowSize]
+		h := binary.LittleEndian.Uint64(row)
+		body := row[8:]
+		out := pipeline.Outcome(body[4*p])
+		if out != pipeline.Succeed && out != pipeline.Fail {
+			return nil, nil, ckptInvalid(path, "row %d has outcome %d", r, body[4*p])
+		}
+		src := binary.LittleEndian.Uint16(body[4*p+1:])
+		if int(src) >= nSources {
+			return nil, nil, ckptInvalid(path, "row %d references source %d of %d", r, src, nSources)
+		}
+		seq := binary.LittleEndian.Uint64(body[4*p+3:])
+		if seq >= watermark {
+			return nil, nil, ckptInvalid(path, "row %d has seq %d beyond watermark %d", r, seq, watermark)
+		}
+		base := r * p
+		for i := 0; i < p; i++ {
+			c := binary.LittleEndian.Uint32(body[4*i:])
+			if int(c) >= persisted[i] {
+				return nil, nil, ckptInvalid(path, "row %d references code %d of parameter %d outside its dictionary", r, c, i)
+			}
+			flat[base+i] = c
+		}
+		if r%hashStride == 0 && pipeline.HashCodes(flat[base:base+p]) != h {
+			return nil, nil, ckptInvalid(path, "row %d hash does not match its codes", r)
+		}
+		hashes[r] = h
+		seqs[r] = int32(seq)
+		outs[r] = out
+		srcs[r] = src
+	}
+	// Code-only instances adopt the decoded matrix wholesale — no Value
+	// materialization, no re-hashing — and stream straight into their
+	// sequence-ordered slots (the counting sort back into execution
+	// order): the index-free sequential load.
+	recs := make([]provenance.Record, w)
+	dupSeq := -1
+	if err := space.AdoptInstances(flat, hashes, func(r int, in pipeline.Instance) {
+		seq := seqs[r]
+		if recs[seq].Outcome != pipeline.OutcomeUnknown {
+			dupSeq = int(seq)
+		}
+		recs[seq] = provenance.Record{Seq: int(seq), Instance: in, Outcome: outs[r], Source: sources[srcs[r]]}
+	}); err != nil {
+		return nil, nil, fmt.Errorf("provlog: %s: %w", filepath.Base(path), err)
+	}
+	if dupSeq >= 0 {
+		return nil, nil, ckptInvalid(path, "duplicate seq %d", dupSeq)
+	}
+	st := provenance.NewStore(space)
+	if err := st.LoadSortedRun(recs, hashes, seqs); err != nil {
+		return nil, nil, fmt.Errorf("provlog: %s: %w", filepath.Base(path), err)
+	}
+	return st, &ckptState{
+		watermark: w,
+		persisted: persisted,
+		sources:   sources,
+		sourceID:  sourceID,
+	}, nil
+}
+
+// Checkpoint folds everything the store has committed so far into a new
+// checkpoint file and garbage-collects the WAL segments and older
+// checkpoints it supersedes. The log stays live throughout: the active
+// segment is sealed (rotated) first, the sorted run is built from a store
+// snapshot and written outside the log's locks, and appends continue into
+// the new segment while compaction runs. Compactions are serialized;
+// concurrent Checkpoint calls queue. A checkpoint whose watermark would
+// not advance past the newest one is a no-op.
+//
+// Crash safety: the checkpoint becomes visible only by atomic rename after
+// an fsync, and no segment is deleted before the rename and the directory
+// fsync complete, so a kill at any point leaves a directory Open recovers
+// — the old state, or the new checkpoint plus not-yet-collected segments
+// (which the skip-aware suffix replay tolerates and the next compaction
+// collects).
+func (l *Log) Checkpoint() error {
+	// Register with the compaction wait group before doing anything, so a
+	// concurrent Close drains this call — explicit or background — before
+	// it releases the directory lock; past that point no file may be
+	// written or renamed into a directory another process can own.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("provlog: log is closed")
+	}
+	l.compactWG.Add(1)
+	l.mu.Unlock()
+	defer l.compactWG.Done()
+
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	if l.store == nil {
+		return fmt.Errorf("provlog: log has no attached store to checkpoint")
+	}
+	sn := l.store.Snapshot()
+	w := sn.Len()
+
+	l.mu.Lock()
+	if err := l.ckptBeginLocked(w); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if w <= l.lastCkptSeq {
+		// Nothing new to fold, but a crash between a predecessor's rename
+		// and its collection may have left superseded files; collect them.
+		var err error
+		if l.lastCkptSeq > 0 {
+			err = l.gcLocked(l.lastCkptSeq)
+		}
+		l.mu.Unlock()
+		return err
+	}
+	fingerprint := l.fingerprint
+	l.mu.Unlock()
+
+	buf, err := encodeCheckpoint(l.space, fingerprint, sn, w)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if l.closed {
+		// Close won the race while the run was being encoded; nothing has
+		// been written yet, so just back out.
+		l.mu.Unlock()
+		return fmt.Errorf("provlog: log is closed")
+	}
+	l.mu.Unlock()
+	if err := writeCheckpointFile(l.dir, buf, w); err != nil {
+		return fmt.Errorf("provlog: checkpoint: %w", err)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if w > l.lastCkptSeq {
+		l.lastCkptSeq = w
+	}
+	l.bytesSinceCkpt.Store(0)
+	l.compactFailures = 0
+	if l.closed {
+		// The log was closed while the file was being written; the rename
+		// already made the checkpoint durable, but the directory must not
+		// be mutated further — the flock may already be released.
+		return nil
+	}
+	return l.gcLocked(w)
+}
+
+// ckptBeginLocked prepares the log for a compaction covering records below
+// w: it refuses closed/poisoned logs, waits out any in-flight flush, and
+// seals the active segment so the compactor only ever reads immutable
+// files. The caller holds l.mu.
+func (l *Log) ckptBeginLocked(w int) error {
+	for {
+		if l.closed {
+			return fmt.Errorf("provlog: log is closed")
+		}
+		if l.broken != nil {
+			return l.broken
+		}
+		if w <= l.lastCkptSeq {
+			return nil // caller no-ops
+		}
+		if !l.flushing {
+			break
+		}
+		ch := l.flushDone
+		l.mu.Unlock()
+		<-ch
+		l.mu.Lock()
+	}
+	if l.size > headerSize {
+		first := l.nextSeq
+		if l.pendingRecs > 0 {
+			// The pending commit window flushes after rotation, into the
+			// new segment: its header must name the window's first record.
+			first = l.pendingFirst
+		}
+		if err := l.rotate(first); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gcLocked removes WAL segments whose every record lies below the
+// watermark w and checkpoint files older than w. Segments are deleted
+// oldest-first and only while their successor's header proves full
+// coverage (a segment's records end where the next segment's begin); the
+// active segment never qualifies. The caller holds l.mu.
+func (l *Log) gcLocked(w int) error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i].index >= l.segIndex {
+			break
+		}
+		next, err := readSegmentFirstSeq(segs[i+1].path)
+		if err != nil || next > uint64(w) {
+			break
+		}
+		if err := ckptStage("gc"); err != nil {
+			return err
+		}
+		if err := os.Remove(segs[i].path); err != nil {
+			return err
+		}
+	}
+	cks, err := listCheckpoints(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, ck := range cks {
+		if ck.watermark < w {
+			if err := ckptStage("gc"); err != nil {
+				return err
+			}
+			if err := os.Remove(ck.path); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// readSegmentFirstSeq reads and validates one segment's header and returns
+// the sequence of its first record.
+func readSegmentFirstSeq(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	hb := make([]byte, headerSize)
+	if _, err := f.ReadAt(hb, 0); err != nil {
+		return 0, errTorn
+	}
+	h, err := decodeHeader(hb)
+	if err != nil {
+		return 0, err
+	}
+	return h.firstSeq, nil
+}
+
+// maybeCompactLocked spawns a background compaction when the policy's
+// thresholds are crossed. At most one compaction runs at a time; a trigger
+// that finds one in flight is dropped and re-evaluated at the next commit
+// window. The caller holds l.mu.
+func (l *Log) maybeCompactLocked() {
+	if l.compact.EveryRecords <= 0 && l.compact.EveryBytes <= 0 {
+		return
+	}
+	if l.closed || l.broken != nil || l.compacting {
+		return
+	}
+	// Consecutive background failures back the trigger off exponentially
+	// (in units of the configured period), so a persistently failing
+	// compaction — a full disk, say — does not re-encode the whole
+	// history on every commit window. Any success resets the backoff.
+	scale := 1
+	if f := l.compactFailures; f > 0 {
+		if f > 16 {
+			f = 16
+		}
+		scale = 1 << f
+	}
+	due := l.compact.EveryRecords > 0 && l.nextSeq-l.lastCkptSeq >= l.compact.EveryRecords*scale
+	if !due {
+		due = l.compact.EveryBytes > 0 && l.bytesSinceCkpt.Load() >= l.compact.EveryBytes*int64(scale)
+	}
+	if !due {
+		return
+	}
+	l.compacting = true
+	l.compactWG.Add(1)
+	go func() {
+		defer l.compactWG.Done()
+		// A background failure loses nothing — the WAL is still complete —
+		// so it is not fatal: the trigger retries with backoff, and an
+		// explicit Checkpoint still surfaces the error to the caller.
+		err := l.Checkpoint()
+		l.mu.Lock()
+		l.compacting = false
+		if err != nil {
+			l.compactFailures++
+		}
+		l.mu.Unlock()
+	}()
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package provlog
+
+import "os"
+
+// mapFile reads the file into memory; see mmap_unix.go for the mapped
+// variant.
+func mapFile(path string) (data []byte, release func(), err error) {
+	data, err = os.ReadFile(path)
+	return data, func() {}, err
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package provlog
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile returns the file's contents and a release function. On unix the
+// checkpoint is memory-mapped — the load's single sequential pass streams
+// straight out of the page cache with no copy — with a heap read as the
+// fallback for empty or unmappable files. release must be called once the
+// bytes are no longer referenced; the loader copies everything it keeps.
+func mapFile(path string) (data []byte, release func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := int(fi.Size())
+	if size <= 0 {
+		return nil, func() {}, nil
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		data, err := os.ReadFile(path)
+		return data, func() {}, err
+	}
+	return m, func() { syscall.Munmap(m) }, nil
+}

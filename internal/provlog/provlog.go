@@ -12,6 +12,15 @@
 // the code and source assignments (see format.go). Segments rotate at a
 // size threshold; recovery tolerates a torn final record by truncating the
 // final segment back to its intact prefix.
+//
+// Resume cost stays bounded by compaction: Checkpoint (explicit, or
+// automatic under a CompactPolicy) folds the committed history into a
+// sorted, self-contained checkpoint file and garbage-collects the
+// segments it supersedes, all while appends continue. Open then loads the
+// newest valid checkpoint with one index-free sequential pass and replays
+// only the WAL suffix past its watermark, recovering cleanly from a crash
+// at any stage of a compaction. The byte-level formats and the full crash
+// matrix are specified in docs/ONDISK.md.
 package provlog
 
 import (
@@ -22,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/pipeline"
@@ -116,6 +126,23 @@ type Log struct {
 	size     int64 // flusher-owned once open; serialized by flushing
 	nextSeq  int
 
+	// Compaction state: the store Open attached (checkpoints snapshot it),
+	// the newest checkpoint's watermark, the WAL bytes written since, and
+	// the policy's background-trigger bookkeeping. compactMu serializes
+	// whole compactions and is never held together with mu; compactWG
+	// tracks every in-flight compaction (background and explicit) so Close
+	// can drain them before releasing the directory lock. bytesSinceCkpt
+	// is atomic because writeWindow increments it from the flush leader,
+	// which runs with mu released.
+	store           *provenance.Store
+	compact         CompactPolicy
+	compactMu       sync.Mutex
+	compactWG       sync.WaitGroup
+	compacting      bool
+	compactFailures int // consecutive failed auto-compactions; backs off the trigger
+	lastCkptSeq     int
+	bytesSinceCkpt  atomic.Int64
+
 	// persisted counts, per parameter, the codes already written as dict
 	// frames; sourceID interns source strings to their frame ids.
 	persisted []int
@@ -201,24 +228,54 @@ func Open(dir string, space *pipeline.Space, opts ...Option) (*Log, *provenance.
 	if err := l.persistSpace(); err != nil {
 		return nil, nil, err
 	}
+	// Sweep up temp files a killed compaction left behind; the directory
+	// lock guarantees no live compactor owns them.
+	removeStrayTmp(dir)
 	rs, segs, lastGood, err := replayDir(dir, space)
 	if err != nil {
 		return nil, nil, err
 	}
 	st := rs.st
-	if len(segs) == 0 {
-		if err := l.createSegment(0, 0); err != nil {
+	total := rs.seen
+	if rs.ckptSeq > total {
+		total = rs.ckptSeq
+	}
+	if st.Len() != total {
+		return nil, nil, fmt.Errorf("provlog: replay rebuilt %d records but the stream holds %d", st.Len(), total)
+	}
+	copy(l.persisted, rs.persisted)
+	l.sourceID = rs.sourceID
+	l.nextSeq = total
+	l.lastCkptSeq = rs.ckptSeq
+	switch {
+	case len(segs) == 0:
+		if err := l.createSegment(0, l.nextSeq); err != nil {
 			return nil, nil, err
 		}
-	} else {
-		copy(l.persisted, rs.persisted)
-		l.sourceID = rs.sourceID
-		l.nextSeq = st.Len()
+	case rs.seen < rs.ckptSeq:
+		// The WAL's tail below the watermark was lost (a machine crash
+		// after the checkpoint fsynced but before the OS flushed the WAL,
+		// possible without WithSync). The checkpoint is authoritative for
+		// everything below its watermark; the stale tail segment is
+		// abandoned where it ends and appends continue in a fresh segment
+		// whose header re-anchors the sequence at the watermark. Replay
+		// enters the stream there, so the abandoned tail is never
+		// re-counted, and the next compaction collects the stale segments.
+		// The dictionaries reset to the checkpoint's tables: dict frames
+		// the scan saw in the abandoned tail will never be replayed again,
+		// so the writer must re-emit them when next referenced.
+		copy(l.persisted, rs.ckpt.persisted)
+		l.sourceID = rs.ckpt.sourceID
+		if err := l.createSegment(segs[len(segs)-1].index+1, l.nextSeq); err != nil {
+			return nil, nil, err
+		}
+	default:
 		last := segs[len(segs)-1]
 		if err := l.reopenSegment(last, lastGood); err != nil {
 			return nil, nil, err
 		}
 	}
+	l.store = st
 	st.SetSink(l)
 	ok = true
 	return l, st, nil
@@ -374,6 +431,7 @@ func (l *Log) Append(r provenance.Record) error {
 			}
 			return l.broken
 		}
+		l.maybeCompactLocked()
 		return nil
 	}
 	l.mu.Unlock()
@@ -574,6 +632,9 @@ func (l *Log) leaderFlushLocked(g *commitGroup, window bool) {
 		l.broken = fmt.Errorf("provlog: log state unknown after failed flush: %w", err)
 	}
 	l.flushing = false
+	if err == nil {
+		l.maybeCompactLocked()
+	}
 	close(done)
 }
 
@@ -633,6 +694,7 @@ func (l *Log) writeWindow(frames []byte, firstSeq int, muHeld bool) error {
 		}
 	}
 	l.size += int64(len(frames))
+	l.bytesSinceCkpt.Add(int64(len(frames)))
 	return nil
 }
 
@@ -656,14 +718,14 @@ func (l *Log) rotate(firstSeq int) error {
 	return nil
 }
 
-// Close drains any in-flight commit window, flushes pending frames, and
-// closes the active segment. Further appends fail, so a store still
-// holding the log as its sink rejects new records rather than silently
-// dropping durability.
+// Close drains any in-flight commit window, flushes pending frames, waits
+// out a background compaction, and closes the active segment. Further
+// appends fail, so a store still holding the log as its sink rejects new
+// records rather than silently dropping durability.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
@@ -685,6 +747,11 @@ func (l *Log) Close() error {
 			err = cerr
 		}
 	}
+	l.mu.Unlock()
+	// A background compaction aborts at its next closed-check; wait for it
+	// before releasing the directory lock so it cannot mutate a directory
+	// another process has started to own.
+	l.compactWG.Wait()
 	if l.lock != nil {
 		if cerr := l.lock.Close(); err == nil {
 			err = cerr

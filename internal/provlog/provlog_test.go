@@ -85,46 +85,9 @@ func fillStore(t *testing.T, st *provenance.Store, ins []pipeline.Instance, outs
 	}
 }
 
-// assertStoresEqual compares two stores record by record (by canonical
-// instance key, since the stores may live over distinct Space objects) and
-// spot-checks a rebuilt index.
-func assertStoresEqual(t *testing.T, want, got *provenance.Store) {
-	t.Helper()
-	if want.Len() != got.Len() {
-		t.Fatalf("store length = %d, want %d", got.Len(), want.Len())
-	}
-	w, g := want.Snapshot(), got.Snapshot()
-	for i := 0; i < w.Len(); i++ {
-		a, b := w.At(i), g.At(i)
-		if a.Seq != b.Seq || a.Instance.Key() != b.Instance.Key() ||
-			a.Outcome != b.Outcome || a.Source != b.Source {
-			t.Fatalf("record %d: got {%d %v %v %q}, want {%d %v %v %q}",
-				i, b.Seq, b.Instance, b.Outcome, b.Source, a.Seq, a.Instance, a.Outcome, a.Source)
-		}
-	}
-	ws, wf := want.Outcomes()
-	gs, gf := got.Outcomes()
-	if ws != gs || wf != gf {
-		t.Fatalf("outcomes = (%d, %d), want (%d, %d)", gs, gf, ws, wf)
-	}
-	if w.Len() == 0 {
-		return
-	}
-	// Indexed query differential: the replayed store must answer history
-	// queries identically, proving the posting/outcome bitsets rebuilt.
-	ref := w.At(0).Instance
-	gref := g.At(0).Instance
-	wd := want.DisjointSucceeding(ref)
-	gd := got.DisjointSucceeding(gref)
-	if len(wd) != len(gd) {
-		t.Fatalf("DisjointSucceeding = %d instances, want %d", len(gd), len(wd))
-	}
-	for i := range wd {
-		if wd[i].Key() != gd[i].Key() {
-			t.Fatalf("DisjointSucceeding[%d] = %v, want %v", i, gd[i], wd[i])
-		}
-	}
-}
+// assertStoresEqual lives in checkpoint_test.go: it compares two stores
+// over independently constructed spaces by records, dictionaries, and
+// every indexed query surface.
 
 func TestRoundtrip(t *testing.T) {
 	dir := t.TempDir()

@@ -3,9 +3,11 @@ package provlog
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -23,9 +25,12 @@ type segFile struct {
 	index uint32
 }
 
-// listSegments returns the log's segments ordered by index and verifies the
-// indices are contiguous from zero (a gap means a segment was lost, which
-// recovery cannot paper over).
+// listSegments returns the log's segments ordered by index and verifies
+// the indices are contiguous (a gap means a segment was lost, which
+// recovery cannot paper over). The lowest index need not be zero:
+// compaction garbage-collects the oldest segments once a checkpoint covers
+// them, and replayDir verifies that a checkpoint actually accounts for the
+// missing prefix.
 func listSegments(dir string) ([]segFile, error) {
 	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
 	if err != nil {
@@ -43,9 +48,9 @@ func listSegments(dir string) ([]segFile, error) {
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
 	for i, sf := range segs {
-		if sf.index != uint32(i) {
+		if sf.index != segs[0].index+uint32(i) {
 			return nil, fmt.Errorf("provlog: segment index %d missing (found %s)",
-				i, filepath.Base(sf.path))
+				segs[0].index+uint32(i), filepath.Base(sf.path))
 		}
 	}
 	return segs, nil
@@ -61,12 +66,23 @@ const replayBatch = 8192
 // parameter, source-id assignments). Exec records buffer into a columnar
 // batch and flush through Space.InstancesFromCodes, amortizing lock and
 // allocator traffic across thousands of records.
+//
+// With a checkpoint loaded, replay starts mid-stream: the store is
+// pre-populated with every record below skipBelow, the dictionaries are
+// seeded with the checkpoint's tables, and seen tracks the stream position
+// (records encountered, applied or skipped) so segment headers chain-check
+// without rescanning the collected prefix.
 type replayState struct {
 	space     *pipeline.Space
 	st        *provenance.Store
 	persisted []int
 	sources   []string
 	sourceID  map[string]uint16
+
+	skipBelow int        // records with seq below this are already in the store
+	seen      int        // exec records encountered so far, skipped ones included
+	ckptSeq   int        // watermark of the loaded checkpoint; 0 when none
+	ckpt      *ckptState // the loaded checkpoint's pristine tables; nil when none
 
 	batchCodes []uint32 // row-major, one row of space.Len() codes per record
 	batchOuts  []pipeline.Outcome
@@ -104,10 +120,6 @@ func (rs *replayState) flush() error {
 	rs.batchSrc = rs.batchSrc[:0]
 	return nil
 }
-
-// pending returns how many records are known so far, flushed or not — the
-// count segment headers are validated against.
-func (rs *replayState) pending() int { return rs.st.Len() + len(rs.batchOuts) }
 
 // scanner reads frames sequentially, tracking the byte offset consumed so
 // recovery can truncate back to the last intact frame boundary. crc is a
@@ -236,7 +248,7 @@ func (rs *replayState) apply(typ byte, payload []byte) error {
 		if p >= rs.space.Len() {
 			return fmt.Errorf("provlog: dict entry for parameter %d of %d", p, rs.space.Len())
 		}
-		if int(code) != rs.persisted[p] {
+		if int(code) > rs.persisted[p] {
 			return fmt.Errorf("provlog: dict entry for parameter %d assigns code %d, want %d",
 				p, code, rs.persisted[p])
 		}
@@ -253,23 +265,39 @@ func (rs *replayState) apply(typ byte, payload []byte) error {
 			return fmt.Errorf("provlog: value %v of parameter %q interned as code %d, log says %d (log written against a different space?)",
 				v, rs.space.At(p).Name, got, code)
 		}
+		if int(code) < rs.persisted[p] {
+			// Replay entered mid-stream: this frame is already covered by
+			// the checkpoint's dictionary, and the Intern agreement above
+			// verified it matches.
+			return nil
+		}
 		rs.persisted[p]++
 	case frameSource:
 		id := binary.LittleEndian.Uint16(payload[0:2])
+		src := string(payload[4:])
+		if int(id) < len(rs.sources) {
+			// Covered by the checkpoint's source table; verify agreement.
+			if rs.sources[id] != src {
+				return fmt.Errorf("provlog: source entry %d is %q, checkpoint says %q", id, src, rs.sources[id])
+			}
+			return nil
+		}
 		if int(id) != len(rs.sources) {
 			return fmt.Errorf("provlog: source entry assigns id %d, want %d", id, len(rs.sources))
 		}
-		src := string(payload[4:])
 		rs.sources = append(rs.sources, src)
 		rs.sourceID[src] = id
 	case frameExec:
 		p := rs.space.Len()
+		skip := rs.seen < rs.skipBelow
 		for i := 0; i < p; i++ {
 			c := binary.LittleEndian.Uint32(payload[4*i : 4*i+4])
 			if int(c) >= rs.persisted[i] {
 				return fmt.Errorf("provlog: record references code %d of parameter %d before its dict entry", c, i)
 			}
-			rs.batchCodes = append(rs.batchCodes, c)
+			if !skip {
+				rs.batchCodes = append(rs.batchCodes, c)
+			}
 		}
 		out := pipeline.Outcome(payload[4*p])
 		if out != pipeline.Succeed && out != pipeline.Fail {
@@ -278,6 +306,13 @@ func (rs *replayState) apply(typ byte, payload []byte) error {
 		srcID := binary.LittleEndian.Uint16(payload[4*p+1:])
 		if int(srcID) >= len(rs.sources) {
 			return fmt.Errorf("provlog: record references source id %d before its entry", srcID)
+		}
+		rs.seen++
+		if skip {
+			// The record is already in the store via the checkpoint; the
+			// validation above still ran, so a corrupt covered region is
+			// detected rather than silently shadowed.
+			return nil
 		}
 		rs.batchOuts = append(rs.batchOuts, out)
 		rs.batchSrc = append(rs.batchSrc, srcID)
@@ -326,9 +361,9 @@ func replaySegment(sf segFile, rs *replayState, isFinal bool) (lastGood int64, e
 	if h.segIndex != sf.index {
 		return 0, fmt.Errorf("provlog: %s: header says segment %d", filepath.Base(sf.path), h.segIndex)
 	}
-	if h.firstSeq != uint64(rs.pending()) {
+	if h.firstSeq != uint64(rs.seen) {
 		return 0, fmt.Errorf("provlog: %s: first sequence %d, but %d records precede it",
-			filepath.Base(sf.path), h.firstSeq, rs.pending())
+			filepath.Base(sf.path), h.firstSeq, rs.seen)
 	}
 	lastGood = sc.off
 	for {
@@ -353,9 +388,13 @@ func replaySegment(sf segFile, rs *replayState, isFinal bool) (lastGood int64, e
 	}
 }
 
-// replayDir replays every segment of dir into a fresh store. It returns the
-// replay state, the segment list, and the intact byte length of the final
-// segment (the recovery point a writer must truncate to before appending).
+// replayDir rebuilds the store recorded under dir: it loads the newest
+// valid checkpoint (falling back to older ones, then to a full WAL
+// replay), replays the segments holding records past the checkpoint's
+// watermark — skipping over already-covered records in a partially
+// collected segment — and returns the replay state, the segment list, and
+// the intact byte length of the final segment (the recovery point a writer
+// must truncate to before appending).
 func replayDir(dir string, space *pipeline.Space) (*replayState, []segFile, int64, error) {
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -371,10 +410,72 @@ func replayDir(dir string, space *pipeline.Space) (*replayState, []segFile, int6
 			capEstimate += (fi.Size() - headerSize) / execFrame
 		}
 	}
-	rs := newReplayState(space, provenance.NewStoreWithCapacity(space, int(capEstimate)))
+
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var rs *replayState
+	var ckErr error
+	for _, ck := range cks {
+		st, cs, err := loadCheckpoint(ck.path, space)
+		if err != nil {
+			// An unreadable checkpoint falls back to an older one or the
+			// full WAL — unless it provably belongs to a different space,
+			// which no fallback can paper over.
+			if ckErr == nil {
+				ckErr = err
+			}
+			if !errors.Is(err, errCkptInvalid) && !errors.Is(err, fs.ErrNotExist) {
+				return nil, nil, 0, err
+			}
+			continue
+		}
+		rs = newReplayState(space, st)
+		// The replay mutates its tables as it scans the suffix; the
+		// checkpoint's own stay pristine in rs.ckpt, the authoritative
+		// fallback when the WAL's tail turns out to be lost.
+		copy(rs.persisted, cs.persisted)
+		rs.sources = append(rs.sources, cs.sources...)
+		for s, id := range cs.sourceID {
+			rs.sourceID[s] = id
+		}
+		rs.skipBelow = cs.watermark
+		rs.ckptSeq = cs.watermark
+		rs.ckpt = cs
+		break
+	}
+	if rs == nil {
+		if len(segs) > 0 && segs[0].index != 0 {
+			err := fmt.Errorf("provlog: log starts at segment %d with no loadable checkpoint covering the collected prefix", segs[0].index)
+			if ckErr != nil {
+				err = fmt.Errorf("%w (%v)", err, ckErr)
+			}
+			return nil, nil, 0, err
+		}
+		rs = newReplayState(space, provenance.NewStoreWithCapacity(space, int(capEstimate)))
+	}
+
+	start, startSeq, err := pickStartSegment(segs, rs.skipBelow)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if start < 0 {
+		// No segment enters the stream at or below the watermark: either
+		// the directory has no segments, or its only segment's header was
+		// torn mid-write and it holds nothing. The stream position resumes
+		// at the watermark.
+		rs.seen = rs.skipBelow
+		if len(segs) > 0 {
+			lastGood, err := replaySegment(segs[len(segs)-1], rs, true)
+			return rs, segs, lastGood, err
+		}
+		return rs, segs, 0, nil
+	}
+	rs.seen = startSeq
 	var lastGood int64
-	for i, sf := range segs {
-		lastGood, err = replaySegment(sf, rs, i == len(segs)-1)
+	for i := start; i < len(segs); i++ {
+		lastGood, err = replaySegment(segs[i], rs, i == len(segs)-1)
 		if err != nil {
 			return nil, nil, 0, err
 		}
@@ -382,17 +483,49 @@ func replayDir(dir string, space *pipeline.Space) (*replayState, []segFile, int6
 	return rs, segs, lastGood, nil
 }
 
+// pickStartSegment returns the index and first sequence of the segment
+// replay should enter the stream at: the newest segment whose first record
+// is at or below the watermark. Earlier segments are fully covered by the
+// checkpoint (their records end where the start segment's begin) and are
+// never opened. It returns index -1 when no segment qualifies — an empty
+// directory, or a lone final segment whose header tore mid-write. A lowest
+// segment starting past the watermark means earlier segments were lost.
+func pickStartSegment(segs []segFile, watermark int) (int, int, error) {
+	start, startSeq := -1, 0
+	for i, sf := range segs {
+		fs, err := readSegmentFirstSeq(sf.path)
+		if err != nil {
+			if i == len(segs)-1 {
+				// The final segment's header tore mid-write; it holds
+				// nothing and the writer recreates it.
+				break
+			}
+			return 0, 0, fmt.Errorf("provlog: %s: corrupt header in sealed segment", filepath.Base(sf.path))
+		}
+		if i == 0 && fs > uint64(watermark) {
+			return 0, 0, fmt.Errorf("provlog: %s begins at record %d but the checkpoint covers only %d — earlier segments were lost",
+				filepath.Base(sf.path), fs, watermark)
+		}
+		if fs <= uint64(watermark) {
+			start, startSeq = i, int(fs)
+		}
+	}
+	return start, startSeq, nil
+}
+
 // Replay rebuilds a fully-indexed provenance store from the log in dir
-// without modifying any file. Space must be constructed exactly as it was
-// when the log was created (same spec); the segment headers' fingerprint
-// enforces this. A torn final record — the signature of a crash mid-append
-// — is skipped; the returned store holds exactly the intact prefix.
+// without modifying any file, loading a checkpoint when one is present and
+// replaying the WAL suffix past its watermark. Space must be constructed
+// exactly as it was when the log was created (same spec); the segment
+// headers' and checkpoint footer's fingerprint enforce this. A torn final
+// record — the signature of a crash mid-append — is skipped; the returned
+// store holds exactly the intact prefix.
 func Replay(dir string, space *pipeline.Space) (*provenance.Store, error) {
 	rs, segs, _, err := replayDir(dir, space)
 	if err != nil {
 		return nil, err
 	}
-	if len(segs) == 0 {
+	if len(segs) == 0 && rs.ckptSeq == 0 {
 		return nil, fmt.Errorf("provlog: no log segments in %s", dir)
 	}
 	return rs.st, nil
