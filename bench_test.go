@@ -715,6 +715,102 @@ func BenchmarkStoreAddBatch(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/record")
 }
 
+// --- Sharded provenance store ----------------------------------------------
+
+// benchStoreAddParallel measures Add throughput into a fresh volatile
+// store from 8 concurrent workers, each committing its own slice of
+// distinct instances — the contention profile of a parallel debugging
+// session extending shared provenance. With one shard every commit
+// serializes on the store lock; with hash-range shards writers contend
+// only within a hash range.
+func benchStoreAddParallel(b *testing.B, shards int) {
+	space := benchLogSpace(b)
+	const workers, per = 8, 512
+	ins := distinctInstances(b, space, 0, workers*per)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := provenance.NewStoreSharded(space, shards)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(chunk []pipeline.Instance) {
+				defer wg.Done()
+				for _, in := range chunk {
+					out := pipeline.Succeed
+					if in.Hash()&1 == 0 {
+						out = pipeline.Fail
+					}
+					if err := st.Add(in, out, "bench"); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(ins[w*per : (w+1)*per])
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(workers*per), "ns/record")
+}
+
+// BenchmarkStoreAddParallel contrasts the single-shard store with a
+// hash-range sharded one under 8 concurrent Add writers; the sharded
+// variant is CI-gated against BENCH_BASELINE.json.
+func BenchmarkStoreAddParallel(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchStoreAddParallel(b, shards)
+		})
+	}
+}
+
+// benchStoreAddBatchParallel is the batched twin: 8 workers each commit
+// their slice as AddBatch rounds of 128, so the per-shard commit loops of
+// concurrent batches pipeline across the shards.
+func benchStoreAddBatchParallel(b *testing.B, shards int) {
+	space := benchLogSpace(b)
+	const workers, per, round = 8, 512, 128
+	ins := distinctInstances(b, space, 0, workers*per)
+	entries := make([]provenance.Entry, len(ins))
+	for i, in := range ins {
+		out := pipeline.Succeed
+		if in.Hash()&1 == 0 {
+			out = pipeline.Fail
+		}
+		entries[i] = provenance.Entry{Instance: in, Outcome: out, Source: "bench"}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := provenance.NewStoreSharded(space, shards)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(chunk []provenance.Entry) {
+				defer wg.Done()
+				for at := 0; at < len(chunk); at += round {
+					if _, err := st.AddBatch(chunk[at : at+round]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(entries[w*per : (w+1)*per])
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(workers*per), "ns/record")
+}
+
+// BenchmarkStoreAddBatchParallel contrasts single-shard and sharded
+// AddBatch under 8 concurrent batch submitters.
+func BenchmarkStoreAddBatchParallel(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchStoreAddBatchParallel(b, shards)
+		})
+	}
+}
+
 // BenchmarkShortcutLinear measures one full Shortcut pass on a 10-parameter
 // pipeline (the paper's headline cost: linear in |P|).
 func BenchmarkShortcutLinear(b *testing.B) {

@@ -151,6 +151,17 @@ func WithSeed(seed int64) Option {
 	return func(s *Session) { s.seed = seed }
 }
 
+// WithShards shards the session's provenance store across n instance-hash
+// ranges (rounded up to a power of two), each with its own lock and
+// indices, so sessions with many workers contend per hash range instead of
+// on one store lock. Results are identical at every shard count; the shard
+// count is a property of the in-memory store only, so a durable session's
+// state directory can be resumed with any value. The default (1) is the
+// historic unsharded store.
+func WithShards(n int) Option {
+	return func(s *Session) { s.shards = n }
+}
+
 // WithHistory pre-populates the provenance with previously-run instances
 // G = CP_1..CP_k; their evaluations are free.
 func WithHistory(records []Record) Option {
@@ -203,6 +214,7 @@ type Session struct {
 	seed         int64
 	budget       int
 	workers      int
+	shards       int
 	history      []Record
 	stateDir     string
 	syncPolicy   *SyncPolicy
@@ -219,12 +231,13 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 	if oracle == nil {
 		return nil, fmt.Errorf("bugdoc: nil oracle")
 	}
-	s := &Session{space: space, seed: 1, budget: -1, workers: 1}
+	s := &Session{space: space, seed: 1, budget: -1, workers: 1, shards: 1}
 	for _, o := range opts {
 		o(s)
 	}
 	if s.stateDir != "" {
-		exOpts := []exec.Option{exec.WithBudget(s.budget), exec.WithWorkers(s.workers)}
+		exOpts := []exec.Option{exec.WithBudget(s.budget), exec.WithWorkers(s.workers),
+			exec.WithStoreShards(s.shards)}
 		var logOpts []provlog.Option
 		if s.fsync {
 			logOpts = append(logOpts, provlog.WithSync(true))
@@ -259,7 +272,7 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 		}
 		return s, nil
 	}
-	st := provenance.NewStore(space)
+	st := provenance.NewStoreSharded(space, s.shards)
 	for _, r := range s.history {
 		if err := st.Add(r.Instance, r.Outcome, r.Source); err != nil {
 			return nil, fmt.Errorf("bugdoc: history: %w", err)

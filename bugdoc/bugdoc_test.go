@@ -59,6 +59,42 @@ func TestSessionEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSessionShardedMatchesUnsharded runs the same deterministic search
+// with and without store sharding: the shard count is a contention knob,
+// so the asserted causes, the provenance size, and the budget spent must
+// all be identical.
+func TestSessionShardedMatchesUnsharded(t *testing.T) {
+	ctx := context.Background()
+	run := func(shards int) (bugdoc.DNF, int, int) {
+		t.Helper()
+		session, err := bugdoc.NewSession(lrSpace(t), bugdoc.OracleFunc(diverges),
+			bugdoc.WithSeed(5), bugdoc.WithWorkers(4), bugdoc.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := session.Seed(ctx); err != nil {
+			t.Fatal(err)
+		}
+		causes, err := session.FindAll(ctx, bugdoc.DebuggingDecisionTrees)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return causes, session.Store().Len(), session.Spent()
+	}
+	causes1, len1, spent1 := run(1)
+	for _, shards := range []int{2, 8} {
+		causesN, lenN, spentN := run(shards)
+		if lenN != len1 || spentN != spent1 {
+			t.Fatalf("shards=%d: %d records / %d spent, unsharded %d / %d",
+				shards, lenN, spentN, len1, spent1)
+		}
+		if bugdoc.Explain(causesN) != bugdoc.Explain(causes1) {
+			t.Fatalf("shards=%d asserted %vvs unsharded %v",
+				shards, bugdoc.Explain(causesN), bugdoc.Explain(causes1))
+		}
+	}
+}
+
 func TestSessionBudget(t *testing.T) {
 	s := lrSpace(t)
 	session, err := bugdoc.NewSession(s, bugdoc.OracleFunc(diverges),

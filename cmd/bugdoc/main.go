@@ -16,7 +16,11 @@
 // (any minimal definitive root cause) or all, -budget caps new pipeline
 // executions (-1 = unlimited), -workers sizes the parallel dispatch pool,
 // -seed fixes the sampling randomness, and -latency simulates expensive
-// pipelines by delaying every oracle call.
+// pipelines by delaying every oracle call. -shards splits the provenance
+// store across N instance-hash ranges (rounded up to a power of two) so
+// high -workers counts contend per hash range instead of on one store
+// lock; results are identical at every shard count, and a state directory
+// written at one count can be resumed at any other.
 //
 // Durability flags: -state-dir write-ahead logs every execution so a
 // killed run resumes (with -resume requiring prior state) without
@@ -100,6 +104,7 @@ func run() error {
 		syncWin  = flag.Duration("sync", -1, "fsync the WAL with this group-commit window (e.g. 2ms; 0 = every window; < 0 = no fsync)")
 		compact  = flag.Bool("compact", false, "fold the -state-dir WAL into a checkpoint, collect superseded segments, and exit")
 		ckptN    = flag.Int("checkpoint-every", 0, "compact the WAL in the background every N logged records (0 = only on -compact)")
+		shards   = flag.Int("shards", 1, "shard the provenance store across N instance-hash ranges (rounded up to a power of two; 1 = unsharded)")
 	)
 	flag.Parse()
 
@@ -138,6 +143,18 @@ func run() error {
 	if *latency > 0 {
 		oracle = exec.LatencyOracle(oracle, *latency)
 	}
+	if *shards > 1 && *stateDir == "" {
+		// Volatile mode: re-home whatever the input mode loaded into a
+		// sharded store (demo stores are empty; historical CSVs carry their
+		// records over — the snapshot is already a dense validated log, so
+		// the bulk loader applies). In durable mode the sharded store is
+		// rebuilt by provlog.Open below instead.
+		sharded := provenance.NewStoreSharded(st.Space(), *shards)
+		if err := sharded.LoadRecords(st.Snapshot().Records()); err != nil {
+			return err
+		}
+		st = sharded
+	}
 	resumed := -1
 	if *resume && *stateDir == "" {
 		return fmt.Errorf("-resume requires -state-dir")
@@ -155,6 +172,9 @@ func run() error {
 		if *ckptN > 0 {
 			logOpts = append(logOpts,
 				provlog.WithCompactPolicy(provlog.CompactPolicy{EveryRecords: *ckptN}))
+		}
+		if *shards > 1 {
+			logOpts = append(logOpts, provlog.WithStoreShards(*shards))
 		}
 		lg, durable, err := provlog.Open(*stateDir, st.Space(), logOpts...)
 		if err != nil {

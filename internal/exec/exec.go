@@ -83,14 +83,24 @@ func WithLogOptions(opts ...provlog.Option) Option {
 	return func(e *Executor) { e.logOpts = append(e.logOpts, opts...) }
 }
 
+// WithStoreShards shards the provenance store NewDurable rebuilds across n
+// hash-range shards (see provenance.NewStoreSharded), so high worker
+// counts contend per hash range instead of on one store lock. It only
+// shapes the store NewDurable creates; executors built by New adopt the
+// caller's store as-is and ignore it.
+func WithStoreShards(n int) Option {
+	return func(e *Executor) { e.storeShards = n }
+}
+
 // Executor mediates every instance execution for the debugging algorithms.
 // It is safe for concurrent use.
 type Executor struct {
-	oracle  Oracle
-	store   *provenance.Store
-	workers int
-	log     *provlog.Log     // non-nil for durable executors (NewDurable)
-	logOpts []provlog.Option // collected by WithLogOptions for NewDurable
+	oracle      Oracle
+	store       *provenance.Store
+	workers     int
+	log         *provlog.Log     // non-nil for durable executors (NewDurable)
+	logOpts     []provlog.Option // collected by WithLogOptions for NewDurable
+	storeShards int              // hash-range shards of the store NewDurable rebuilds
 
 	mu     sync.Mutex
 	budget int // remaining new executions; negative = unlimited
@@ -120,6 +130,9 @@ func NewDurable(oracle Oracle, space *pipeline.Space, dir string, opts ...Option
 	cfg := &Executor{}
 	for _, o := range opts {
 		o(cfg)
+	}
+	if cfg.storeShards > 1 {
+		cfg.logOpts = append(cfg.logOpts, provlog.WithStoreShards(cfg.storeShards))
 	}
 	l, st, err := provlog.Open(dir, space, cfg.logOpts...)
 	if err != nil {

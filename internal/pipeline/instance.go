@@ -195,9 +195,16 @@ func (in Instance) DisjointFrom(other Instance) bool {
 // instance that differs in as many parameter-values as possible").
 func (in Instance) DiffCount(other Instance) int {
 	if in.space != other.space {
-		// Codes are only comparable within one space; fall back to values.
+		// Codes are only comparable within one space; fall back to values,
+		// over the shared parameter prefix only — the spaces may declare
+		// different parameter counts, and indexing past the shorter one
+		// would panic.
+		m := len(in.codes)
+		if len(other.codes) < m {
+			m = len(other.codes)
+		}
 		n := 0
-		for i := range in.codes {
+		for i := 0; i < m; i++ {
 			if in.Value(i) != other.Value(i) {
 				n++
 			}

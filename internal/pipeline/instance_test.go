@@ -111,6 +111,29 @@ func TestInstanceEqualDisjointDiff(t *testing.T) {
 	}
 }
 
+// TestDiffCountCrossSpaceLengths pins the cross-space fallback of
+// DiffCount to the shared parameter prefix: a space with fewer parameters
+// used to drive the value comparison past the shorter code vector and
+// panic, in both argument orders.
+func TestDiffCountCrossSpaceLengths(t *testing.T) {
+	s := testSpace(t)
+	a := MustInstance(s, Ord(1), Cat("a"), Ord(10))
+	small := MustSpace(
+		Parameter{Name: "p1", Kind: Ordinal, Domain: []Value{Ord(1), Ord(2)}},
+	)
+	b := MustInstance(small, Ord(2))
+	if got := a.DiffCount(b); got != 1 {
+		t.Fatalf("DiffCount(long, short) = %d, want 1", got)
+	}
+	if got := b.DiffCount(a); got != 1 {
+		t.Fatalf("DiffCount(short, long) = %d, want 1", got)
+	}
+	same := MustInstance(small, Ord(1))
+	if got := a.DiffCount(same); got != 0 {
+		t.Fatalf("DiffCount over equal shared prefix = %d, want 0", got)
+	}
+}
+
 func TestInstanceKeyUnique(t *testing.T) {
 	s := testSpace(t)
 	seen := make(map[string]Instance)

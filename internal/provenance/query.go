@@ -1,0 +1,413 @@
+package provenance
+
+import (
+	"sort"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// This file holds the store's read side: snapshots and the history queries
+// the BugDoc algorithms run. Per-shard work happens under each shard's
+// read lock with the indices the shard maintains over local positions;
+// cross-shard results are merged on the records' global sequence numbers,
+// so every query returns exactly what a single-shard store would.
+
+// Snapshot is a point-in-time, read-only view of a store's log. Because the
+// log is append-only and records are immutable, a single-shard snapshot is
+// just the log prefix at capture time — taking one copies nothing and later
+// Adds never disturb it. A sharded snapshot merges the shards' slices back
+// into sequence order, truncated to the dense committed prefix (a record
+// whose lower-sequence sibling on another shard is still in flight commits,
+// conceptually, after the capture point).
+type Snapshot struct {
+	recs []Record
+}
+
+// Snapshot captures the current log as a read-only view (zero-copy on
+// single-shard stores).
+func (st *Store) Snapshot() Snapshot {
+	return Snapshot{recs: st.orderedLog()}
+}
+
+// Len returns the number of records in the snapshot.
+func (sn Snapshot) Len() int { return len(sn.recs) }
+
+// At returns the i-th record in execution order.
+func (sn Snapshot) At(i int) Record { return sn.recs[i] }
+
+// Records returns the snapshot's records in execution order. The slice may
+// be shared with the store's log; callers must not modify it.
+func (sn Snapshot) Records() []Record { return sn.recs }
+
+// Records returns a copy of the log in execution order. Bulk read-only
+// consumers of single-shard stores should prefer Snapshot, which does not
+// copy.
+func (st *Store) Records() []Record {
+	if len(st.shards) == 1 {
+		sh := &st.shards[0]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		out := make([]Record, len(sh.recs))
+		copy(out, sh.recs)
+		return out
+	}
+	return st.orderedLog()
+}
+
+// orderedLog returns the committed log in sequence order: the shard's own
+// slice (capped, zero-copy) on single-shard stores, a merged copy
+// truncated to the dense sequence prefix otherwise. Shard slices are
+// append-only, so aliasing them under the read lock is safe — records
+// already captured never move.
+func (st *Store) orderedLog() []Record {
+	if len(st.shards) == 1 {
+		sh := &st.shards[0]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.recs[:len(sh.recs):len(sh.recs)]
+	}
+	parts := make([][]Record, len(st.shards))
+	maxSeq := -1
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		parts[i] = sh.recs[:len(sh.recs):len(sh.recs)]
+		sh.mu.RUnlock()
+		if n := len(parts[i]); n > 0 && parts[i][n-1].Seq > maxSeq {
+			maxSeq = parts[i][n-1].Seq
+		}
+	}
+	out := make([]Record, maxSeq+1)
+	for _, p := range parts {
+		for _, r := range p {
+			out[r.Seq] = r
+		}
+	}
+	n := 0
+	for n < len(out) && out[n].Instance.IsValid() {
+		n++
+	}
+	return out[:n]
+}
+
+// Outcomes counts succeeding and failing records.
+func (st *Store) Outcomes() (succeed, fail int) {
+	st.ensureIndexed()
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		succeed += len(sh.succSeqs)
+		fail += len(sh.failSeqs)
+		sh.mu.RUnlock()
+	}
+	return succeed, fail
+}
+
+// seqInst pairs a global sequence number with its instance for the
+// cross-shard merges that restore execution order.
+type seqInst struct {
+	seq int
+	in  pipeline.Instance
+}
+
+// orderInstances sorts the gathered pairs by sequence and projects the
+// instances. Single-shard gathers arrive already ordered and skip the
+// sort.
+func (st *Store) orderInstances(pairs []seqInst) []pipeline.Instance {
+	if len(pairs) == 0 {
+		return nil
+	}
+	if len(st.shards) > 1 {
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].seq < pairs[b].seq })
+	}
+	out := make([]pipeline.Instance, len(pairs))
+	for i := range pairs {
+		out[i] = pairs[i].in
+	}
+	return out
+}
+
+// byOutcome returns the instances with the given outcome in execution
+// order. The single-shard case projects the ordered position list
+// directly — one output allocation, like the historic store.
+func (st *Store) byOutcome(out pipeline.Outcome) []pipeline.Instance {
+	st.ensureIndexed()
+	if len(st.shards) == 1 {
+		sh := &st.shards[0]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		list := sh.succSeqs
+		if out == pipeline.Fail {
+			list = sh.failSeqs
+		}
+		if len(list) == 0 {
+			return nil
+		}
+		res := make([]pipeline.Instance, len(list))
+		for i, pos := range list {
+			res[i] = sh.recs[pos].Instance
+		}
+		return res
+	}
+	var pairs []seqInst
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		list := sh.succSeqs
+		if out == pipeline.Fail {
+			list = sh.failSeqs
+		}
+		for _, pos := range list {
+			r := &sh.recs[pos]
+			pairs = append(pairs, seqInst{seq: r.Seq, in: r.Instance})
+		}
+		sh.mu.RUnlock()
+	}
+	return st.orderInstances(pairs)
+}
+
+// Failing returns the failing instances in execution order.
+func (st *Store) Failing() []pipeline.Instance { return st.byOutcome(pipeline.Fail) }
+
+// Succeeding returns the succeeding instances in execution order.
+func (st *Store) Succeeding() []pipeline.Instance { return st.byOutcome(pipeline.Succeed) }
+
+// FirstFailing returns the earliest failing instance, the natural CP_f for
+// the Shortcut algorithms.
+func (st *Store) FirstFailing() (pipeline.Instance, bool) {
+	st.ensureIndexed()
+	best, bestSeq := pipeline.Instance{}, -1
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		if len(sh.failSeqs) > 0 {
+			r := &sh.recs[sh.failSeqs[0]]
+			if bestSeq < 0 || r.Seq < bestSeq {
+				best, bestSeq = r.Instance, r.Seq
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return best, bestSeq >= 0
+}
+
+// disjointSucceedingBitsLocked computes the shard's succeeding records
+// sharing no parameter value with ref: the succeeding bitset minus the
+// union of ref's per-parameter posting lists. The caller holds the shard's
+// read lock.
+func (st *Store) disjointSucceedingBitsLocked(sh *shard, ref pipeline.Instance) bitset {
+	mask := sh.succBits.clone()
+	for i := 0; i < st.space.Len(); i++ {
+		if c := int(ref.Code(i)); c < len(sh.posting[i]) {
+			mask.andNotWith(sh.posting[i][c])
+		}
+	}
+	return mask
+}
+
+// DisjointSucceeding returns the succeeding instances disjoint from ref
+// (Definition 6), in execution order.
+func (st *Store) DisjointSucceeding(ref pipeline.Instance) []pipeline.Instance {
+	if ref.Space() != st.space {
+		return nil // instances over different spaces are never disjoint
+	}
+	st.ensureIndexed()
+	var pairs []seqInst
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		st.disjointSucceedingBitsLocked(sh, ref).forEach(func(pos int) bool {
+			r := &sh.recs[pos]
+			pairs = append(pairs, seqInst{seq: r.Seq, in: r.Instance})
+			return true
+		})
+		sh.mu.RUnlock()
+	}
+	return st.orderInstances(pairs)
+}
+
+// MostDifferentSucceeding returns the succeeding instance differing from
+// ref on the most parameters — the heuristic stand-in for a disjoint good
+// instance when the Disjointness Condition does not hold. Ties break to
+// the earliest execution. A ref from a different space finds nothing:
+// cross-space difference counts are not comparable, and indexing another
+// space's shorter code vector used to panic here.
+func (st *Store) MostDifferentSucceeding(ref pipeline.Instance) (pipeline.Instance, bool) {
+	if ref.Space() != st.space {
+		return pipeline.Instance{}, false
+	}
+	st.ensureIndexed()
+	best, bestDiff, bestSeq := pipeline.Instance{}, -1, -1
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, pos := range sh.succSeqs {
+			r := &sh.recs[pos]
+			if d := r.Instance.DiffCount(ref); d > bestDiff || (d == bestDiff && r.Seq < bestSeq) {
+				best, bestDiff, bestSeq = r.Instance, d, r.Seq
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return best, bestDiff >= 0
+}
+
+// MutuallyDisjointSucceeding greedily selects up to k succeeding instances
+// that are disjoint from ref and pairwise disjoint, in execution order
+// (the CP_G set of the Stacked Shortcut algorithm). When fewer than k fully
+// disjoint instances exist it pads, if allowed, with the most-different
+// remaining succeeding instances, reflecting the paper's "mutually disjoint
+// if possible". A ref from a different space selects nothing (see
+// MostDifferentSucceeding).
+func (st *Store) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad bool) []pipeline.Instance {
+	if ref.Space() != st.space {
+		return nil
+	}
+	succ := st.Succeeding()
+	var chosen []pipeline.Instance
+	used := make(map[int]bool)
+	for idx, in := range succ {
+		if len(chosen) >= k {
+			return chosen
+		}
+		if !in.DisjointFrom(ref) {
+			continue
+		}
+		ok := true
+		for _, c := range chosen {
+			if !in.DisjointFrom(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, in)
+			used[idx] = true
+		}
+	}
+	if !pad {
+		return chosen
+	}
+	// Pad with most-different succeeding instances not yet chosen.
+	type cand struct {
+		in   pipeline.Instance
+		diff int
+		seq  int
+	}
+	var cands []cand
+	for idx, in := range succ {
+		if used[idx] {
+			continue
+		}
+		cands = append(cands, cand{in, in.DiffCount(ref), idx})
+	}
+	for len(chosen) < k && len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].diff > cands[best].diff ||
+				(cands[i].diff == cands[best].diff && cands[i].seq < cands[best].seq) {
+				best = i
+			}
+		}
+		chosen = append(chosen, cands[best].in)
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return chosen
+}
+
+// tripleBitsLocked returns the shard's records satisfying t as a bitset:
+// the union of the posting lists of every interned value of t's parameter
+// that satisfies the comparison. Only O(distinct values) Holds evaluations
+// run, never O(records). ok=false means no record can satisfy t (unknown
+// parameter), matching Triple.Satisfied on unknown parameters. The caller
+// holds the shard's read lock.
+func (st *Store) tripleBitsLocked(sh *shard, t predicate.Triple) (bitset, bool) {
+	i, ok := st.space.Index(t.Param)
+	if !ok {
+		return nil, false
+	}
+	var mask bitset
+	for c, post := range sh.posting[i] {
+		if len(post) == 0 {
+			continue
+		}
+		if t.Holds(st.space.InternedValue(i, uint32(c))) {
+			mask.orWith(post)
+		}
+	}
+	return mask, true
+}
+
+// conjunctionBitsLocked intersects the triple bitsets of c with base (an
+// outcome bitset of the same shard). The empty conjunction is satisfied by
+// every record. The caller holds the shard's read lock.
+func (st *Store) conjunctionBitsLocked(sh *shard, c predicate.Conjunction, base bitset) bitset {
+	mask := base.clone()
+	for _, t := range c {
+		tb, ok := st.tripleBitsLocked(sh, t)
+		if !ok {
+			return nil
+		}
+		mask.andWith(tb)
+	}
+	return mask
+}
+
+// AnySucceedingSatisfying returns the earliest succeeding instance whose
+// parameter values satisfy the conjunction, if one exists — the Shortcut
+// sanity check ("whether any superset of the hypothetical root cause is in
+// an already executed successful execution").
+func (st *Store) AnySucceedingSatisfying(c predicate.Conjunction) (pipeline.Instance, bool) {
+	st.ensureIndexed()
+	best, bestSeq := pipeline.Instance{}, -1
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		if pos, ok := st.conjunctionBitsLocked(sh, c, sh.succBits).first(); ok {
+			r := &sh.recs[pos]
+			if bestSeq < 0 || r.Seq < bestSeq {
+				best, bestSeq = r.Instance, r.Seq
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return best, bestSeq >= 0
+}
+
+// CountSatisfying counts recorded instances satisfying c, split by outcome.
+// Each shard materializes its satisfying set once and intersects it with
+// its outcome bitsets in place; the per-shard counts sum.
+func (st *Store) CountSatisfying(c predicate.Conjunction) (succeed, fail int) {
+	if len(c) == 0 {
+		return st.Outcomes()
+	}
+	st.ensureIndexed()
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		var mask bitset
+		known := true
+		for j, t := range c {
+			tb, ok := st.tripleBitsLocked(sh, t)
+			if !ok {
+				known = false
+				break
+			}
+			if j == 0 {
+				mask = tb // tripleBitsLocked returns a fresh bitset; safe to own
+			} else {
+				mask.andWith(tb)
+			}
+		}
+		if known {
+			succeed += mask.andCount(sh.succBits)
+			fail += mask.andCount(sh.failBits)
+		}
+		sh.mu.RUnlock()
+		if !known {
+			return 0, 0 // unknown parameter: no record anywhere can satisfy c
+		}
+	}
+	return succeed, fail
+}

@@ -1,0 +1,268 @@
+package provenance
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/pipeline"
+)
+
+// MaxShards caps the shard count a store can be built with. Shard counts
+// round up to a power of two; anything above this cap is clamped.
+const MaxShards = 256
+
+// shard is one hash range of the store: an independent slice of the log
+// with its own lock, identity tiers, outcome and posting indices, and
+// staged-commit state. Instances route to shards by the top bits of their
+// identity hash, so one shard's records form a contiguous range of any
+// hash-sorted checkpoint run and a run splits across shards with a binary
+// search per boundary.
+//
+// Within a shard, records are kept in global sequence order: sequences are
+// assigned monotonically and each shard commits its records in assignment
+// order, so local log position order and global sequence order agree.
+// Every per-shard index — the outcome and posting bitsets, the ordered
+// outcome lists, the identity map and base run — speaks local positions,
+// and cross-shard queries restore execution order by merging per-shard
+// results on the records' global sequence numbers.
+type shard struct {
+	mu   sync.RWMutex
+	recs []Record // shard-local log, ascending global sequence
+
+	// byKey maps instance identity to local log position (hash-bucketed
+	// with Equal confirmation; see pipeline.InstanceMap). Records adopted
+	// as a base run are not in byKey: identity probes for them
+	// binary-search baseHash/baseSeq instead, LSM-style, so a checkpoint
+	// load never pays to build a hash index.
+	byKey *pipeline.InstanceMap[int32]
+
+	// The base run: the shard's slice of a hash-sorted checkpoint run.
+	// baseHash is ascending; baseSeq[i] is the local log position of the
+	// record whose instance hashes to baseHash[i] (ties ordered by seq).
+	// baseUnindexed is the length of the base prefix whose outcome and
+	// posting indices have not been built yet; the first query that needs
+	// them triggers indexBaseLocked. The memoization path (Lookup) never
+	// does.
+	baseHash      []uint64
+	baseSeq       []int32
+	baseUnindexed int
+
+	// Staged-commit state (StagedSink path): records of this shard whose
+	// sink append has been staged but whose durability is still pending,
+	// in sequence order. stagedByH buckets them by instance hash for the
+	// duplicate check. dropTail is set when a staged record is dropped
+	// without committing (its flush failed): later staged records of the
+	// shard would leave a sequence gap, so they drop too.
+	staged    []*stagedRec
+	stagedByH map[uint64][]*stagedRec
+	dropTail  bool
+
+	// Outcome partitions: local-position lists preserve execution order
+	// for O(matches) enumeration; bitsets drive the boolean-algebra
+	// queries. posting[i][c] holds the shard's records whose parameter i
+	// has value-code c.
+	succSeqs, failSeqs []int32
+	succBits, failBits bitset
+	posting            [][]bitset
+}
+
+// shardIndex routes an instance hash to its shard: the hash's top 32 bits
+// scaled into the shard count. The scaling is order-preserving, so shards
+// are contiguous hash ranges, and for the power-of-two counts the store
+// uses it equals taking the hash's top log2(shards) bits — shard s covers
+// exactly [s << shift, (s+1) << shift). The multiply compiles branch-free;
+// a variable 64-bit shift would pay its >=64 guard on every Lookup.
+func (st *Store) shardIndex(h uint64) int {
+	return int((h >> 32) * uint64(len(st.shards)) >> 32)
+}
+
+// shardOf routes an instance hash to its shard. The single-shard case —
+// the default store, and the memoization hot path of every session that
+// does not opt into sharding — resolves to the Store's own embedded shard
+// with no loads at all.
+func (st *Store) shardOf(h uint64) *shard {
+	if len(st.shards) == 1 {
+		return &st.one[0]
+	}
+	return &st.shards[st.shardIndex(h)]
+}
+
+// commitLocked appends a record to the shard (continuing the ascending
+// sequence order) and updates every shard index. The caller holds the
+// shard's write lock.
+func (st *Store) commitLocked(sh *shard, rec Record) {
+	pos := int32(len(sh.recs))
+	sh.byKey.Put(rec.Instance, pos)
+	sh.recs = append(sh.recs, rec)
+	if rec.Outcome == pipeline.Succeed {
+		sh.succSeqs = append(sh.succSeqs, pos)
+	} else {
+		sh.failSeqs = append(sh.failSeqs, pos)
+	}
+	st.indexRecordBitsLocked(sh, int(pos), &rec)
+}
+
+// indexRecordBitsLocked sets the positional indices — the outcome bitset
+// and the per-(parameter, code) postings — for one record at local
+// position pos. It is the single home of the posting-growth rule; the
+// ordered position lists are maintained by the callers, which differ in
+// where they append.
+func (st *Store) indexRecordBitsLocked(sh *shard, pos int, r *Record) {
+	if r.Outcome == pipeline.Succeed {
+		sh.succBits.set(pos)
+	} else {
+		sh.failBits.set(pos)
+	}
+	for i := 0; i < st.space.Len(); i++ {
+		c := int(r.Instance.Code(i))
+		for len(sh.posting[i]) <= c {
+			sh.posting[i] = append(sh.posting[i], nil)
+		}
+		sh.posting[i][c].set(pos)
+	}
+}
+
+// lookupPosLocked resolves an instance to its local log position through
+// both identity tiers: the hash map over incrementally added records, then
+// a binary search of the base run adopted from a checkpoint.
+func (sh *shard) lookupPosLocked(in pipeline.Instance) (int32, bool) {
+	if i, ok := sh.byKey.Get(in); ok {
+		return i, true
+	}
+	return sh.baseLookupLocked(in)
+}
+
+// baseLookupLocked probes the sorted base run. Kept out of the map-hit
+// path: Lookup's memoization hit is the hottest operation in the system
+// and pays only a length check for the base tier.
+func (sh *shard) baseLookupLocked(in pipeline.Instance) (int32, bool) {
+	h := in.Hash()
+	lo, hi := 0, len(sh.baseHash)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sh.baseHash[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for ; lo < len(sh.baseHash) && sh.baseHash[lo] == h; lo++ {
+		pos := sh.baseSeq[lo]
+		if sh.recs[pos].Instance.Equal(in) {
+			return pos, true
+		}
+	}
+	return 0, false
+}
+
+// adoptRun adopts rows [lo, hi) of a hash-sorted run as the shard's base
+// tier: the shard's records are the rows' records re-sorted into sequence
+// order, baseHash aliases the run's hash column, and baseSeq maps each row
+// to its local position. seqToLocal is a caller-provided scratch array
+// indexed by global sequence; shards touch disjoint sequences, so one
+// array serves every shard even when adoptions run in parallel.
+func (sh *shard) adoptRun(recs []Record, hashes []uint64, seqs []int32, lo, hi int, seqToLocal []int32) {
+	m := hi - lo
+	order := make([]int32, m)
+	copy(order, seqs[lo:hi])
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	shRecs := make([]Record, m)
+	for j, g := range order {
+		shRecs[j] = recs[g]
+		seqToLocal[g] = int32(j)
+	}
+	local := make([]int32, m)
+	for r := 0; r < m; r++ {
+		local[r] = seqToLocal[seqs[lo+r]]
+	}
+	sh.recs = shRecs
+	sh.baseHash = hashes[lo:hi]
+	sh.baseSeq = local
+	sh.baseUnindexed = m
+}
+
+// indexBaseLocked indexes the shard's deferred base prefix: outcome
+// position lists are built for it and prepended to whatever post-load
+// records have already indexed (base positions all precede them), and the
+// positional bitsets — outcome and posting — are or-ed in place.
+func (st *Store) indexBaseLocked(sh *shard) {
+	n := sh.baseUnindexed
+	if n == 0 {
+		return
+	}
+	sh.baseUnindexed = 0
+	baseSucc := make([]int32, 0, n)
+	baseFail := make([]int32, 0, n)
+	for pos := 0; pos < n; pos++ {
+		r := &sh.recs[pos]
+		if r.Outcome == pipeline.Succeed {
+			baseSucc = append(baseSucc, int32(pos))
+		} else {
+			baseFail = append(baseFail, int32(pos))
+		}
+		st.indexRecordBitsLocked(sh, pos, r)
+	}
+	sh.succSeqs = append(baseSucc, sh.succSeqs...)
+	sh.failSeqs = append(baseFail, sh.failSeqs...)
+}
+
+// stagedLookupLocked returns the shard's in-flight staged record for in,
+// if any.
+func (sh *shard) stagedLookupLocked(in pipeline.Instance) *stagedRec {
+	for _, e := range sh.stagedByH[in.Hash()] {
+		if e.rec.Instance.Equal(in) {
+			return e
+		}
+	}
+	return nil
+}
+
+// stagePushLocked registers a staged record for the duplicate check and
+// the sequence-ordered drain.
+func (sh *shard) stagePushLocked(e *stagedRec) {
+	if sh.stagedByH == nil {
+		sh.stagedByH = make(map[uint64][]*stagedRec)
+	}
+	sh.staged = append(sh.staged, e)
+	h := e.rec.Instance.Hash()
+	sh.stagedByH[h] = append(sh.stagedByH[h], e)
+}
+
+// drainStagedLocked commits the resolved prefix of the shard's staged set.
+// Records become durable strictly in global sequence order (commit groups
+// flush the sink's pending buffer wholesale), but the goroutines observing
+// the flush reach the shard lock in any order, so each marks its own
+// records and drains whatever contiguous prefix has been resolved — later
+// records wait for their predecessors' (already awake) goroutines. Failed
+// records drop without committing and set dropTail: nothing behind a
+// failure can be durable (a group flush failure poisons the sink and every
+// later wait fails too), and dropping a record burns its sequence, so any
+// later staged record of the shard drops as well rather than commit out of
+// order.
+func (st *Store) drainStagedLocked(sh *shard) {
+	for len(sh.staged) > 0 {
+		e := sh.staged[0]
+		if !e.durable && !e.failed {
+			return
+		}
+		sh.staged = sh.staged[1:]
+		h := e.rec.Instance.Hash()
+		bucket := sh.stagedByH[h]
+		for i := range bucket {
+			if bucket[i] == e {
+				sh.stagedByH[h] = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(sh.stagedByH[h]) == 0 {
+			delete(sh.stagedByH, h)
+		}
+		if e.failed {
+			sh.dropTail = true
+		}
+		if e.durable && !sh.dropTail {
+			st.commitLocked(sh, e.rec)
+		}
+		close(e.done)
+	}
+}

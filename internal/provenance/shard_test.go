@@ -1,0 +1,437 @@
+package provenance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// This file differentially tests the sharded store against the
+// single-shard baseline: the same history driven into both must make every
+// query — records, outcomes, identity probes, postings, disjoint and
+// satisfying sets — indistinguishable. Sharding is a contention
+// optimization; any observable divergence is a bug.
+
+// shardCounts is the sweep the differential tests run: a two-way split, a
+// deeper one, and one with more shards than records (so some shards stay
+// empty).
+var shardCounts = []int{2, 8, 64}
+
+// compareStores fails the test unless a and b agree on every query the
+// store exposes, probing disjointness and predicate queries with the
+// recorded instances and random conjunctions.
+func compareStores(t *testing.T, r *rand.Rand, s *pipeline.Space, a, b *Store, ins []pipeline.Instance) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("Len: %d vs %d", a.Len(), b.Len())
+	}
+	ra, rb := a.Records(), b.Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("Records: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Seq != rb[i].Seq || ra[i].Outcome != rb[i].Outcome ||
+			ra[i].Source != rb[i].Source || !ra[i].Instance.Equal(rb[i].Instance) {
+			t.Fatalf("record %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+		if ra[i].Seq != i {
+			t.Fatalf("record %d has seq %d", i, ra[i].Seq)
+		}
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Len() != sb.Len() {
+		t.Fatalf("Snapshot: %d vs %d", sa.Len(), sb.Len())
+	}
+	for i := 0; i < sa.Len(); i++ {
+		if !sa.At(i).Instance.Equal(sb.At(i).Instance) {
+			t.Fatalf("snapshot record %d diverges", i)
+		}
+	}
+	asucc, afail := a.Outcomes()
+	bsucc, bfail := b.Outcomes()
+	if asucc != bsucc || afail != bfail {
+		t.Fatalf("Outcomes: (%d,%d) vs (%d,%d)", asucc, afail, bsucc, bfail)
+	}
+	if !sameInstances(a.Failing(), b.Failing()) {
+		t.Fatal("Failing diverges")
+	}
+	if !sameInstances(a.Succeeding(), b.Succeeding()) {
+		t.Fatal("Succeeding diverges")
+	}
+	fa, oka := a.FirstFailing()
+	fb, okb := b.FirstFailing()
+	if oka != okb || (oka && !fa.Equal(fb)) {
+		t.Fatalf("FirstFailing: (%v,%v) vs (%v,%v)", fa, oka, fb, okb)
+	}
+	for _, in := range ins {
+		oa, ha := a.Lookup(in)
+		ob, hb := b.Lookup(in)
+		if oa != ob || ha != hb {
+			t.Fatalf("Lookup(%v): (%v,%v) vs (%v,%v)", in, oa, ha, ob, hb)
+		}
+	}
+	for probe := 0; probe < 12; probe++ {
+		c := randomConjunction(r, s)
+		as, af := a.CountSatisfying(c)
+		bs, bf := b.CountSatisfying(c)
+		if as != bs || af != bf {
+			t.Fatalf("CountSatisfying(%v): (%d,%d) vs (%d,%d)", c, as, af, bs, bf)
+		}
+		ai, aok := a.AnySucceedingSatisfying(c)
+		bi, bok := b.AnySucceedingSatisfying(c)
+		if aok != bok || (aok && !ai.Equal(bi)) {
+			t.Fatalf("AnySucceedingSatisfying(%v): (%v,%v) vs (%v,%v)", c, ai, aok, bi, bok)
+		}
+	}
+	if len(ins) == 0 {
+		return
+	}
+	for probe := 0; probe < 6; probe++ {
+		ref := ins[r.Intn(len(ins))]
+		if !sameInstances(a.DisjointSucceeding(ref), b.DisjointSucceeding(ref)) {
+			t.Fatalf("DisjointSucceeding(%v) diverges", ref)
+		}
+		ma, oka := a.MostDifferentSucceeding(ref)
+		mb, okb := b.MostDifferentSucceeding(ref)
+		if oka != okb || (oka && !ma.Equal(mb)) {
+			t.Fatalf("MostDifferentSucceeding(%v): (%v,%v) vs (%v,%v)", ref, ma, oka, mb, okb)
+		}
+		k := 1 + r.Intn(5)
+		pad := r.Intn(2) == 0
+		if !sameInstances(a.MutuallyDisjointSucceeding(ref, k, pad),
+			b.MutuallyDisjointSucceeding(ref, k, pad)) {
+			t.Fatalf("MutuallyDisjointSucceeding(%v, %d, %v) diverges", ref, k, pad)
+		}
+	}
+}
+
+// TestShardedMatchesUnshardedRandomHistories drives randomized histories —
+// a mix of single Adds and AddBatches, with duplicates sprinkled in — into
+// a single-shard store and sharded twins, then requires every query to
+// agree.
+func TestShardedMatchesUnshardedRandomHistories(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		s := randomProvenanceSpace(t, r)
+		flat := NewStore(s)
+		sharded := make([]*Store, len(shardCounts))
+		for i, k := range shardCounts {
+			sharded[i] = NewStoreSharded(s, k)
+			if got := sharded[i].Shards(); got != k {
+				t.Fatalf("Shards() = %d, want %d", got, k)
+			}
+		}
+		var ins []pipeline.Instance
+		steps := 3 + r.Intn(6)
+		for step := 0; step < steps; step++ {
+			if r.Intn(2) == 0 {
+				// One batch of fresh draws; duplicates inside the batch and
+				// against history are legal and skipped.
+				n := 1 + r.Intn(12)
+				entries := make([]Entry, n)
+				for j := range entries {
+					out := pipeline.Succeed
+					if r.Intn(2) == 0 {
+						out = pipeline.Fail
+					}
+					entries[j] = Entry{Instance: s.RandomInstance(r), Outcome: out, Source: fmt.Sprintf("s%d", step)}
+				}
+				want, err := flat.AddBatch(entries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, st := range sharded {
+					got, err := st.AddBatch(entries)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("trial %d: AddBatch added %d on %d shards, %d unsharded", trial, got, st.Shards(), want)
+					}
+				}
+				for j := range entries {
+					if _, ok := flat.Lookup(entries[j].Instance); ok {
+						ins = append(ins, entries[j].Instance)
+					}
+				}
+			} else {
+				for draws := 1 + r.Intn(8); draws > 0; draws-- {
+					in := s.RandomInstance(r)
+					out := pipeline.Succeed
+					if r.Intn(2) == 0 {
+						out = pipeline.Fail
+					}
+					err := flat.Add(in, out, "add")
+					for _, st := range sharded {
+						err2 := st.Add(in, out, "add")
+						if (err == nil) != (err2 == nil) {
+							t.Fatalf("trial %d: Add(%v) = %v unsharded, %v on %d shards", trial, in, err, err2, st.Shards())
+						}
+					}
+					if err == nil {
+						ins = append(ins, in)
+					}
+				}
+			}
+		}
+		for _, st := range sharded {
+			compareStores(t, r, s, flat, st, ins)
+		}
+	}
+}
+
+// buildSortedRun renders a store's records as a hash-sorted checkpoint run
+// — the same (hash, seq) ordering internal/provlog encodes — so the tests
+// can exercise LoadSortedRun without a disk round trip.
+func buildSortedRun(st *Store) (recs []Record, hashes []uint64, seqs []int32) {
+	recs = st.Records()
+	order := make([]int32, len(recs))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ha, hb := recs[order[a]].Instance.Hash(), recs[order[b]].Instance.Hash()
+		if ha != hb {
+			return ha < hb
+		}
+		return order[a] < order[b]
+	})
+	hashes = make([]uint64, len(recs))
+	for i, seq := range order {
+		hashes[i] = recs[seq].Instance.Hash()
+	}
+	return recs, hashes, order
+}
+
+// TestLoadSortedRunSplitsAcrossShards adopts the same hash-sorted run into
+// single-shard and sharded stores — the checkpoint-resume path, where a
+// sharded store splits the run at its hash-range boundaries — and requires
+// identity probes and the deferred-index queries to agree.
+func TestLoadSortedRunSplitsAcrossShards(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 25; trial++ {
+		s := randomProvenanceSpace(t, r)
+		seedSt := NewStore(s)
+		ins := fillRandomStore(t, r, s, seedSt, 10+r.Intn(60))
+		if len(ins) == 0 {
+			continue
+		}
+		recs, hashes, seqs := buildSortedRun(seedSt)
+		load := func(shards int) *Store {
+			st := NewStoreSharded(s, shards)
+			rc := append([]Record(nil), recs...)
+			hc := append([]uint64(nil), hashes...)
+			sc := append([]int32(nil), seqs...)
+			if err := st.LoadSortedRun(rc, hc, sc); err != nil {
+				t.Fatalf("LoadSortedRun on %d shards: %v", shards, err)
+			}
+			return st
+		}
+		flat := load(1)
+		for _, k := range shardCounts {
+			st := load(k)
+			// Probe identity before any query so the base tier serves the
+			// lookups index-free, then let compareStores trigger the
+			// deferred index build on both stores.
+			for _, in := range ins {
+				want, _ := seedSt.Lookup(in)
+				got, ok := st.Lookup(in)
+				if !ok || got != want {
+					t.Fatalf("trial %d: base-tier Lookup on %d shards = (%v,%v), want %v", trial, k, got, ok, want)
+				}
+			}
+			compareStores(t, r, s, flat, st, ins)
+			// Post-load appends go to the hash-map tier in front of the
+			// (possibly still deferred) base run; both stores must keep
+			// agreeing.
+			extra := fillRandomStore(t, r, s, flat, 5)
+			for _, in := range extra {
+				out, _ := flat.Lookup(in)
+				if err := st.Add(in, out, "rand"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			compareStores(t, r, s, flat, st, append(ins, extra...))
+			flat = load(1) // fresh baseline for the next shard count
+		}
+	}
+}
+
+// TestShardedConcurrentAdds hammers a sharded store from parallel writers
+// and checks the committed log is exactly the union of their disjoint
+// inputs with dense sequences — no lost records, no duplicates, no gaps.
+func TestShardedConcurrentAdds(t *testing.T) {
+	s := pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3, 4, 5, 6, 7)},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3, 4, 5, 6, 7)},
+		pipeline.Parameter{Name: "c", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3)},
+	)
+	const workers, per = 8, 32
+	st := NewStoreSharded(s, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				x := w*per + k
+				in := pipeline.MustInstance(s,
+					pipeline.Ord(float64(x%8)), pipeline.Ord(float64((x/8)%8)), pipeline.Ord(float64(x/64)))
+				out := pipeline.Succeed
+				if x%3 == 0 {
+					out = pipeline.Fail
+				}
+				if err := st.Add(in, out, "w"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", st.Len(), workers*per)
+	}
+	recs := st.Records()
+	if len(recs) != workers*per {
+		t.Fatalf("Records = %d, want %d", len(recs), workers*per)
+	}
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	succ, fail := st.Outcomes()
+	if succ+fail != workers*per {
+		t.Fatalf("Outcomes = %d+%d, want %d", succ, fail, workers*per)
+	}
+}
+
+// TestShardedConcurrentAddBatches drives concurrent batches (overlapping
+// instance sets, so the in-flight duplicate skip is exercised) and checks
+// the store ends dense and complete.
+func TestShardedConcurrentAddBatches(t *testing.T) {
+	s := pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3, 4, 5, 6, 7)},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3, 4, 5, 6, 7)},
+	)
+	const workers = 6
+	st := NewStoreSharded(s, 4)
+	all := make([]Entry, 64)
+	for x := range all {
+		out := pipeline.Succeed
+		if x%3 == 0 {
+			out = pipeline.Fail
+		}
+		all[x] = Entry{
+			Instance: pipeline.MustInstance(s, pipeline.Ord(float64(x%8)), pipeline.Ord(float64(x/8))),
+			Outcome:  out, Source: "b",
+		}
+	}
+	var wg sync.WaitGroup
+	total := 0
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker submits an overlapping window of the shared set.
+			lo := (w * 8) % len(all)
+			batch := append([]Entry(nil), all[lo:]...)
+			added, err := st.AddBatch(batch)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			total += added
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	// The windows cover the whole set (worker 0 submits everything), each
+	// instance commits exactly once across all batches, and the in-flight
+	// duplicate skip keeps added counts complementary.
+	if total != len(all) {
+		t.Fatalf("workers added %d records in total, want %d", total, len(all))
+	}
+	recs := st.Records()
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	if st.Len() != len(recs) || len(recs) != len(all) {
+		t.Fatalf("Len = %d, Records = %d, want %d", st.Len(), len(recs), len(all))
+	}
+	for _, e := range all {
+		out, ok := st.Lookup(e.Instance)
+		if !ok || out != e.Outcome {
+			t.Fatalf("Lookup(%v) = (%v,%v), want %v", e.Instance, out, ok, e.Outcome)
+		}
+	}
+}
+
+// TestEnsureIndexedRacesLookups is the -race stress for the
+// checkpoint-resume fast path: a store freshly loaded from a sorted run
+// serves concurrent identity Lookups while the first history queries
+// trigger the deferred base-index build. Run with -race this pins down the
+// ensureIndexed double-checked locking.
+func TestEnsureIndexedRacesLookups(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := randomProvenanceSpace(t, r)
+			seedSt := NewStore(s)
+			ins := fillRandomStore(t, r, s, seedSt, 64)
+			if len(ins) == 0 {
+				t.Skip("space too small to seed")
+			}
+			recs, hashes, seqs := buildSortedRun(seedSt)
+			st := NewStoreSharded(s, shards)
+			if err := st.LoadSortedRun(recs, hashes, seqs); err != nil {
+				t.Fatal(err)
+			}
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					<-start
+					for rounds := 0; rounds < 200; rounds++ {
+						in := ins[(w*131+rounds)%len(ins)]
+						if _, ok := st.Lookup(in); !ok {
+							t.Errorf("lookup missed a loaded instance")
+							return
+						}
+					}
+				}(w)
+			}
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					// First queries: these race the deferred index build.
+					succ, fail := st.Outcomes()
+					if succ+fail != len(recs) {
+						t.Errorf("Outcomes = %d+%d, want %d", succ, fail, len(recs))
+					}
+					st.CountSatisfying(predicate.Conjunction{})
+					st.DisjointSucceeding(ins[0])
+					if _, ok := st.FirstFailing(); ok {
+						st.Failing()
+					}
+				}()
+			}
+			close(start)
+			wg.Wait()
+		})
+	}
+}

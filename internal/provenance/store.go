@@ -10,42 +10,54 @@
 // per-(parameter, value-code) posting bitsets. History queries
 // (DisjointSucceeding, AnySucceedingSatisfying, CountSatisfying, ...) run
 // as bitset intersections instead of whole-log scans, and Snapshot exposes
-// a zero-copy read-only view of the log for bulk consumers.
+// a read-only view of the log for bulk consumers.
 //
-// Identity is two-tiered, LSM-style: records added one by one live in the
-// hash map, while a checkpoint bulk-load (LoadSortedRun) adopts its
-// hash-sorted run wholesale and serves identity probes by binary search,
-// deferring the outcome and posting indices to the first query that needs
-// them — so resuming a huge session builds no per-record index at all.
-// Either way the store behaves identically; the deferral is never
-// observable.
+// Internally the store is sharded by instance-hash range (NewStoreSharded;
+// NewStore builds a single shard, which behaves exactly like the historic
+// unsharded store). Each shard owns a lock, a slice of the log, both
+// identity tiers, and the outcome/posting indices, so concurrent writers
+// touching different shards proceed in parallel — the only global write
+// state is an atomic sequence counter and, when a sink is attached, a
+// small ordering mutex that keeps sink appends in sequence order.
+// Cross-shard queries merge per-shard results on the records' global
+// sequence numbers, so query results are identical at every shard count.
+//
+// Identity is two-tiered, LSM-style: records added one by one live in each
+// shard's hash map, while a checkpoint bulk-load (LoadSortedRun) splits
+// its hash-sorted run at the shard boundaries (a binary search per
+// boundary — shards are hash ranges) and adopts each sub-run wholesale,
+// serving identity probes by binary search and deferring the outcome and
+// posting indices to the first query that needs them — so resuming a huge
+// session builds no per-record index at all. Either way the store behaves
+// identically; the deferral is never observable.
 //
 // The store itself is volatile; durability is delegated to a pluggable
-// Sink. A sink's Append runs inside Add, under the store's write lock and
-// before the in-memory indices are updated, so a durable sink (the
-// segmented write-ahead log in internal/provlog) gives write-ahead
+// Sink. A sink's Append runs inside Add, under the store's write-ordering
+// lock and before the in-memory indices are updated, so a durable sink
+// (the segmented write-ahead log in internal/provlog) gives write-ahead
 // semantics: no record becomes queryable unless its log append succeeded,
 // and rebuilding a store by replaying the log reproduces the indices
 // exactly.
 //
 // Sinks that also implement StagedSink split the append into a staging
-// phase (under the write lock, cheap: frames are assembled into the sink's
-// pending commit group) and a durability wait (outside the lock), so
+// phase (under the locks, cheap: frames are assembled into the sink's
+// pending commit group) and a durability wait (outside every lock), so
 // concurrent Adds overlap in the expensive part — the sink's write+fsync —
-// instead of serializing it under the store lock. Records in flight are
+// instead of serializing it under a store lock. Records in flight are
 // tracked until durable and committed to the indices strictly in sequence
 // order; write-ahead semantics are preserved (a record is never queryable
-// before it is durable). AddBatch amortizes further: one lock acquisition,
-// one staged multi-record append, and one durability wait for a whole
-// hypothesis set.
+// before it is durable). AddBatch amortizes further: one pass over the
+// touched shards, one staged multi-record append, and one durability wait
+// for a whole hypothesis set.
 package provenance
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pipeline"
-	"repro/internal/predicate"
 )
 
 // Record is one provenance entry: an executed instance, its evaluation, the
@@ -58,21 +70,21 @@ type Record struct {
 }
 
 // Sink receives every record at the moment it is committed to a store.
-// Append is called with the store's write lock held, before the record
-// enters the in-memory log and indices: if Append fails, the Add fails and
-// the store is unchanged. Appends therefore arrive exactly in sequence
-// order, without duplicates, and a sink that persists them (internal/
-// provlog) is a write-ahead log of the store. Sinks that also implement
-// StagedSink take the staged path instead: Append is bypassed in favor of
-// Stage plus an out-of-lock durability wait.
+// Append is called with the store's write-ordering lock held, before the
+// record enters the in-memory log and indices: if Append fails, the Add
+// fails and the store is unchanged. Appends therefore arrive exactly in
+// sequence order, without duplicates, and a sink that persists them
+// (internal/provlog) is a write-ahead log of the store. Sinks that also
+// implement StagedSink take the staged path instead: Append is bypassed in
+// favor of Stage plus an out-of-lock durability wait.
 type Sink interface {
 	Append(Record) error
 }
 
 // StagedSink is an optional Sink extension for group durability. Stage is
-// called under the store's write lock with a batch of records in sequence
-// order; it must buffer them cheaply and return a wait function. The store
-// releases its write lock and then calls wait, which blocks until the
+// called under the store's write-ordering lock with a batch of records in
+// sequence order; it must buffer them cheaply and return a wait function.
+// The store releases its locks and then calls wait, which blocks until the
 // staged records are durable (typically coalesced with concurrently staged
 // records into one write and one fsync — see internal/provlog's
 // group-commit). A non-nil error from wait means none of the staged records
@@ -102,98 +114,180 @@ type stagedRec struct {
 }
 
 // Store is an append-only, thread-safe provenance log over a single
-// parameter space. Duplicate instances are rejected: the evaluation model
-// is deterministic (Definition 2), so one record per instance suffices.
+// parameter space, sharded internally by instance-hash range. Duplicate
+// instances are rejected: the evaluation model is deterministic
+// (Definition 2), so one record per instance suffices.
+//
+// Global sequence numbers come from a single atomic counter; every other
+// piece of write state is per shard, so the write path serializes only
+// within a hash range (plus the sink ordering when one is attached).
+// Cross-shard read queries merge per-shard results by sequence number.
+// Once writers quiesce, every query returns exactly what a single-shard
+// store would. WHILE multi-shard writes are in flight, Snapshot (and
+// Records) observe a consistent dense prefix of the log — they truncate
+// at the first not-yet-committed sequence — but the counting and
+// enumerating queries lock shards one at a time and may transiently count
+// a record whose lower-sequence sibling on another shard has not
+// committed yet; callers needing a frontier-exact view under concurrent
+// writes should query a Snapshot. The algorithm drivers never do
+// mid-round reads, so they always see the quiescent (exact) behavior.
 type Store struct {
-	mu    sync.RWMutex
-	space *pipeline.Space
-	log   []Record
-	sink  Sink
+	space  *pipeline.Space
+	shards []shard
+	shift  uint // shard s covers hashes [s << shift, (s+1) << shift); 64 when there is one shard
 
-	// byKey maps instance identity to log position (hash-bucketed with
-	// Equal confirmation; see pipeline.InstanceMap). Records adopted as a
-	// base run (LoadSortedRun) are not in byKey: identity probes for them
-	// binary-search the baseHash/baseSeq arrays instead, LSM-style, so a
-	// checkpoint load never pays to build a hash index.
-	byKey *pipeline.InstanceMap[int32]
+	// seq is the next global sequence number to assign: committed records
+	// plus records in flight on the staged path. Assignment happens under
+	// the owning shard's lock (volatile stores) or under wmu (stores with
+	// a sink, whose append order must match sequence order).
+	seq atomic.Int64
 
-	// The base run: a log prefix adopted from a sorted checkpoint.
-	// baseHash is ascending; baseSeq[i] is the log position of the record
-	// whose instance hashes to baseHash[i] (ties ordered by seq).
-	// baseUnindexed is the length of the base prefix whose outcome and
-	// posting indices have not been built yet: LoadSortedRun defers them,
-	// and the first query that needs them triggers indexBaseLocked. The
-	// memoization path (Lookup) never does — resuming a session stays
-	// index-free until a history query actually runs.
-	baseHash      []uint64
-	baseSeq       []int32
-	baseUnindexed int
+	// wmu orders the sink-facing write path: sequence assignment and sink
+	// Append/Stage calls happen under it, so the sink observes records
+	// exactly in sequence order — the WAL stream position is the implicit
+	// sequence number. It is acquired after the shard locks, never before,
+	// and is not taken at all on the sink-less fast path.
+	wmu      sync.Mutex
+	sink     Sink
+	stageErr error       // set on staged-sink failure; poisons writes (reads stay valid)
+	poisoned atomic.Bool // mirrors stageErr != nil for the lock-free fast path
+	stageOne [1]Record   // single-record staging scratch, used under wmu
 
-	// Staged-commit state (StagedSink path): records whose sink append has
-	// been staged but whose durability is still pending. nextSeq is the
-	// next sequence to assign — len(log) plus the records in flight.
-	// stagedByH buckets the in-flight records by instance hash for the
-	// duplicate check; staged keeps them in sequence order for the drain.
-	nextSeq   int
-	staged    []*stagedRec
-	stagedByH map[uint64][]*stagedRec
-	stageOne  [1]Record // single-record staging scratch, used under mu
-	stageErr  error     // set on staged-sink failure; poisons writes (reads stay valid)
-
-	// Outcome partitions: sequence lists preserve execution order for
-	// O(matches) enumeration; bitsets drive the boolean-algebra queries.
-	succSeqs, failSeqs []int32
-	succBits, failBits bitset
-
-	// posting[i][c] holds the records whose parameter i has value-code c.
-	posting [][]bitset
+	// one is the inline backing array of the single-shard case: shards
+	// aliases it, so the shard's lock and indices live in the Store's own
+	// allocation — the memoization Lookup pays no extra pointer chase over
+	// the historic unsharded layout. Sharded stores allocate instead.
+	one [1]shard
 }
 
-// NewStore creates an empty store for instances of space s.
-func NewStore(s *pipeline.Space) *Store {
-	return &Store{
-		space:   s,
-		byKey:   pipeline.NewInstanceMap[int32](0),
-		posting: make([][]bitset, s.Len()),
+// shardCount normalizes a requested shard count: at least one, rounded up
+// to a power of two, clamped to MaxShards.
+func shardCount(n int) int {
+	k := 1
+	for k < n && k < MaxShards {
+		k <<= 1
 	}
+	return k
 }
 
-// NewStoreWithCapacity creates an empty store pre-sized for about n
-// records, so bulk loaders (log replay, codecs) skip the incremental growth
-// of the log, the identity map, and the outcome indices.
+// NewStore creates an empty single-shard store for instances of space s —
+// the historic unsharded store. Use NewStoreSharded when many workers
+// write concurrently.
+func NewStore(s *pipeline.Space) *Store {
+	return NewStoreSharded(s, 1)
+}
+
+// NewStoreSharded creates an empty store for instances of space s, sharded
+// into the given number of hash ranges (rounded up to a power of two,
+// clamped to [1, MaxShards]). Sharding changes only contention: every
+// query returns exactly what the single-shard store would.
+func NewStoreSharded(s *pipeline.Space, shards int) *Store {
+	return newStore(s, shards, 0)
+}
+
+// NewStoreWithCapacity creates an empty single-shard store pre-sized for
+// about n records, so bulk loaders (log replay, codecs) skip the
+// incremental growth of the log, the identity map, and the outcome
+// indices.
 func NewStoreWithCapacity(s *pipeline.Space, n int) *Store {
-	st := NewStore(s)
+	return newStore(s, 1, n)
+}
+
+// NewStoreShardedWithCapacity combines NewStoreSharded and
+// NewStoreWithCapacity: the capacity hint is split evenly across shards.
+func NewStoreShardedWithCapacity(s *pipeline.Space, shards, n int) *Store {
+	return newStore(s, shards, n)
+}
+
+func newStore(s *pipeline.Space, shards, n int) *Store {
+	k := shardCount(shards)
+	st := &Store{
+		space: s,
+		shift: uint(64 - bitsFor(k)),
+	}
+	if k == 1 {
+		st.shards = st.one[:]
+	} else {
+		st.shards = make([]shard, k)
+	}
+	per := 0
 	if n > 0 {
-		st.log = make([]Record, 0, n)
-		st.byKey = pipeline.NewInstanceMap[int32](n)
-		st.succSeqs = make([]int32, 0, n)
-		st.failSeqs = make([]int32, 0, n)
-		st.succBits = make(bitset, 0, n/64+1)
-		st.failBits = make(bitset, 0, n/64+1)
+		per = n/k + 1
+	}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.posting = make([][]bitset, s.Len())
+		if per > 0 {
+			sh.recs = make([]Record, 0, per)
+			sh.byKey = pipeline.NewInstanceMap[int32](per)
+			sh.succSeqs = make([]int32, 0, per)
+			sh.failSeqs = make([]int32, 0, per)
+			sh.succBits = make(bitset, 0, per/64+1)
+			sh.failBits = make(bitset, 0, per/64+1)
+		} else {
+			sh.byKey = pipeline.NewInstanceMap[int32](0)
+		}
 	}
 	return st
+}
+
+// bitsFor returns log2 of a power-of-two shard count.
+func bitsFor(k int) int {
+	b := 0
+	for 1<<b < k {
+		b++
+	}
+	return b
 }
 
 // Space returns the parameter space the store records instances of.
 func (st *Store) Space() *pipeline.Space { return st.space }
 
+// Shards returns the store's shard count (a power of two; 1 for stores
+// built by NewStore).
+func (st *Store) Shards() int { return len(st.shards) }
+
 // SetSink attaches a durability sink; every subsequent Add appends to it
 // before committing to memory. Passing nil detaches the current sink.
 // SetSink is not meant to race with Adds: attach the sink before handing
-// the store to the executor.
+// the store to the executor. Detaching a sink does not lift a write poison
+// left by a staged-sink failure — the burned sequence numbers make later
+// writes uncommittable regardless of the sink.
 func (st *Store) SetSink(sink Sink) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
 	st.sink = sink
 }
 
+// poisonLocked marks the store write-poisoned after a staged-sink failure:
+// the failed records' sequence numbers are burned (later staged records may
+// already hold higher ones), so no later record could ever commit at its
+// assigned position. Reads and already-committed records stay valid. The
+// caller holds wmu.
+func (st *Store) poisonLocked(cause error) {
+	if st.stageErr == nil {
+		st.stageErr = fmt.Errorf("provenance: store write-poisoned by sink failure: %w", cause)
+		st.poisoned.Store(true)
+	}
+}
+
+// poisonErr returns the poison error, if any.
+func (st *Store) poisonErr() error {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	return st.stageErr
+}
+
 // Add appends a record and updates every index. It fails for instances of
-// a different space, for unknown outcomes, and for instances already
-// recorded (deterministic evaluation makes duplicates meaningless).
+// a different space, for unknown outcomes, for instances already recorded
+// (deterministic evaluation makes duplicates meaningless), and — on every
+// sink configuration, including none — for stores write-poisoned by an
+// earlier staged-sink failure.
 //
-// With a StagedSink attached, the durability wait happens outside the
-// store's write lock, so concurrent Adds coalesce into the sink's commit
-// groups instead of serializing one fsync each under the lock.
+// With a StagedSink attached, the durability wait happens outside every
+// lock, so concurrent Adds coalesce into the sink's commit groups instead
+// of serializing one fsync each under a lock. Without a sink, Adds to
+// different hash-range shards share nothing but one atomic increment.
 func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) error {
 	if in.Space() != st.space {
 		return fmt.Errorf("provenance: instance belongs to a different space")
@@ -201,42 +295,54 @@ func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) 
 	if out != pipeline.Succeed && out != pipeline.Fail {
 		return fmt.Errorf("provenance: cannot record outcome %v", out)
 	}
-	st.mu.Lock()
-	if _, dup := st.lookupSeqLocked(in); dup {
-		st.mu.Unlock()
+	sh := st.shardOf(in.Hash())
+	sh.mu.Lock()
+	if _, dup := sh.lookupPosLocked(in); dup {
+		sh.mu.Unlock()
 		return fmt.Errorf("provenance: instance %v already recorded", in)
 	}
-	ss, ok := st.sink.(StagedSink)
-	if !ok {
-		defer st.mu.Unlock()
-		rec := Record{Seq: st.nextSeq, Instance: in, Outcome: out, Source: source}
-		if st.sink != nil {
-			// Write-ahead: the record must be durable before it is queryable.
-			if err := st.sink.Append(rec); err != nil {
-				return fmt.Errorf("provenance: sink: %w", err)
-			}
+	if st.sink == nil {
+		// Sink-less fast path: no global lock, just the sequence counter.
+		if st.poisoned.Load() {
+			sh.mu.Unlock()
+			return st.poisonErr()
 		}
-		st.nextSeq++
-		st.commitRecordLocked(rec)
+		seq := int(st.seq.Add(1)) - 1
+		st.commitLocked(sh, Record{Seq: seq, Instance: in, Outcome: out, Source: source})
+		sh.mu.Unlock()
 		return nil
 	}
-	if st.stageErr != nil {
-		err := st.stageErr
-		st.mu.Unlock()
-		return err
+	ss, staged := st.sink.(StagedSink)
+	if !staged {
+		st.wmu.Lock()
+		if err := st.stageErr; err != nil {
+			st.wmu.Unlock()
+			sh.mu.Unlock()
+			return err
+		}
+		rec := Record{Seq: int(st.seq.Load()), Instance: in, Outcome: out, Source: source}
+		// Write-ahead: the record must be durable before it is queryable.
+		if err := st.sink.Append(rec); err != nil {
+			st.wmu.Unlock()
+			sh.mu.Unlock()
+			return fmt.Errorf("provenance: sink: %w", err)
+		}
+		st.seq.Add(1)
+		st.wmu.Unlock()
+		st.commitLocked(sh, rec)
+		sh.mu.Unlock()
+		return nil
 	}
-	if e := st.stagedLookupLocked(in); e != nil {
+	if e := sh.stagedLookupLocked(in); e != nil {
 		// The same instance is in flight on another goroutine; wait for its
 		// fate so the caller's follow-up Lookup sees the committed record.
 		// (e's fields are settled before done closes, so the unlocked reads
 		// below are safe.)
 		done := e.done
-		st.mu.Unlock()
+		sh.mu.Unlock()
 		<-done
 		if e.failed {
-			st.mu.Lock()
-			err := st.stageErr
-			st.mu.Unlock()
+			err := st.poisonErr()
 			if err == nil {
 				err = fmt.Errorf("provenance: concurrent write of %v failed", in)
 			}
@@ -244,52 +350,66 @@ func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) 
 		}
 		return fmt.Errorf("provenance: instance %v already recorded", in)
 	}
-	st.stageOne[0] = Record{Seq: st.nextSeq, Instance: in, Outcome: out, Source: source}
+	st.wmu.Lock()
+	if err := st.stageErr; err != nil {
+		st.wmu.Unlock()
+		sh.mu.Unlock()
+		return err
+	}
+	st.stageOne[0] = Record{Seq: int(st.seq.Load()), Instance: in, Outcome: out, Source: source}
 	wait, err := ss.Stage(st.stageOne[:1])
 	if err != nil {
-		st.mu.Unlock()
+		st.wmu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("provenance: sink: %w", err)
 	}
 	e := &stagedRec{rec: st.stageOne[0], done: make(chan struct{})}
-	st.nextSeq++
-	st.stagePushLocked(e)
-	st.mu.Unlock()
+	st.seq.Add(1)
+	st.wmu.Unlock()
+	sh.stagePushLocked(e)
+	sh.mu.Unlock()
 
 	werr := wait()
 
-	st.mu.Lock()
+	if werr != nil {
+		st.wmu.Lock()
+		st.poisonLocked(werr)
+		st.wmu.Unlock()
+	}
+	sh.mu.Lock()
 	if werr != nil {
 		e.failed = true
-		st.poisonLocked(werr)
 	} else {
 		e.durable = true
 	}
-	st.drainStagedLocked()
-	st.mu.Unlock()
+	st.drainStagedLocked(sh)
+	sh.mu.Unlock()
 	if werr != nil {
 		return fmt.Errorf("provenance: sink: %w", werr)
 	}
 	return nil
 }
 
-// AddBatch records a batch of evaluations with one lock acquisition and —
-// when the sink supports staging — one multi-record sink append and one
-// durability wait for the whole batch. Entries whose instance is already
-// recorded (or duplicated within the batch, or in flight on another
-// goroutine) are skipped, not errors: batch callers dedupe against
-// memoized history up front, but races with concurrent evaluations of the
-// same instance are benign and the earlier record is authoritative. An
-// entry skipped as in flight counts on its winner: should the winner's
-// commit window then fail, that record is lost — but every such failure
-// write-poisons the store, so the session is already terminal and no later
-// write can silently diverge. It
-// returns how many entries were added.
+// AddBatch records a batch of evaluations with one pass over the touched
+// shards and — when the sink supports staging — one multi-record sink
+// append and one durability wait for the whole batch. Entries whose
+// instance is already recorded (or duplicated within the batch, or in
+// flight on another goroutine) are skipped, not errors: batch callers
+// dedupe against memoized history up front, but races with concurrent
+// evaluations of the same instance are benign and the earlier record is
+// authoritative. An entry skipped as in flight counts on its winner:
+// should the winner's commit window then fail, that record is lost — but
+// every such failure write-poisons the store, so the session is already
+// terminal and no later write can silently diverge. It returns how many
+// entries were added.
 //
+// Sequence numbers are assigned to the surviving entries in input order.
 // Validation errors (wrong space, unknown outcome) reject the whole batch
-// before anything is staged. A sink failure on the staged path commits
-// nothing; on the plain-Sink path entries are appended one by one and a
-// failure stops the batch, with the already-appended prefix committed —
-// added reports exactly how many.
+// before anything is staged, as does a store write-poisoned by an earlier
+// staged-sink failure. A sink failure on the staged path commits nothing;
+// on the plain-Sink path entries are appended one by one and a failure
+// stops the batch, with the already-appended prefix committed — added
+// reports exactly how many.
 func (st *Store) AddBatch(entries []Entry) (added int, err error) {
 	for i := range entries {
 		if entries[i].Instance.Space() != st.space {
@@ -299,196 +419,239 @@ func (st *Store) AddBatch(entries []Entry) (added int, err error) {
 			return 0, fmt.Errorf("provenance: entry %d: cannot record outcome %v", i, o)
 		}
 	}
-	st.mu.Lock()
-	ss, staged := st.sink.(StagedSink)
-	if !staged {
-		defer st.mu.Unlock()
+	// Single-shard volatile fast path: one lock, one pass, commits dedupe
+	// the batch as they land — no grouping scaffolding. This is the
+	// default store's hot batch path (BenchmarkStoreAddBatch) and keeps
+	// its historic cost.
+	if len(st.shards) == 1 && st.sink == nil {
+		sh := &st.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if st.poisoned.Load() {
+			return 0, st.poisonErr()
+		}
 		for i := range entries {
 			in := entries[i].Instance
-			if _, dup := st.lookupSeqLocked(in); dup {
+			if _, dup := sh.lookupPosLocked(in); dup {
 				continue
 			}
-			rec := Record{Seq: st.nextSeq, Instance: in, Outcome: entries[i].Outcome, Source: entries[i].Source}
-			if st.sink != nil {
-				if err := st.sink.Append(rec); err != nil {
-					return added, fmt.Errorf("provenance: sink: %w", err)
-				}
+			if sh.stagedLookupLocked(in) != nil {
+				continue
 			}
-			st.nextSeq++
-			st.commitRecordLocked(rec)
+			st.commitLocked(sh, Record{
+				Seq: int(st.seq.Add(1)) - 1, Instance: in,
+				Outcome: entries[i].Outcome, Source: entries[i].Source,
+			})
 			added++
 		}
 		return added, nil
 	}
 
-	if st.stageErr != nil {
-		err := st.stageErr
-		st.mu.Unlock()
+	// Group entries by shard, preserving input order within each group,
+	// and lock the touched shards in index order (the global lock order)
+	// for the duplicate checks. The locks stay held until the entries are
+	// committed or staged, so no concurrent writer can slip a duplicate in
+	// between check and commit.
+	groups := make([][]int, len(st.shards))
+	for i := range entries {
+		s := st.shardIndex(entries[i].Instance.Hash())
+		groups[s] = append(groups[s], i)
+	}
+	touched := make([]int, 0, len(st.shards))
+	for s := range groups {
+		if len(groups[s]) > 0 {
+			touched = append(touched, s)
+		}
+	}
+	for _, s := range touched {
+		st.shards[s].mu.Lock()
+	}
+	unlockAll := func() {
+		for _, s := range touched {
+			st.shards[s].mu.Unlock()
+		}
+	}
+
+	seen := pipeline.NewInstanceMap[struct{}](len(entries))
+	keep := make([]bool, len(entries))
+	survivors := 0
+	for _, s := range touched {
+		sh := &st.shards[s]
+		for _, i := range groups[s] {
+			in := entries[i].Instance
+			if _, dup := sh.lookupPosLocked(in); dup {
+				continue
+			}
+			if sh.stagedLookupLocked(in) != nil {
+				continue
+			}
+			if !seen.Put(in, struct{}{}) {
+				continue
+			}
+			keep[i] = true
+			survivors++
+		}
+	}
+
+	if st.sink == nil {
+		if st.poisoned.Load() {
+			unlockAll()
+			return 0, st.poisonErr()
+		}
+		if survivors == 0 {
+			unlockAll()
+			return 0, nil
+		}
+		// Assign sequences in input order, then commit shard by shard,
+		// releasing each shard as its commits finish so concurrent batches
+		// pipeline across the shards instead of serializing end to end.
+		base := int(st.seq.Add(int64(survivors))) - survivors
+		seqOf := make([]int, len(entries))
+		n := base
+		for i := range entries {
+			if keep[i] {
+				seqOf[i] = n
+				n++
+			}
+		}
+		for _, s := range touched {
+			sh := &st.shards[s]
+			for _, i := range groups[s] {
+				if keep[i] {
+					st.commitLocked(sh, Record{
+						Seq: seqOf[i], Instance: entries[i].Instance,
+						Outcome: entries[i].Outcome, Source: entries[i].Source,
+					})
+				}
+			}
+			sh.mu.Unlock()
+		}
+		return survivors, nil
+	}
+
+	ss, staged := st.sink.(StagedSink)
+	if !staged {
+		st.wmu.Lock()
+		if err := st.stageErr; err != nil {
+			st.wmu.Unlock()
+			unlockAll()
+			return 0, err
+		}
+		for i := range entries {
+			if !keep[i] {
+				continue
+			}
+			rec := Record{
+				Seq: int(st.seq.Load()), Instance: entries[i].Instance,
+				Outcome: entries[i].Outcome, Source: entries[i].Source,
+			}
+			if err := st.sink.Append(rec); err != nil {
+				st.wmu.Unlock()
+				unlockAll()
+				return added, fmt.Errorf("provenance: sink: %w", err)
+			}
+			st.seq.Add(1)
+			st.commitLocked(st.shardOf(rec.Instance.Hash()), rec)
+			added++
+		}
+		st.wmu.Unlock()
+		unlockAll()
+		return added, nil
+	}
+
+	st.wmu.Lock()
+	if err := st.stageErr; err != nil {
+		st.wmu.Unlock()
+		unlockAll()
 		return 0, err
 	}
-	recs := make([]Record, 0, len(entries))
-	seen := pipeline.NewInstanceMap[struct{}](len(entries))
+	if survivors == 0 {
+		st.wmu.Unlock()
+		unlockAll()
+		return 0, nil
+	}
+	recs := make([]Record, 0, survivors)
+	base := int(st.seq.Load())
 	for i := range entries {
-		in := entries[i].Instance
-		if _, dup := st.lookupSeqLocked(in); dup {
-			continue
-		}
-		if st.stagedLookupLocked(in) != nil {
-			continue
-		}
-		if !seen.Put(in, struct{}{}) {
+		if !keep[i] {
 			continue
 		}
 		recs = append(recs, Record{
-			Seq: st.nextSeq + len(recs), Instance: in,
+			Seq: base + len(recs), Instance: entries[i].Instance,
 			Outcome: entries[i].Outcome, Source: entries[i].Source,
 		})
 	}
-	if len(recs) == 0 {
-		st.mu.Unlock()
-		return 0, nil
-	}
 	wait, err := ss.Stage(recs)
 	if err != nil {
-		st.mu.Unlock()
+		st.wmu.Unlock()
+		unlockAll()
 		return 0, fmt.Errorf("provenance: sink: %w", err)
 	}
-	es := make([]*stagedRec, len(recs))
-	for i, rec := range recs {
-		es[i] = &stagedRec{rec: rec, done: make(chan struct{})}
-		st.stagePushLocked(es[i])
+	st.seq.Add(int64(survivors))
+	esByShard := make([][]*stagedRec, len(st.shards))
+	for _, rec := range recs {
+		e := &stagedRec{rec: rec, done: make(chan struct{})}
+		s := st.shardIndex(rec.Instance.Hash())
+		st.shards[s].stagePushLocked(e)
+		esByShard[s] = append(esByShard[s], e)
 	}
-	st.nextSeq += len(recs)
-	st.mu.Unlock()
+	st.wmu.Unlock()
+	unlockAll()
 
 	werr := wait()
 
-	st.mu.Lock()
 	if werr != nil {
+		st.wmu.Lock()
 		st.poisonLocked(werr)
+		st.wmu.Unlock()
 	}
-	for _, e := range es {
-		if werr != nil {
-			e.failed = true
-		} else {
-			e.durable = true
+	for _, s := range touched {
+		sh := &st.shards[s]
+		sh.mu.Lock()
+		for _, e := range esByShard[s] {
+			if werr != nil {
+				e.failed = true
+			} else {
+				e.durable = true
+			}
 		}
+		st.drainStagedLocked(sh)
+		sh.mu.Unlock()
 	}
-	st.drainStagedLocked()
-	st.mu.Unlock()
 	if werr != nil {
 		return 0, fmt.Errorf("provenance: sink: %w", werr)
 	}
 	return len(recs), nil
 }
 
-// poisonLocked marks the store write-poisoned after a staged-sink failure:
-// the failed records' sequence numbers are burned (later staged records may
-// already hold higher ones), so no later record could ever commit at its
-// assigned position. Reads and already-committed records stay valid.
-func (st *Store) poisonLocked(cause error) {
-	if st.stageErr == nil {
-		st.stageErr = fmt.Errorf("provenance: store write-poisoned by sink failure: %w", cause)
+// lockAll acquires every shard lock in index order (the global lock order)
+// and returns the matching unlock.
+func (st *Store) lockAll() (unlock func()) {
+	for i := range st.shards {
+		st.shards[i].mu.Lock()
 	}
-}
-
-// commitRecordLocked appends a record to the log and updates every index.
-// The caller holds the write lock and guarantees rec.Seq == len(st.log).
-func (st *Store) commitRecordLocked(rec Record) {
-	seq := rec.Seq
-	st.byKey.Put(rec.Instance, int32(seq))
-	st.log = append(st.log, rec)
-	if rec.Outcome == pipeline.Succeed {
-		st.succSeqs = append(st.succSeqs, int32(seq))
-	} else {
-		st.failSeqs = append(st.failSeqs, int32(seq))
-	}
-	st.indexRecordBitsLocked(&rec)
-}
-
-// indexRecordBitsLocked sets the positional indices — the outcome bitset
-// and the per-(parameter, code) postings — for one record. It is the
-// single home of the posting-growth rule; the ordered seq lists are
-// maintained by the callers, which differ in where they append.
-func (st *Store) indexRecordBitsLocked(r *Record) {
-	seq := r.Seq
-	if r.Outcome == pipeline.Succeed {
-		st.succBits.set(seq)
-	} else {
-		st.failBits.set(seq)
-	}
-	for i := 0; i < st.space.Len(); i++ {
-		c := int(r.Instance.Code(i))
-		for len(st.posting[i]) <= c {
-			st.posting[i] = append(st.posting[i], nil)
+	return func() {
+		for i := range st.shards {
+			st.shards[i].mu.Unlock()
 		}
-		st.posting[i][c].set(seq)
-	}
-}
-
-// stagedLookupLocked returns the in-flight staged record for in, if any.
-func (st *Store) stagedLookupLocked(in pipeline.Instance) *stagedRec {
-	for _, e := range st.stagedByH[in.Hash()] {
-		if e.rec.Instance.Equal(in) {
-			return e
-		}
-	}
-	return nil
-}
-
-// stagePushLocked registers a staged record for the duplicate check and the
-// sequence-ordered drain.
-func (st *Store) stagePushLocked(e *stagedRec) {
-	if st.stagedByH == nil {
-		st.stagedByH = make(map[uint64][]*stagedRec)
-	}
-	st.staged = append(st.staged, e)
-	h := e.rec.Instance.Hash()
-	st.stagedByH[h] = append(st.stagedByH[h], e)
-}
-
-// drainStagedLocked commits the resolved prefix of the staged set. Records
-// become durable strictly in sequence order (commit groups flush the
-// pending buffer wholesale), but the goroutines observing the flush reach
-// the lock in any order, so each marks its own records and drains whatever
-// contiguous prefix has been resolved — later records wait for their
-// predecessors' (already awake) goroutines. Failed records drop without
-// committing; nothing behind a failure can be durable, because a group
-// flush failure poisons the sink and every later wait fails too.
-func (st *Store) drainStagedLocked() {
-	for len(st.staged) > 0 {
-		e := st.staged[0]
-		if !e.durable && !e.failed {
-			return
-		}
-		st.staged = st.staged[1:]
-		h := e.rec.Instance.Hash()
-		bucket := st.stagedByH[h]
-		for i := range bucket {
-			if bucket[i] == e {
-				st.stagedByH[h] = append(bucket[:i], bucket[i+1:]...)
-				break
-			}
-		}
-		if len(st.stagedByH[h]) == 0 {
-			delete(st.stagedByH, h)
-		}
-		if e.durable && e.rec.Seq == len(st.log) {
-			st.commitRecordLocked(e.rec)
-		}
-		close(e.done)
 	}
 }
 
 // loadValidateLocked shares the up-front checks of the two bulk loaders.
+// The caller holds every shard lock.
 func (st *Store) loadValidateLocked(recs []Record) error {
 	if st.sink != nil {
 		return fmt.Errorf("provenance: bulk load on a store with a sink attached")
 	}
-	if len(st.staged) > 0 {
-		return fmt.Errorf("provenance: bulk load with staged writes in flight")
+	if st.poisoned.Load() {
+		return st.poisonErr()
 	}
-	base := len(st.log)
+	for i := range st.shards {
+		if len(st.shards[i].staged) > 0 {
+			return fmt.Errorf("provenance: bulk load with staged writes in flight")
+		}
+	}
+	base := int(st.seq.Load())
 	for i := range recs {
 		r := &recs[i]
 		if r.Instance.Space() != st.space {
@@ -504,57 +667,31 @@ func (st *Store) loadValidateLocked(recs []Record) error {
 	return nil
 }
 
-// loadIndexLocked appends recs to the log (adopting the slice wholesale
-// when the log is empty) and builds the outcome and posting indices.
-// Identity indexing is left to the caller — the hash map for LoadRecords,
-// the sorted base run for LoadSortedRun.
-func (st *Store) loadIndexLocked(recs []Record) {
-	if len(st.log) == 0 {
-		st.log = recs
-	} else {
-		st.log = append(st.log, recs...)
-	}
-	if cap(st.succSeqs) == 0 {
-		st.succSeqs = make([]int32, 0, len(recs))
-		st.failSeqs = make([]int32, 0, len(recs))
-	}
-	for i := range recs {
-		r := &recs[i]
-		if r.Outcome == pipeline.Succeed {
-			st.succSeqs = append(st.succSeqs, int32(r.Seq))
-		} else {
-			st.failSeqs = append(st.failSeqs, int32(r.Seq))
-		}
-		st.indexRecordBitsLocked(r)
-		st.nextSeq++
-	}
-}
-
 // LoadRecords bulk-commits a batch of already-durable records into the
-// store under one lock acquisition, without touching the sink. The records
-// must continue the log exactly: sequence numbers dense from Len() in
-// slice order, instances of the store's space, no duplicates, known
-// outcomes. Loading is equivalent to Add-ing the records in order (the
-// indices come out identical), minus the per-record locking and sink
-// staging. The store takes ownership of the slice when it is empty;
-// callers must not modify it afterwards.
+// store without touching the sink. The records must continue the log
+// exactly: sequence numbers dense from Len() in slice order, instances of
+// the store's space, no duplicates, known outcomes. Loading is equivalent
+// to Add-ing the records in order (the indices come out identical), minus
+// the sink staging.
 //
 // LoadRecords refuses stores with a sink attached (the records would
 // silently skip durability) or with staged writes in flight. On error the
 // store may be partially loaded and must be discarded; bulk loaders open a
 // fresh store per attempt.
 func (st *Store) LoadRecords(recs []Record) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	unlock := st.lockAll()
+	defer unlock()
 	if err := st.loadValidateLocked(recs); err != nil {
 		return err
 	}
 	for i := range recs {
-		if !st.byKey.Put(recs[i].Instance, int32(recs[i].Seq)) {
+		sh := st.shardOf(recs[i].Instance.Hash())
+		if _, dup := sh.lookupPosLocked(recs[i].Instance); dup {
 			return fmt.Errorf("provenance: record %d: instance %v already recorded", i, recs[i].Instance)
 		}
+		st.commitLocked(sh, recs[i])
 	}
-	st.loadIndexLocked(recs)
+	st.seq.Add(int64(len(recs)))
 	return nil
 }
 
@@ -571,19 +708,27 @@ func (st *Store) LoadRecords(recs []Record) error {
 // deferred base build merges in front of them (base sequences all precede
 // post-load ones, and bitsets are positional).
 //
+// On a sharded store the run splits at the shard boundaries — shards are
+// hash ranges and the run is hash-sorted, so each boundary is one binary
+// search — and every shard adopts its sub-run independently and in
+// parallel, re-sorted into sequence order. Single-shard stores adopt all
+// three slices wholesale, copying nothing.
+//
 // The store takes ownership of all three slices. The caller vouches that
 // hashes are the records' instance hashes (internal/provlog verifies them
 // against the CRC-protected rows); sortedness is verified here, and
 // duplicate instances surface as a verification error since equal
 // instances hash adjacently.
 func (st *Store) LoadSortedRun(recs []Record, hashes []uint64, seqs []int32) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	unlock := st.lockAll()
+	defer unlock()
 	if err := st.loadValidateLocked(recs); err != nil {
 		return err
 	}
-	if len(st.log) != 0 || len(st.baseHash) != 0 {
-		return fmt.Errorf("provenance: LoadSortedRun into a non-empty store")
+	for i := range st.shards {
+		if len(st.shards[i].recs) != 0 || len(st.shards[i].baseHash) != 0 {
+			return fmt.Errorf("provenance: LoadSortedRun into a non-empty store")
+		}
 	}
 	if len(hashes) != len(recs) || len(seqs) != len(recs) {
 		return fmt.Errorf("provenance: sorted run has %d hashes and %d seqs for %d records",
@@ -601,376 +746,97 @@ func (st *Store) LoadSortedRun(recs []Record, hashes []uint64, seqs []int32) err
 			return fmt.Errorf("provenance: sorted run holds instance %v twice", recs[seqs[i]].Instance)
 		}
 	}
-	st.baseHash, st.baseSeq = hashes, seqs
-	st.log = recs
-	st.nextSeq = len(recs)
-	st.baseUnindexed = len(recs)
+	if len(st.shards) == 1 {
+		sh := &st.shards[0]
+		sh.recs = recs
+		sh.baseHash, sh.baseSeq = hashes, seqs
+		sh.baseUnindexed = len(recs)
+		st.seq.Store(int64(len(recs)))
+		return nil
+	}
+	// Split the run at the hash-range boundaries and adopt each sub-run in
+	// parallel; the shards' sequence sets are disjoint, so one scratch
+	// array serves every adoption.
+	k := len(st.shards)
+	bounds := make([]int, k+1)
+	for s := 1; s < k; s++ {
+		limit := uint64(s) << st.shift
+		bounds[s] = sort.Search(len(hashes), func(i int) bool { return hashes[i] >= limit })
+	}
+	bounds[k] = len(hashes)
+	scratch := make([]int32, len(recs))
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard, lo, hi int) {
+			defer wg.Done()
+			sh.adoptRun(recs, hashes, seqs, lo, hi, scratch)
+		}(&st.shards[s], lo, hi)
+	}
+	wg.Wait()
+	st.seq.Store(int64(len(recs)))
 	return nil
 }
 
-// ensureIndexed builds the deferred base-run indices if the store has any.
-// Every query that reads the outcome or posting indices calls it before
-// taking the read lock.
+// ensureIndexed builds the deferred base-run indices on every shard that
+// still has some. Every query that reads the outcome or posting indices
+// calls it before taking the read locks.
 func (st *Store) ensureIndexed() {
-	st.mu.RLock()
-	n := st.baseUnindexed
-	st.mu.RUnlock()
-	if n == 0 {
-		return
-	}
-	st.mu.Lock()
-	st.indexBaseLocked()
-	st.mu.Unlock()
-}
-
-// indexBaseLocked indexes the deferred base prefix: outcome sequence lists
-// are built for it and prepended to whatever post-load records have
-// already indexed (base sequences all precede them), and the positional
-// bitsets — outcome and posting — are or-ed in place.
-func (st *Store) indexBaseLocked() {
-	n := st.baseUnindexed
-	if n == 0 {
-		return
-	}
-	st.baseUnindexed = 0
-	baseSucc := make([]int32, 0, n)
-	baseFail := make([]int32, 0, n)
-	for seq := 0; seq < n; seq++ {
-		r := &st.log[seq]
-		if r.Outcome == pipeline.Succeed {
-			baseSucc = append(baseSucc, int32(seq))
-		} else {
-			baseFail = append(baseFail, int32(seq))
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n := sh.baseUnindexed
+		sh.mu.RUnlock()
+		if n == 0 {
+			continue
 		}
-		st.indexRecordBitsLocked(r)
+		sh.mu.Lock()
+		st.indexBaseLocked(sh)
+		sh.mu.Unlock()
 	}
-	st.succSeqs = append(baseSucc, st.succSeqs...)
-	st.failSeqs = append(baseFail, st.failSeqs...)
-}
-
-// lookupSeqLocked resolves an instance to its log position through both
-// identity tiers: the hash map over incrementally added records, then a
-// binary search of the base run adopted from a checkpoint.
-func (st *Store) lookupSeqLocked(in pipeline.Instance) (int32, bool) {
-	if i, ok := st.byKey.Get(in); ok {
-		return i, true
-	}
-	return st.baseLookupLocked(in)
-}
-
-// baseLookupLocked probes the sorted base run. Kept out of the map-hit
-// path: Lookup's memoization hit is the hottest operation in the system
-// and pays only a length check for the base tier.
-func (st *Store) baseLookupLocked(in pipeline.Instance) (int32, bool) {
-	h := in.Hash()
-	lo, hi := 0, len(st.baseHash)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if st.baseHash[mid] < h {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	for ; lo < len(st.baseHash) && st.baseHash[lo] == h; lo++ {
-		seq := st.baseSeq[lo]
-		if st.log[seq].Instance.Equal(in) {
-			return seq, true
-		}
-	}
-	return 0, false
 }
 
 // Lookup returns the recorded outcome for the instance, if any. Hits
-// perform no allocations: the probe is the instance's precomputed hash
-// through the identity map (and, for checkpoint-loaded stores, a binary
-// search of the sorted base run) followed by an integer code-vector
-// compare.
+// perform no allocations: the probe routes to the instance's shard by its
+// precomputed hash, through the shard's identity map (and, for
+// checkpoint-loaded stores, a binary search of the sorted base run),
+// followed by an integer code-vector compare.
 func (st *Store) Lookup(in pipeline.Instance) (pipeline.Outcome, bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	sh := st.shardOf(in.Hash())
+	// Manual unlocks, not defer: the memoization hit is the hottest
+	// operation in the system and the defer bookkeeping (plus the extra
+	// argument spills it forces) is measurable there.
+	sh.mu.RLock()
 	// The map probe is open-coded ahead of the base-run fallback so the
 	// common hit costs exactly what it did before the base tier existed.
-	if i, ok := st.byKey.Get(in); ok {
-		return st.log[i].Outcome, true
+	if i, ok := sh.byKey.Get(in); ok {
+		out := sh.recs[i].Outcome
+		sh.mu.RUnlock()
+		return out, true
 	}
-	if len(st.baseHash) > 0 {
-		if i, ok := st.baseLookupLocked(in); ok {
-			return st.log[i].Outcome, true
+	if len(sh.baseHash) > 0 {
+		if i, ok := sh.baseLookupLocked(in); ok {
+			out := sh.recs[i].Outcome
+			sh.mu.RUnlock()
+			return out, true
 		}
 	}
+	sh.mu.RUnlock()
 	return pipeline.OutcomeUnknown, false
 }
 
 // Len returns the number of records.
 func (st *Store) Len() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.log)
-}
-
-// Records returns a copy of the log in execution order. Bulk read-only
-// consumers should prefer Snapshot, which does not copy.
-func (st *Store) Records() []Record {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]Record, len(st.log))
-	copy(out, st.log)
-	return out
-}
-
-// Snapshot is a point-in-time, read-only view of a store's log. Because the
-// log is append-only and records are immutable, a snapshot is just the log
-// prefix at capture time — taking one copies nothing and later Adds never
-// disturb it.
-type Snapshot struct {
-	recs []Record
-}
-
-// Snapshot captures the current log as a zero-copy read-only view.
-func (st *Store) Snapshot() Snapshot {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return Snapshot{recs: st.log[:len(st.log):len(st.log)]}
-}
-
-// Len returns the number of records in the snapshot.
-func (sn Snapshot) Len() int { return len(sn.recs) }
-
-// At returns the i-th record in execution order.
-func (sn Snapshot) At(i int) Record { return sn.recs[i] }
-
-// Records returns the snapshot's records in execution order. The slice is
-// shared with the store's log; callers must not modify it.
-func (sn Snapshot) Records() []Record { return sn.recs }
-
-// Outcomes counts succeeding and failing records.
-func (st *Store) Outcomes() (succeed, fail int) {
-	st.ensureIndexed()
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.succSeqs), len(st.failSeqs)
-}
-
-// Failing returns the failing instances in execution order.
-func (st *Store) Failing() []pipeline.Instance {
-	st.ensureIndexed()
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.bySeqsLocked(st.failSeqs)
-}
-
-// Succeeding returns the succeeding instances in execution order.
-func (st *Store) Succeeding() []pipeline.Instance {
-	st.ensureIndexed()
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.bySeqsLocked(st.succSeqs)
-}
-
-func (st *Store) bySeqsLocked(seqs []int32) []pipeline.Instance {
-	if len(seqs) == 0 {
-		return nil
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.recs)
+		sh.mu.RUnlock()
 	}
-	out := make([]pipeline.Instance, len(seqs))
-	for i, seq := range seqs {
-		out[i] = st.log[seq].Instance
-	}
-	return out
-}
-
-// FirstFailing returns the earliest failing instance, the natural CP_f for
-// the Shortcut algorithms.
-func (st *Store) FirstFailing() (pipeline.Instance, bool) {
-	st.ensureIndexed()
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if len(st.failSeqs) == 0 {
-		return pipeline.Instance{}, false
-	}
-	return st.log[st.failSeqs[0]].Instance, true
-}
-
-// disjointSucceedingBitsLocked computes the succeeding records sharing no
-// parameter value with ref: the succeeding bitset minus the union of ref's
-// per-parameter posting lists.
-func (st *Store) disjointSucceedingBitsLocked(ref pipeline.Instance) bitset {
-	mask := st.succBits.clone()
-	for i := 0; i < st.space.Len(); i++ {
-		if c := int(ref.Code(i)); c < len(st.posting[i]) {
-			mask.andNotWith(st.posting[i][c])
-		}
-	}
-	return mask
-}
-
-// DisjointSucceeding returns the succeeding instances disjoint from ref
-// (Definition 6), in execution order.
-func (st *Store) DisjointSucceeding(ref pipeline.Instance) []pipeline.Instance {
-	if ref.Space() != st.space {
-		return nil // instances over different spaces are never disjoint
-	}
-	st.ensureIndexed()
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	var out []pipeline.Instance
-	st.disjointSucceedingBitsLocked(ref).forEach(func(seq int) bool {
-		out = append(out, st.log[seq].Instance)
-		return true
-	})
-	return out
-}
-
-// MostDifferentSucceeding returns the succeeding instance differing from
-// ref on the most parameters — the heuristic stand-in for a disjoint good
-// instance when the Disjointness Condition does not hold.
-func (st *Store) MostDifferentSucceeding(ref pipeline.Instance) (pipeline.Instance, bool) {
-	st.ensureIndexed()
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	best, bestDiff := pipeline.Instance{}, -1
-	for _, seq := range st.succSeqs {
-		if d := st.log[seq].Instance.DiffCount(ref); d > bestDiff {
-			best, bestDiff = st.log[seq].Instance, d
-		}
-	}
-	return best, bestDiff >= 0
-}
-
-// MutuallyDisjointSucceeding greedily selects up to k succeeding instances
-// that are disjoint from ref and pairwise disjoint, in execution order
-// (the CP_G set of the Stacked Shortcut algorithm). When fewer than k fully
-// disjoint instances exist it pads, if allowed, with the most-different
-// remaining succeeding instances, reflecting the paper's "mutually disjoint
-// if possible".
-func (st *Store) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad bool) []pipeline.Instance {
-	st.ensureIndexed()
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	var chosen []pipeline.Instance
-	used := make(map[int32]bool)
-	for _, seq := range st.succSeqs {
-		if len(chosen) >= k {
-			return chosen
-		}
-		in := st.log[seq].Instance
-		if !in.DisjointFrom(ref) {
-			continue
-		}
-		ok := true
-		for _, c := range chosen {
-			if !in.DisjointFrom(c) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			chosen = append(chosen, in)
-			used[seq] = true
-		}
-	}
-	if !pad {
-		return chosen
-	}
-	// Pad with most-different succeeding instances not yet chosen.
-	type cand struct {
-		in   pipeline.Instance
-		diff int
-		seq  int32
-	}
-	var cands []cand
-	for _, seq := range st.succSeqs {
-		if used[seq] {
-			continue
-		}
-		in := st.log[seq].Instance
-		cands = append(cands, cand{in, in.DiffCount(ref), seq})
-	}
-	for len(chosen) < k && len(cands) > 0 {
-		best := 0
-		for i := 1; i < len(cands); i++ {
-			if cands[i].diff > cands[best].diff ||
-				(cands[i].diff == cands[best].diff && cands[i].seq < cands[best].seq) {
-				best = i
-			}
-		}
-		chosen = append(chosen, cands[best].in)
-		cands = append(cands[:best], cands[best+1:]...)
-	}
-	return chosen
-}
-
-// tripleBitsLocked returns the records satisfying t as a bitset: the union
-// of the posting lists of every interned value of t's parameter that
-// satisfies the comparison. Only O(distinct values) Holds evaluations run,
-// never O(records). ok=false means no record can satisfy t (unknown
-// parameter), matching Triple.Satisfied on unknown parameters.
-func (st *Store) tripleBitsLocked(t predicate.Triple) (bitset, bool) {
-	i, ok := st.space.Index(t.Param)
-	if !ok {
-		return nil, false
-	}
-	var mask bitset
-	for c, post := range st.posting[i] {
-		if len(post) == 0 {
-			continue
-		}
-		if t.Holds(st.space.InternedValue(i, uint32(c))) {
-			mask.orWith(post)
-		}
-	}
-	return mask, true
-}
-
-// conjunctionBitsLocked intersects the triple bitsets of c with base (an
-// outcome bitset). The empty conjunction is satisfied by every record.
-func (st *Store) conjunctionBitsLocked(c predicate.Conjunction, base bitset) bitset {
-	mask := base.clone()
-	for _, t := range c {
-		tb, ok := st.tripleBitsLocked(t)
-		if !ok {
-			return nil
-		}
-		mask.andWith(tb)
-	}
-	return mask
-}
-
-// AnySucceedingSatisfying returns the earliest succeeding instance whose
-// parameter values satisfy the conjunction, if one exists — the Shortcut
-// sanity check ("whether any superset of the hypothetical root cause is in
-// an already executed successful execution").
-func (st *Store) AnySucceedingSatisfying(c predicate.Conjunction) (pipeline.Instance, bool) {
-	st.ensureIndexed()
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if seq, ok := st.conjunctionBitsLocked(c, st.succBits).first(); ok {
-		return st.log[seq].Instance, true
-	}
-	return pipeline.Instance{}, false
-}
-
-// CountSatisfying counts recorded instances satisfying c, split by outcome.
-// The satisfying set is materialized once and intersected with each outcome
-// bitset in place.
-func (st *Store) CountSatisfying(c predicate.Conjunction) (succeed, fail int) {
-	st.ensureIndexed()
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if len(c) == 0 {
-		return len(st.succSeqs), len(st.failSeqs)
-	}
-	var mask bitset
-	for j, t := range c {
-		tb, ok := st.tripleBitsLocked(t)
-		if !ok {
-			return 0, 0
-		}
-		if j == 0 {
-			mask = tb // tripleBitsLocked returns a fresh bitset; safe to own
-		} else {
-			mask.andWith(tb)
-		}
-	}
-	return mask.andCount(st.succBits), mask.andCount(st.failBits)
+	return n
 }

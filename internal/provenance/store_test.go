@@ -108,6 +108,86 @@ func TestStoreQueries(t *testing.T) {
 	}
 }
 
+// TestCrossSpaceQueriesDoNotPanic pins the cross-space guards: a ref
+// instance from a different space — in particular one with FEWER
+// parameters, which used to drive DiffCount past the end of the shorter
+// code vector and panic — must make every heuristic query report
+// not-found, matching DisjointSucceeding's long-standing behavior.
+func TestCrossSpaceQueriesDoNotPanic(t *testing.T) {
+	s := testSpace(t)
+	st := seedStore(t, s)
+	small := pipeline.MustSpace(
+		pipeline.Parameter{Name: "only", Kind: pipeline.Ordinal, Domain: ordDomain(1, 2)},
+	)
+	ref := pipeline.MustInstance(small, pipeline.Ord(1))
+	if got := st.DisjointSucceeding(ref); got != nil {
+		t.Fatalf("DisjointSucceeding(foreign) = %v, want nil", got)
+	}
+	if in, ok := st.MostDifferentSucceeding(ref); ok {
+		t.Fatalf("MostDifferentSucceeding(foreign) = %v, want not found", in)
+	}
+	if got := st.MutuallyDisjointSucceeding(ref, 3, true); got != nil {
+		t.Fatalf("MutuallyDisjointSucceeding(foreign) = %v, want nil", got)
+	}
+	// Same space count, different identity: still foreign.
+	twin := testSpace(t)
+	refTwin := pipeline.MustInstance(twin, pipeline.Ord(1), pipeline.Cat("x"))
+	if _, ok := st.MostDifferentSucceeding(refTwin); ok {
+		t.Fatal("MostDifferentSucceeding must reject a twin-space ref")
+	}
+	if got := st.MutuallyDisjointSucceeding(refTwin, 2, false); got != nil {
+		t.Fatalf("MutuallyDisjointSucceeding(twin) = %v, want nil", got)
+	}
+}
+
+// TestPoisonedStoreRejectsPlainWrites pins the sequence-corruption fix: a
+// staged-sink failure burns sequence numbers, so after the failure the
+// store must reject writes on EVERY sink configuration — staged, plain,
+// and detached — or a later commit would land at the wrong log position.
+func TestPoisonedStoreRejectsPlainWrites(t *testing.T) {
+	s := testSpace(t)
+	sink := &stagingSink{}
+	st := NewStore(s)
+	st.SetSink(sink)
+	entries := batchEntries(t, s, 4)
+	if _, err := st.AddBatch(entries[:1]); err != nil {
+		t.Fatal(err)
+	}
+	sink.failNext = true
+	if _, err := st.AddBatch(entries[1:3]); err == nil {
+		t.Fatal("failed flush must surface")
+	}
+	// Detach the sink: plain Adds used to bypass the poison check and
+	// commit a record whose seq no longer continues the log.
+	st.SetSink(nil)
+	if err := st.Add(entries[3].Instance, entries[3].Outcome, "late"); err == nil {
+		t.Fatal("poisoned store accepted a sink-less Add")
+	}
+	if added, err := st.AddBatch(entries[3:]); err == nil || added != 0 {
+		t.Fatalf("poisoned store accepted a sink-less AddBatch (%d, %v)", added, err)
+	}
+	// A plain (non-staged) sink must be refused too.
+	st.SetSink(&recordingSink{})
+	if err := st.Add(entries[3].Instance, entries[3].Outcome, "late"); err == nil {
+		t.Fatal("poisoned store accepted a plain-sink Add")
+	}
+	if added, err := st.AddBatch(entries[3:]); err == nil || added != 0 {
+		t.Fatalf("poisoned store accepted a plain-sink AddBatch (%d, %v)", added, err)
+	}
+	// Reads and the committed prefix stay valid throughout.
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", st.Len())
+	}
+	if out, ok := st.Lookup(entries[0].Instance); !ok || out != entries[0].Outcome {
+		t.Fatalf("reads broken after poison: %v, %v", out, ok)
+	}
+	for i, r := range st.Records() {
+		if r.Seq != i {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
 func TestMutuallyDisjointSucceeding(t *testing.T) {
 	s := testSpace(t)
 	st := seedStore(t, s)

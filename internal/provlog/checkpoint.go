@@ -300,10 +300,13 @@ type ckptState struct {
 // fresh store, adopting the rows as the store's sorted base run
 // (provenance.Store.LoadSortedRun): no hash index is built — the run's
 // hash order, recomputed from the code rows, serves identity probes by
-// binary search. The whole file is verified by its trailing CRC-32C before
-// any byte is interpreted; dictionary entries replay through Space.Intern
-// with the same code-agreement check the WAL replay performs.
-func loadCheckpoint(path string, space *pipeline.Space) (*provenance.Store, *ckptState, error) {
+// binary search. The store is sharded across shards hash ranges (1 =
+// unsharded); the run is hash-sorted, so LoadSortedRun splits it at the
+// shard boundaries and each shard adopts its sub-run in parallel. The
+// whole file is verified by its trailing CRC-32C before any byte is
+// interpreted; dictionary entries replay through Space.Intern with the
+// same code-agreement check the WAL replay performs.
+func loadCheckpoint(path string, space *pipeline.Space, shards int) (*provenance.Store, *ckptState, error) {
 	data, release, err := mapFile(path)
 	if err != nil {
 		return nil, nil, err
@@ -488,7 +491,7 @@ func loadCheckpoint(path string, space *pipeline.Space) (*provenance.Store, *ckp
 	if dupSeq >= 0 {
 		return nil, nil, ckptInvalid(path, "duplicate seq %d", dupSeq)
 	}
-	st := provenance.NewStore(space)
+	st := provenance.NewStoreSharded(space, shards)
 	if err := st.LoadSortedRun(recs, hashes, seqs); err != nil {
 		return nil, nil, fmt.Errorf("provlog: %s: %w", filepath.Base(path), err)
 	}

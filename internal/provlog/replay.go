@@ -394,8 +394,10 @@ func replaySegment(sf segFile, rs *replayState, isFinal bool) (lastGood int64, e
 // watermark — skipping over already-covered records in a partially
 // collected segment — and returns the replay state, the segment list, and
 // the intact byte length of the final segment (the recovery point a writer
-// must truncate to before appending).
-func replayDir(dir string, space *pipeline.Space) (*replayState, []segFile, int64, error) {
+// must truncate to before appending). The rebuilt store is sharded across
+// shards hash ranges (1 = unsharded); a loaded checkpoint run splits at
+// the shard boundaries.
+func replayDir(dir string, space *pipeline.Space, shards int) (*replayState, []segFile, int64, error) {
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, nil, 0, err
@@ -418,7 +420,7 @@ func replayDir(dir string, space *pipeline.Space) (*replayState, []segFile, int6
 	var rs *replayState
 	var ckErr error
 	for _, ck := range cks {
-		st, cs, err := loadCheckpoint(ck.path, space)
+		st, cs, err := loadCheckpoint(ck.path, space, shards)
 		if err != nil {
 			// An unreadable checkpoint falls back to an older one or the
 			// full WAL — unless it provably belongs to a different space,
@@ -453,7 +455,7 @@ func replayDir(dir string, space *pipeline.Space) (*replayState, []segFile, int6
 			}
 			return nil, nil, 0, err
 		}
-		rs = newReplayState(space, provenance.NewStoreWithCapacity(space, int(capEstimate)))
+		rs = newReplayState(space, provenance.NewStoreShardedWithCapacity(space, shards, int(capEstimate)))
 	}
 
 	start, startSeq, err := pickStartSegment(segs, rs.skipBelow)
@@ -521,7 +523,7 @@ func pickStartSegment(segs []segFile, watermark int) (int, int, error) {
 // record — the signature of a crash mid-append — is skipped; the returned
 // store holds exactly the intact prefix.
 func Replay(dir string, space *pipeline.Space) (*provenance.Store, error) {
-	rs, segs, _, err := replayDir(dir, space)
+	rs, segs, _, err := replayDir(dir, space, 1)
 	if err != nil {
 		return nil, err
 	}
