@@ -162,6 +162,17 @@ func WithShards(n int) Option {
 	return func(s *Session) { s.shards = n }
 }
 
+// WithOpenParallelism sets how many goroutines a durable session's open
+// uses to decode its checkpoint (see provlog.WithOpenParallelism): the
+// checkpoint's fixed-width rows split into contiguous ranges decoded
+// concurrently, so resuming a large session scales with the machine's
+// cores. The default (0) is GOMAXPROCS; 1 forces the sequential load. Like
+// the shard count it only shapes the load — every value rebuilds an
+// identical store. It has no effect without WithDurability.
+func WithOpenParallelism(n int) Option {
+	return func(s *Session) { s.openParallel = n }
+}
+
 // WithHistory pre-populates the provenance with previously-run instances
 // G = CP_1..CP_k; their evaluations are free.
 func WithHistory(records []Record) Option {
@@ -215,6 +226,7 @@ type Session struct {
 	budget       int
 	workers      int
 	shards       int
+	openParallel int
 	history      []Record
 	stateDir     string
 	syncPolicy   *SyncPolicy
@@ -238,6 +250,9 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 	if s.stateDir != "" {
 		exOpts := []exec.Option{exec.WithBudget(s.budget), exec.WithWorkers(s.workers),
 			exec.WithStoreShards(s.shards)}
+		if s.openParallel != 0 {
+			exOpts = append(exOpts, exec.WithOpenParallelism(s.openParallel))
+		}
 		var logOpts []provlog.Option
 		if s.fsync {
 			logOpts = append(logOpts, provlog.WithSync(true))

@@ -105,6 +105,7 @@ func run() error {
 		compact  = flag.Bool("compact", false, "fold the -state-dir WAL into a checkpoint, collect superseded segments, and exit")
 		ckptN    = flag.Int("checkpoint-every", 0, "compact the WAL in the background every N logged records (0 = only on -compact)")
 		shards   = flag.Int("shards", 1, "shard the provenance store across N instance-hash ranges (rounded up to a power of two; 1 = unsharded)")
+		openPar  = flag.Int("open-parallel", 0, "decode the -state-dir checkpoint on N goroutines (0 = all cores; 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -175,6 +176,9 @@ func run() error {
 		}
 		if *shards > 1 {
 			logOpts = append(logOpts, provlog.WithStoreShards(*shards))
+		}
+		if *openPar != 0 {
+			logOpts = append(logOpts, provlog.WithOpenParallelism(*openPar))
 		}
 		lg, durable, err := provlog.Open(*stateDir, st.Space(), logOpts...)
 		if err != nil {

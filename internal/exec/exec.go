@@ -92,15 +92,24 @@ func WithStoreShards(n int) Option {
 	return func(e *Executor) { e.storeShards = n }
 }
 
+// WithOpenParallelism sets how many goroutines NewDurable's log open uses
+// to decode a checkpoint (see provlog.WithOpenParallelism). The default is
+// GOMAXPROCS; 1 forces the sequential load. Executors built by New have no
+// log and ignore it.
+func WithOpenParallelism(n int) Option {
+	return func(e *Executor) { e.openParallel = n }
+}
+
 // Executor mediates every instance execution for the debugging algorithms.
 // It is safe for concurrent use.
 type Executor struct {
-	oracle      Oracle
-	store       *provenance.Store
-	workers     int
-	log         *provlog.Log     // non-nil for durable executors (NewDurable)
-	logOpts     []provlog.Option // collected by WithLogOptions for NewDurable
-	storeShards int              // hash-range shards of the store NewDurable rebuilds
+	oracle       Oracle
+	store        *provenance.Store
+	workers      int
+	log          *provlog.Log     // non-nil for durable executors (NewDurable)
+	logOpts      []provlog.Option // collected by WithLogOptions for NewDurable
+	storeShards  int              // hash-range shards of the store NewDurable rebuilds
+	openParallel int              // checkpoint-decode goroutines for NewDurable's open
 
 	mu     sync.Mutex
 	budget int // remaining new executions; negative = unlimited
@@ -133,6 +142,9 @@ func NewDurable(oracle Oracle, space *pipeline.Space, dir string, opts ...Option
 	}
 	if cfg.storeShards > 1 {
 		cfg.logOpts = append(cfg.logOpts, provlog.WithStoreShards(cfg.storeShards))
+	}
+	if cfg.openParallel != 0 {
+		cfg.logOpts = append(cfg.logOpts, provlog.WithOpenParallelism(cfg.openParallel))
 	}
 	l, st, err := provlog.Open(dir, space, cfg.logOpts...)
 	if err != nil {

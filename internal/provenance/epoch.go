@@ -1,0 +1,370 @@
+package provenance
+
+import (
+	"sort"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// This file holds the lock-free read path. A shardEpoch is an immutable
+// snapshot of one shard's indices, published through an atomic pointer;
+// an Epoch stitches the per-shard snapshots into a consistent view of the
+// committed log prefix — its horizon — and answers every bitset-algebra
+// query of query.go against that prefix without taking a single lock.
+// Writers race ahead unhindered: they only ever bump a per-shard atomic
+// counter that marks the published epoch stale, and the next Epoch call
+// refreshes it (one refresher per shard at a time; concurrent callers
+// serve the stale-but-consistent published snapshot instead of waiting).
+
+// shardEpoch is one shard's immutable index snapshot: the record prefix it
+// covers, the outcome position lists and bitsets, and the posting bitsets,
+// all frozen at a single point under the shard's read lock. recs and the
+// position lists alias the shard's append-only slices (records already
+// captured never move); the bitsets are copies, since the shard mutates
+// its own in place.
+type shardEpoch struct {
+	n                  int      // records covered: positions [0, n)
+	recs               []Record // shard-local log prefix, ascending global sequence
+	succSeqs, failSeqs []int32
+	succBits, failBits bitset
+	posting            [][]bitset
+}
+
+// epochOf returns a shard index snapshot covering every record committed
+// at some instant at or after the call began. The fast path is two atomic
+// loads: if the published epoch still covers the shard's committed count,
+// it is served as-is. A stale epoch is refreshed by whoever wins the
+// shard's single-flight mutex; losers serve the published epoch (a
+// consistent, slightly older horizon) rather than block — except on the
+// very first call, when nothing is published yet and everyone waits.
+func (st *Store) epochOf(sh *shard) *shardEpoch {
+	ep := sh.epoch.Load()
+	if ep != nil && int64(ep.n) >= sh.committed.Load() {
+		return ep
+	}
+	if !sh.epochMu.TryLock() {
+		if ep != nil {
+			return ep
+		}
+		sh.epochMu.Lock() // first epoch: nothing published, wait for the builder
+	}
+	defer sh.epochMu.Unlock()
+	if ep = sh.epoch.Load(); ep != nil && int64(ep.n) >= sh.committed.Load() {
+		return ep
+	}
+	ne := st.buildShardEpoch(sh, ep)
+	sh.epoch.Store(ne)
+	return ne
+}
+
+// buildShardEpoch snapshots the shard's indices. With a previous epoch to
+// extend, the bitsets are cloned from it off-lock and only the records
+// committed since are indexed under the read lock — O(delta) lock-held
+// work, so refreshes against a hot writer stay cheap. The first epoch
+// clones the live indices wholesale (the deferred base index, if any, is
+// built first, so the clone sees a fully indexed shard). epochMu is held.
+func (st *Store) buildShardEpoch(sh *shard, prev *shardEpoch) *shardEpoch {
+	st.ensureShardIndexed(sh)
+	p := st.space.Len()
+	ne := &shardEpoch{posting: make([][]bitset, p)}
+	if prev != nil {
+		ne.succBits = prev.succBits.clone()
+		ne.failBits = prev.failBits.clone()
+		for i := 0; i < p; i++ {
+			pi := make([]bitset, len(prev.posting[i]))
+			for c, b := range prev.posting[i] {
+				if len(b) > 0 {
+					pi[c] = b.clone()
+				}
+			}
+			ne.posting[i] = pi
+		}
+	}
+	sh.mu.RLock()
+	n := len(sh.recs)
+	ne.n = n
+	ne.recs = sh.recs[:n:n]
+	ne.succSeqs = sh.succSeqs[:len(sh.succSeqs):len(sh.succSeqs)]
+	ne.failSeqs = sh.failSeqs[:len(sh.failSeqs):len(sh.failSeqs)]
+	if prev == nil {
+		ne.succBits = sh.succBits.clone()
+		ne.failBits = sh.failBits.clone()
+		for i := 0; i < p; i++ {
+			pi := make([]bitset, len(sh.posting[i]))
+			for c, b := range sh.posting[i] {
+				if len(b) > 0 {
+					pi[c] = b.clone()
+				}
+			}
+			ne.posting[i] = pi
+		}
+		sh.mu.RUnlock()
+		return ne
+	}
+	for pos := prev.n; pos < n; pos++ {
+		r := &ne.recs[pos]
+		if r.Outcome == pipeline.Succeed {
+			ne.succBits.set(pos)
+		} else {
+			ne.failBits.set(pos)
+		}
+		for i := 0; i < p; i++ {
+			c := int(r.Instance.Code(i))
+			for len(ne.posting[i]) <= c {
+				ne.posting[i] = append(ne.posting[i], nil)
+			}
+			ne.posting[i][c].set(pos)
+		}
+	}
+	sh.mu.RUnlock()
+	return ne
+}
+
+// Epoch is a lock-free, immutable view of the store's committed history at
+// a consistent horizon: every record with global sequence below Horizon()
+// is visible, nothing else is. Capturing one costs two atomic loads per
+// shard when the published per-shard snapshots are current; queries then
+// run entirely against immutable data — no shard lock, no reference
+// counting — so any number of readers proceed in parallel with each other
+// and with writers. Query semantics mirror the Store methods of the same
+// names, evaluated over the horizon prefix: on a quiescent store an Epoch
+// answers exactly what the Store does.
+//
+// The horizon is the longest dense committed prefix across the shards at
+// capture time: a record whose lower-sequence sibling on another shard had
+// not yet committed is excluded, so — unlike the Store's counting queries
+// under concurrent multi-shard writes — an Epoch never observes a gapped
+// history. Query-heavy drivers (decision-tree growth, divide-and-query
+// narrowing) capture one Epoch per round and issue every probe against it.
+type Epoch struct {
+	st      *Store
+	shards  []*shardEpoch
+	cuts    []int // per shard, how many of its records fall below the horizon
+	horizon int
+}
+
+// Epoch captures a lock-free snapshot of the committed history (see type
+// Epoch). Concurrent captures are cheap and independent; each sees every
+// record committed before its own call began, possibly more.
+func (st *Store) Epoch() *Epoch {
+	k := len(st.shards)
+	e := &Epoch{st: st, shards: make([]*shardEpoch, k), cuts: make([]int, k)}
+	for i := range st.shards {
+		e.shards[i] = st.epochOf(&st.shards[i])
+	}
+	if k == 1 {
+		// One shard commits in global sequence order: the whole snapshot is
+		// dense by construction.
+		e.horizon = e.shards[0].n
+		e.cuts[0] = e.shards[0].n
+		return e
+	}
+	// The horizon is the largest H with exactly H records below sequence H
+	// across the captured snapshots — the dense committed prefix. Sequences
+	// are unique, so countBelow(H) <= H everywhere and the fixpoint
+	// iteration from the total converges to the largest such H; each round
+	// is one binary search per shard (records sit in sequence order).
+	total := 0
+	for _, ep := range e.shards {
+		total += ep.n
+	}
+	h := total
+	for {
+		c := 0
+		for i, ep := range e.shards {
+			e.cuts[i] = sort.Search(ep.n, func(j int) bool { return ep.recs[j].Seq >= h })
+			c += e.cuts[i]
+		}
+		if c == h {
+			break
+		}
+		h = c
+	}
+	e.horizon = h
+	return e
+}
+
+// Horizon returns the epoch's sequence horizon: records with global
+// sequence in [0, Horizon()) are visible, later ones are not.
+func (e *Epoch) Horizon() int { return e.horizon }
+
+// Len returns the number of records the epoch covers (equal to Horizon:
+// the visible prefix is dense).
+func (e *Epoch) Len() int { return e.horizon }
+
+// prefixLen returns how many entries of an ascending position list fall
+// below the shard's cut.
+func prefixLen(list []int32, cut int) int {
+	return sort.Search(len(list), func(i int) bool { return int(list[i]) >= cut })
+}
+
+// Outcomes counts succeeding and failing records below the horizon.
+func (e *Epoch) Outcomes() (succeed, fail int) {
+	for i, ep := range e.shards {
+		cut := e.cuts[i]
+		succeed += prefixLen(ep.succSeqs, cut)
+		fail += prefixLen(ep.failSeqs, cut)
+	}
+	return succeed, fail
+}
+
+// byOutcome returns the visible instances with the given outcome in
+// execution order.
+func (e *Epoch) byOutcome(out pipeline.Outcome) []pipeline.Instance {
+	if len(e.shards) == 1 {
+		ep, cut := e.shards[0], e.cuts[0]
+		list := ep.succSeqs
+		if out == pipeline.Fail {
+			list = ep.failSeqs
+		}
+		list = list[:prefixLen(list, cut)]
+		if len(list) == 0 {
+			return nil
+		}
+		res := make([]pipeline.Instance, len(list))
+		for i, pos := range list {
+			res[i] = ep.recs[pos].Instance
+		}
+		return res
+	}
+	var pairs []seqInst
+	for i, ep := range e.shards {
+		list := ep.succSeqs
+		if out == pipeline.Fail {
+			list = ep.failSeqs
+		}
+		for _, pos := range list[:prefixLen(list, e.cuts[i])] {
+			r := &ep.recs[pos]
+			pairs = append(pairs, seqInst{seq: r.Seq, in: r.Instance})
+		}
+	}
+	return e.st.orderInstances(pairs)
+}
+
+// Failing returns the visible failing instances in execution order.
+func (e *Epoch) Failing() []pipeline.Instance { return e.byOutcome(pipeline.Fail) }
+
+// Succeeding returns the visible succeeding instances in execution order.
+func (e *Epoch) Succeeding() []pipeline.Instance { return e.byOutcome(pipeline.Succeed) }
+
+// FirstFailing returns the earliest visible failing instance, the natural
+// CP_f for the Shortcut algorithms.
+func (e *Epoch) FirstFailing() (pipeline.Instance, bool) {
+	best, bestSeq := pipeline.Instance{}, -1
+	for i, ep := range e.shards {
+		if len(ep.failSeqs) > 0 && int(ep.failSeqs[0]) < e.cuts[i] {
+			r := &ep.recs[ep.failSeqs[0]]
+			if bestSeq < 0 || r.Seq < bestSeq {
+				best, bestSeq = r.Instance, r.Seq
+			}
+		}
+	}
+	return best, bestSeq >= 0
+}
+
+// DisjointSucceeding returns the visible succeeding instances disjoint
+// from ref (Definition 6), in execution order.
+func (e *Epoch) DisjointSucceeding(ref pipeline.Instance) []pipeline.Instance {
+	if ref.Space() != e.st.space {
+		return nil // instances over different spaces are never disjoint
+	}
+	var pairs []seqInst
+	for s, ep := range e.shards {
+		mask := ep.succBits.clone()
+		for i := 0; i < e.st.space.Len(); i++ {
+			if c := int(ref.Code(i)); c < len(ep.posting[i]) {
+				mask.andNotWith(ep.posting[i][c])
+			}
+		}
+		mask.forEachLimit(e.cuts[s], func(pos int) bool {
+			r := &ep.recs[pos]
+			pairs = append(pairs, seqInst{seq: r.Seq, in: r.Instance})
+			return true
+		})
+	}
+	return e.st.orderInstances(pairs)
+}
+
+// MostDifferentSucceeding returns the visible succeeding instance
+// differing from ref on the most parameters, ties broken to the earliest
+// execution (see the Store method of the same name).
+func (e *Epoch) MostDifferentSucceeding(ref pipeline.Instance) (pipeline.Instance, bool) {
+	if ref.Space() != e.st.space {
+		return pipeline.Instance{}, false
+	}
+	best, bestDiff, bestSeq := pipeline.Instance{}, -1, -1
+	for i, ep := range e.shards {
+		for _, pos := range ep.succSeqs[:prefixLen(ep.succSeqs, e.cuts[i])] {
+			r := &ep.recs[pos]
+			if d := r.Instance.DiffCount(ref); d > bestDiff || (d == bestDiff && r.Seq < bestSeq) {
+				best, bestDiff, bestSeq = r.Instance, d, r.Seq
+			}
+		}
+	}
+	return best, bestDiff >= 0
+}
+
+// MutuallyDisjointSucceeding greedily selects up to k visible succeeding
+// instances disjoint from ref and pairwise disjoint, padding if allowed
+// with the most-different remainder (the CP_G set of the Stacked Shortcut
+// algorithm; see the Store method of the same name).
+func (e *Epoch) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad bool) []pipeline.Instance {
+	if ref.Space() != e.st.space {
+		return nil
+	}
+	return mutuallyDisjointFrom(e.Succeeding(), ref, k, pad)
+}
+
+// AnySucceedingSatisfying returns the earliest visible succeeding instance
+// whose parameter values satisfy the conjunction, if one exists — the
+// Shortcut sanity check.
+func (e *Epoch) AnySucceedingSatisfying(c predicate.Conjunction) (pipeline.Instance, bool) {
+	best, bestSeq := pipeline.Instance{}, -1
+	for s, ep := range e.shards {
+		mask := ep.succBits.clone()
+		known := true
+		for _, t := range c {
+			tb, ok := tripleBitsOver(e.st.space, ep.posting, t)
+			if !ok {
+				known = false
+				break
+			}
+			mask.andWith(tb)
+		}
+		if !known {
+			return pipeline.Instance{}, false
+		}
+		if pos, ok := mask.firstLimit(e.cuts[s]); ok {
+			r := &ep.recs[pos]
+			if bestSeq < 0 || r.Seq < bestSeq {
+				best, bestSeq = r.Instance, r.Seq
+			}
+		}
+	}
+	return best, bestSeq >= 0
+}
+
+// CountSatisfying counts visible records satisfying c, split by outcome.
+func (e *Epoch) CountSatisfying(c predicate.Conjunction) (succeed, fail int) {
+	if len(c) == 0 {
+		return e.Outcomes()
+	}
+	for s, ep := range e.shards {
+		var mask bitset
+		for j, t := range c {
+			tb, ok := tripleBitsOver(e.st.space, ep.posting, t)
+			if !ok {
+				return 0, 0 // unknown parameter: no record anywhere can satisfy c
+			}
+			if j == 0 {
+				mask = tb // tripleBitsOver returns a fresh bitset; safe to own
+			} else {
+				mask.andWith(tb)
+			}
+		}
+		succeed += mask.andCountLimit(ep.succBits, e.cuts[s])
+		fail += mask.andCountLimit(ep.failBits, e.cuts[s])
+	}
+	return succeed, fail
+}

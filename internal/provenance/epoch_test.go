@@ -1,0 +1,357 @@
+package provenance
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// This file differentially tests the lock-free Epoch read path against the
+// locked Store queries, and stress-tests the horizon invariant under
+// concurrent writers. On a quiescent store an Epoch must answer exactly
+// what the Store does; under writers every answer must be consistent with
+// some dense committed prefix.
+
+// compareEpochToStore fails the test unless a freshly captured Epoch
+// agrees with the store's locked queries on a quiescent store.
+func compareEpochToStore(t *testing.T, r *rand.Rand, s *pipeline.Space, st *Store, ins []pipeline.Instance) {
+	t.Helper()
+	e := st.Epoch()
+	if e.Len() != st.Len() || e.Horizon() != st.Len() {
+		t.Fatalf("Epoch Len/Horizon = %d/%d, store Len = %d", e.Len(), e.Horizon(), st.Len())
+	}
+	esucc, efail := e.Outcomes()
+	ssucc, sfail := st.Outcomes()
+	if esucc != ssucc || efail != sfail {
+		t.Fatalf("Outcomes: epoch (%d,%d) vs store (%d,%d)", esucc, efail, ssucc, sfail)
+	}
+	if !sameInstances(e.Failing(), st.Failing()) {
+		t.Fatal("Failing diverges")
+	}
+	if !sameInstances(e.Succeeding(), st.Succeeding()) {
+		t.Fatal("Succeeding diverges")
+	}
+	fe, oke := e.FirstFailing()
+	fs, oks := st.FirstFailing()
+	if oke != oks || (oke && !fe.Equal(fs)) {
+		t.Fatalf("FirstFailing: epoch (%v,%v) vs store (%v,%v)", fe, oke, fs, oks)
+	}
+	for probe := 0; probe < 12; probe++ {
+		c := randomConjunction(r, s)
+		es, ef := e.CountSatisfying(c)
+		ss, sf := st.CountSatisfying(c)
+		if es != ss || ef != sf {
+			t.Fatalf("CountSatisfying(%v): epoch (%d,%d) vs store (%d,%d)", c, es, ef, ss, sf)
+		}
+		ei, eok := e.AnySucceedingSatisfying(c)
+		si, sok := st.AnySucceedingSatisfying(c)
+		if eok != sok || (eok && !ei.Equal(si)) {
+			t.Fatalf("AnySucceedingSatisfying(%v): epoch (%v,%v) vs store (%v,%v)", c, ei, eok, si, sok)
+		}
+	}
+	if len(ins) == 0 {
+		return
+	}
+	for probe := 0; probe < 6; probe++ {
+		ref := ins[r.Intn(len(ins))]
+		if !sameInstances(e.DisjointSucceeding(ref), st.DisjointSucceeding(ref)) {
+			t.Fatalf("DisjointSucceeding(%v) diverges", ref)
+		}
+		me, oke := e.MostDifferentSucceeding(ref)
+		ms, oks := st.MostDifferentSucceeding(ref)
+		if oke != oks || (oke && !me.Equal(ms)) {
+			t.Fatalf("MostDifferentSucceeding(%v): epoch (%v,%v) vs store (%v,%v)", ref, me, oke, ms, oks)
+		}
+		k := 1 + r.Intn(5)
+		pad := r.Intn(2) == 0
+		if !sameInstances(e.MutuallyDisjointSucceeding(ref, k, pad),
+			st.MutuallyDisjointSucceeding(ref, k, pad)) {
+			t.Fatalf("MutuallyDisjointSucceeding(%v, %d, %v) diverges", ref, k, pad)
+		}
+	}
+}
+
+// TestEpochMatchesLockedRandomHistories drives randomized histories into
+// stores of every shard count and requires the Epoch answers to match the
+// locked queries after every step — so epochs are exercised both freshly
+// built and incrementally extended from a published predecessor.
+func TestEpochMatchesLockedRandomHistories(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	counts := append([]int{1}, shardCounts...)
+	for trial := 0; trial < 30; trial++ {
+		s := randomProvenanceSpace(t, r)
+		for _, k := range counts {
+			st := NewStoreSharded(s, k)
+			var ins []pipeline.Instance
+			steps := 3 + r.Intn(5)
+			for step := 0; step < steps; step++ {
+				if r.Intn(2) == 0 {
+					n := 1 + r.Intn(10)
+					entries := make([]Entry, n)
+					for j := range entries {
+						out := pipeline.Succeed
+						if r.Intn(2) == 0 {
+							out = pipeline.Fail
+						}
+						entries[j] = Entry{Instance: s.RandomInstance(r), Outcome: out, Source: fmt.Sprintf("s%d", step)}
+					}
+					if _, err := st.AddBatch(entries); err != nil {
+						t.Fatal(err)
+					}
+					for j := range entries {
+						if _, ok := st.Lookup(entries[j].Instance); ok {
+							ins = append(ins, entries[j].Instance)
+						}
+					}
+				} else {
+					for draws := 1 + r.Intn(6); draws > 0; draws-- {
+						in := s.RandomInstance(r)
+						out := pipeline.Succeed
+						if r.Intn(2) == 0 {
+							out = pipeline.Fail
+						}
+						if err := st.Add(in, out, "add"); err == nil {
+							ins = append(ins, in)
+						}
+					}
+				}
+				// Compare after every step: the epoch captured here extends
+				// the one published by the previous step's capture.
+				compareEpochToStore(t, r, s, st, ins)
+			}
+		}
+	}
+}
+
+// TestEpochOnLoadedRunTriggersDeferredIndex captures an Epoch as the very
+// first query against a checkpoint-loaded store — before any locked query
+// has built the deferred base index — and requires it to match the locked
+// answers of an identically loaded twin, before and after post-load
+// appends.
+func TestEpochOnLoadedRunTriggersDeferredIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 20; trial++ {
+		s := randomProvenanceSpace(t, r)
+		seedSt := NewStore(s)
+		ins := fillRandomStore(t, r, s, seedSt, 10+r.Intn(50))
+		if len(ins) == 0 {
+			continue
+		}
+		recs, hashes, seqs := buildSortedRun(seedSt)
+		for _, k := range append([]int{1}, shardCounts...) {
+			st := NewStoreSharded(s, k)
+			rc := append([]Record(nil), recs...)
+			hc := append([]uint64(nil), hashes...)
+			sc := append([]int32(nil), seqs...)
+			if err := st.LoadSortedRun(rc, hc, sc); err != nil {
+				t.Fatalf("LoadSortedRun on %d shards: %v", k, err)
+			}
+			// Epoch first: its build must trigger the deferred base index.
+			compareEpochToStore(t, r, s, st, ins)
+			extra := fillRandomStore(t, r, s, st, 5)
+			compareEpochToStore(t, r, s, st, append(ins, extra...))
+		}
+	}
+}
+
+// TestEpochConsistencySingleWriterStress is the -race stress for the
+// horizon invariant: one writer appends a deterministic record sequence
+// while readers capture epochs and check every answer against precomputed
+// ground truth at the epoch's own horizon — i.e. each snapshot is exactly
+// some committed prefix of the history, and horizons never move backwards
+// for a reader.
+func TestEpochConsistencySingleWriterStress(t *testing.T) {
+	s := pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3, 4, 5, 6, 7)},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3, 4, 5, 6, 7)},
+		pipeline.Parameter{Name: "c", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3)},
+	)
+	const total = 256
+	ins := make([]pipeline.Instance, total)
+	outs := make([]pipeline.Outcome, total)
+	conj := predicate.Conjunction{predicate.T("a", predicate.Le, pipeline.Ord(3))}
+	// Prefix ground truth: counts over ins[0:h] for every horizon h.
+	prefSucc := make([]int, total+1)
+	prefFail := make([]int, total+1)
+	prefSatSucc := make([]int, total+1)
+	prefSatFail := make([]int, total+1)
+	firstFail := -1
+	for x := 0; x < total; x++ {
+		ins[x] = pipeline.MustInstance(s,
+			pipeline.Ord(float64(x%8)), pipeline.Ord(float64((x/8)%8)), pipeline.Ord(float64(x/64)))
+		outs[x] = pipeline.Succeed
+		if x%3 == 0 {
+			outs[x] = pipeline.Fail
+		}
+		if outs[x] == pipeline.Fail && firstFail < 0 {
+			firstFail = x
+		}
+		sat := 0
+		if conj.Satisfied(ins[x]) {
+			sat = 1
+		}
+		if outs[x] == pipeline.Succeed {
+			prefSucc[x+1] = prefSucc[x] + 1
+			prefFail[x+1] = prefFail[x]
+			prefSatSucc[x+1] = prefSatSucc[x] + sat
+			prefSatFail[x+1] = prefSatFail[x]
+		} else {
+			prefSucc[x+1] = prefSucc[x]
+			prefFail[x+1] = prefFail[x] + 1
+			prefSatSucc[x+1] = prefSatSucc[x]
+			prefSatFail[x+1] = prefSatFail[x] + sat
+		}
+	}
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			st := NewStoreSharded(s, shards)
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer done.Store(true)
+				for x := 0; x < total; x++ {
+					if err := st.Add(ins[x], outs[x], "w"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					last := 0
+					for !done.Load() {
+						e := st.Epoch()
+						h := e.Horizon()
+						if h < last || h > total {
+							t.Errorf("horizon went from %d to %d", last, h)
+							return
+						}
+						last = h
+						if succ, fail := e.Outcomes(); succ != prefSucc[h] || fail != prefFail[h] {
+							t.Errorf("horizon %d: Outcomes = (%d,%d), want (%d,%d)", h, succ, fail, prefSucc[h], prefFail[h])
+							return
+						}
+						if succ, fail := e.CountSatisfying(conj); succ != prefSatSucc[h] || fail != prefSatFail[h] {
+							t.Errorf("horizon %d: CountSatisfying = (%d,%d), want (%d,%d)", h, succ, fail, prefSatSucc[h], prefSatFail[h])
+							return
+						}
+						if in, ok := e.FirstFailing(); ok != (h > firstFail) || (ok && !in.Equal(ins[firstFail])) {
+							t.Errorf("horizon %d: FirstFailing = (%v,%v)", h, in, ok)
+							return
+						}
+						if fs := e.Failing(); len(fs) != prefFail[h] {
+							t.Errorf("horizon %d: %d failing, want %d", h, len(fs), prefFail[h])
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			// Quiesced: the final epoch sees everything and matches the
+			// locked queries exactly.
+			e := st.Epoch()
+			if e.Horizon() != total {
+				t.Fatalf("final horizon = %d, want %d", e.Horizon(), total)
+			}
+			r := rand.New(rand.NewSource(61))
+			compareEpochToStore(t, r, s, st, ins)
+		})
+	}
+}
+
+// TestEpochInvariantsConcurrentWritersStress races multiple writers with
+// epoch readers on a sharded store. The interleaving is nondeterministic,
+// so readers check structural invariants — the horizon is dense (outcome
+// counts sum to it), never regresses per reader, and every enumerated
+// instance carries its recorded outcome — then the quiesced store must
+// match the locked path exactly.
+func TestEpochInvariantsConcurrentWritersStress(t *testing.T) {
+	s := pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3, 4, 5, 6, 7)},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3, 4, 5, 6, 7)},
+		pipeline.Parameter{Name: "c", Kind: pipeline.Ordinal, Domain: ordDomain(0, 1, 2, 3)},
+	)
+	const writers, per = 4, 64
+	st := NewStoreSharded(s, 8)
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	ins := make([]pipeline.Instance, writers*per)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer done.Add(1)
+			for k := 0; k < per; k++ {
+				x := w*per + k
+				in := pipeline.MustInstance(s,
+					pipeline.Ord(float64(x%8)), pipeline.Ord(float64((x/8)%8)), pipeline.Ord(float64(x/64)))
+				ins[x] = in
+				out := pipeline.Succeed
+				if x%3 == 0 {
+					out = pipeline.Fail
+				}
+				if err := st.Add(in, out, "w"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < 4; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for done.Load() < writers {
+				e := st.Epoch()
+				h := e.Horizon()
+				if h < last || h > writers*per {
+					t.Errorf("horizon went from %d to %d", last, h)
+					return
+				}
+				last = h
+				succ, fail := e.Outcomes()
+				if succ+fail != h {
+					t.Errorf("horizon %d: outcome counts sum to %d", h, succ+fail)
+					return
+				}
+				fs, ss := e.Failing(), e.Succeeding()
+				if len(fs) != fail || len(ss) != succ {
+					t.Errorf("horizon %d: enumerated (%d,%d), counted (%d,%d)", h, len(ss), len(fs), succ, fail)
+					return
+				}
+				for _, in := range fs {
+					// Outcome is a pure function of the instance in this
+					// history, so any visible failing instance must be one
+					// the writers recorded as failing.
+					if out, ok := st.Lookup(in); !ok || out != pipeline.Fail {
+						t.Errorf("horizon %d: failing set holds %v with outcome (%v,%v)", h, in, out, ok)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	e := st.Epoch()
+	if e.Horizon() != writers*per {
+		t.Fatalf("final horizon = %d, want %d", e.Horizon(), writers*per)
+	}
+	r := rand.New(rand.NewSource(67))
+	compareEpochToStore(t, r, s, st, ins)
+}

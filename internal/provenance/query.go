@@ -264,7 +264,13 @@ func (st *Store) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad bo
 	if ref.Space() != st.space {
 		return nil
 	}
-	succ := st.Succeeding()
+	return mutuallyDisjointFrom(st.Succeeding(), ref, k, pad)
+}
+
+// mutuallyDisjointFrom runs the greedy CP_G selection over an
+// execution-ordered succeeding set; the Store and Epoch variants of
+// MutuallyDisjointSucceeding differ only in where that set comes from.
+func mutuallyDisjointFrom(succ []pipeline.Instance, ref pipeline.Instance, k int, pad bool) []pipeline.Instance {
 	var chosen []pipeline.Instance
 	used := make(map[int]bool)
 	for idx, in := range succ {
@@ -323,16 +329,24 @@ func (st *Store) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad bo
 // parameter), matching Triple.Satisfied on unknown parameters. The caller
 // holds the shard's read lock.
 func (st *Store) tripleBitsLocked(sh *shard, t predicate.Triple) (bitset, bool) {
-	i, ok := st.space.Index(t.Param)
+	return tripleBitsOver(st.space, sh.posting, t)
+}
+
+// tripleBitsOver is the posting-table core of tripleBitsLocked, shared
+// with the epoch read path: the caller supplies whichever posting table —
+// live shard indices under the read lock, or an immutable epoch's copy —
+// the query runs against.
+func tripleBitsOver(space *pipeline.Space, posting [][]bitset, t predicate.Triple) (bitset, bool) {
+	i, ok := space.Index(t.Param)
 	if !ok {
 		return nil, false
 	}
 	var mask bitset
-	for c, post := range sh.posting[i] {
+	for c, post := range posting[i] {
 		if len(post) == 0 {
 			continue
 		}
-		if t.Holds(st.space.InternedValue(i, uint32(c))) {
+		if t.Holds(space.InternedValue(i, uint32(c))) {
 			mask.orWith(post)
 		}
 	}

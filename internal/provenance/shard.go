@@ -3,6 +3,7 @@ package provenance
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pipeline"
 )
@@ -64,6 +65,22 @@ type shard struct {
 	succSeqs, failSeqs []int32
 	succBits, failBits bitset
 	posting            [][]bitset
+
+	// committed mirrors len(recs) for the lock-free epoch staleness check:
+	// stored under the write lock after every commit, loaded without any
+	// lock by Store.Epoch to decide whether the published epoch still
+	// covers the shard.
+	committed atomic.Int64
+
+	// epoch is the shard's published index snapshot (see epoch.go), swapped
+	// atomically so readers never block. epochMu single-flights refreshes:
+	// a reader that finds the epoch stale and the mutex busy serves the
+	// stale-but-consistent published epoch instead of waiting. indexMu
+	// single-flights the off-lock deferred base-index build; both are
+	// acquired before the shard lock, never after.
+	epoch   atomic.Pointer[shardEpoch]
+	epochMu sync.Mutex
+	indexMu sync.Mutex
 }
 
 // shardIndex routes an instance hash to its shard: the hash's top 32 bits
@@ -100,6 +117,7 @@ func (st *Store) commitLocked(sh *shard, rec Record) {
 		sh.failSeqs = append(sh.failSeqs, pos)
 	}
 	st.indexRecordBitsLocked(sh, int(pos), &rec)
+	sh.committed.Store(int64(len(sh.recs)))
 }
 
 // indexRecordBitsLocked sets the positional indices — the outcome bitset
@@ -179,31 +197,80 @@ func (sh *shard) adoptRun(recs []Record, hashes []uint64, seqs []int32, lo, hi i
 	sh.baseHash = hashes[lo:hi]
 	sh.baseSeq = local
 	sh.baseUnindexed = m
+	sh.committed.Store(int64(m))
 }
 
-// indexBaseLocked indexes the shard's deferred base prefix: outcome
-// position lists are built for it and prepended to whatever post-load
-// records have already indexed (base positions all precede them), and the
-// positional bitsets — outcome and posting — are or-ed in place.
-func (st *Store) indexBaseLocked(sh *shard) {
-	n := sh.baseUnindexed
-	if n == 0 {
+// baseIndex is the deferred base-run index built off-lock over the
+// immutable base prefix: outcome position lists, outcome bitsets, and
+// posting bitsets covering positions [0, n) only. installBaseIndexLocked
+// merges it with whatever the shard indexed incrementally since the load.
+type baseIndex struct {
+	succ, fail         []int32
+	succBits, failBits bitset
+	posting            [][]bitset
+}
+
+// buildBaseIndex indexes the base prefix without holding any shard lock:
+// the prefix is immutable once adopted (commits only append behind it), so
+// the build races nothing. Only the install needs the write lock, and it
+// costs O(index words), not O(records × parameters) — concurrent Lookups
+// no longer stall behind the first query of a freshly loaded checkpoint.
+func (st *Store) buildBaseIndex(base []Record) *baseIndex {
+	n := len(base)
+	bi := &baseIndex{
+		succ:    make([]int32, 0, n),
+		fail:    make([]int32, 0, n),
+		posting: make([][]bitset, st.space.Len()),
+	}
+	for pos := 0; pos < n; pos++ {
+		r := &base[pos]
+		if r.Outcome == pipeline.Succeed {
+			bi.succ = append(bi.succ, int32(pos))
+			bi.succBits.set(pos)
+		} else {
+			bi.fail = append(bi.fail, int32(pos))
+			bi.failBits.set(pos)
+		}
+		for i := range bi.posting {
+			c := int(r.Instance.Code(i))
+			for len(bi.posting[i]) <= c {
+				bi.posting[i] = append(bi.posting[i], nil)
+			}
+			bi.posting[i][c].set(pos)
+		}
+	}
+	return bi
+}
+
+// installBaseIndexLocked merges an off-lock base index into the shard's
+// live indices: base position lists prepend (base positions all precede
+// post-load ones), and the positional bitsets — outcome and posting — or
+// together word-wise. The caller holds the shard's write lock.
+func (st *Store) installBaseIndexLocked(sh *shard, bi *baseIndex) {
+	if sh.baseUnindexed == 0 {
 		return
 	}
 	sh.baseUnindexed = 0
-	baseSucc := make([]int32, 0, n)
-	baseFail := make([]int32, 0, n)
-	for pos := 0; pos < n; pos++ {
-		r := &sh.recs[pos]
-		if r.Outcome == pipeline.Succeed {
-			baseSucc = append(baseSucc, int32(pos))
-		} else {
-			baseFail = append(baseFail, int32(pos))
+	sh.succSeqs = append(bi.succ, sh.succSeqs...)
+	sh.failSeqs = append(bi.fail, sh.failSeqs...)
+	bi.succBits.orWith(sh.succBits)
+	sh.succBits = bi.succBits
+	bi.failBits.orWith(sh.failBits)
+	sh.failBits = bi.failBits
+	for i := range bi.posting {
+		lp := sh.posting[i]
+		if len(lp) < len(bi.posting[i]) {
+			lp = append(lp, make([]bitset, len(bi.posting[i])-len(lp))...)
 		}
-		st.indexRecordBitsLocked(sh, pos, r)
+		for c, bp := range bi.posting[i] {
+			if bp == nil {
+				continue
+			}
+			bp.orWith(lp[c])
+			lp[c] = bp
+		}
+		sh.posting[i] = lp
 	}
-	sh.succSeqs = append(baseSucc, sh.succSeqs...)
-	sh.failSeqs = append(baseFail, sh.failSeqs...)
 }
 
 // stagedLookupLocked returns the shard's in-flight staged record for in,

@@ -751,6 +751,7 @@ func (st *Store) LoadSortedRun(recs []Record, hashes []uint64, seqs []int32) err
 		sh.recs = recs
 		sh.baseHash, sh.baseSeq = hashes, seqs
 		sh.baseUnindexed = len(recs)
+		sh.committed.Store(int64(len(recs)))
 		st.seq.Store(int64(len(recs)))
 		return nil
 	}
@@ -787,17 +788,39 @@ func (st *Store) LoadSortedRun(recs []Record, hashes []uint64, seqs []int32) err
 // calls it before taking the read locks.
 func (st *Store) ensureIndexed() {
 	for i := range st.shards {
-		sh := &st.shards[i]
-		sh.mu.RLock()
-		n := sh.baseUnindexed
-		sh.mu.RUnlock()
-		if n == 0 {
-			continue
-		}
-		sh.mu.Lock()
-		st.indexBaseLocked(sh)
-		sh.mu.Unlock()
+		st.ensureShardIndexed(&st.shards[i])
 	}
+}
+
+// ensureShardIndexed builds one shard's deferred base-run index. The build
+// itself runs without the shard lock — the base prefix is immutable once
+// adopted — serialized per shard by indexMu, and installs under a brief
+// write lock (see buildBaseIndex). Concurrent callers past the first
+// either wait on indexMu for the same build or see baseUnindexed already
+// zero and return immediately.
+func (st *Store) ensureShardIndexed(sh *shard) {
+	sh.mu.RLock()
+	n := sh.baseUnindexed
+	var base []Record
+	if n > 0 {
+		base = sh.recs[:n:n]
+	}
+	sh.mu.RUnlock()
+	if n == 0 {
+		return
+	}
+	sh.indexMu.Lock()
+	defer sh.indexMu.Unlock()
+	sh.mu.RLock()
+	pending := sh.baseUnindexed > 0
+	sh.mu.RUnlock()
+	if !pending {
+		return
+	}
+	bi := st.buildBaseIndex(base)
+	sh.mu.Lock()
+	st.installBaseIndexLocked(sh, bi)
+	sh.mu.Unlock()
 }
 
 // Lookup returns the recorded outcome for the instance, if any. Hits

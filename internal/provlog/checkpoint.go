@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/pipeline"
 	"repro/internal/provenance"
@@ -296,6 +297,11 @@ type ckptState struct {
 	sourceID  map[string]uint16
 }
 
+// minRowsPerDecoder bounds the decode fan-out: a range smaller than this
+// is not worth a goroutine, so small checkpoints decode sequentially no
+// matter the requested parallelism.
+const minRowsPerDecoder = 4096
+
 // loadCheckpoint reads, validates, and decodes one checkpoint file into a
 // fresh store, adopting the rows as the store's sorted base run
 // (provenance.Store.LoadSortedRun): no hash index is built — the run's
@@ -306,7 +312,14 @@ type ckptState struct {
 // whole file is verified by its trailing CRC-32C before any byte is
 // interpreted; dictionary entries replay through Space.Intern with the
 // same code-agreement check the WAL replay performs.
-func loadCheckpoint(path string, space *pipeline.Space, shards int) (*provenance.Store, *ckptState, error) {
+//
+// The row region is fixed-width and every row validates independently, so
+// decode splits into par contiguous row ranges, one goroutine each,
+// writing disjoint index ranges of the shared column arrays; adoption fans
+// out over the same ranges (Space.AdoptInstancesRange), and each record
+// lands in its disjoint sequence slot. par <= 1 is the sequential
+// degenerate case, byte-for-byte the historic single-core load.
+func loadCheckpoint(path string, space *pipeline.Space, shards, par int) (*provenance.Store, *ckptState, error) {
 	data, release, err := mapFile(path)
 	if err != nil {
 		return nil, nil, err
@@ -441,55 +454,100 @@ func loadCheckpoint(path string, space *pipeline.Space, shards int) (*provenance
 	hashes := make([]uint64, w)
 	seqs := make([]int32, w)
 	hashStride := w/1024 + 1
-	for r := 0; r < w; r++ {
-		row := rows[r*rowSize : (r+1)*rowSize]
-		h := binary.LittleEndian.Uint64(row)
-		body := row[8:]
-		out := pipeline.Outcome(body[4*p])
-		if out != pipeline.Succeed && out != pipeline.Fail {
-			return nil, nil, ckptInvalid(path, "row %d has outcome %d", r, body[4*p])
-		}
-		src := binary.LittleEndian.Uint16(body[4*p+1:])
-		if int(src) >= nSources {
-			return nil, nil, ckptInvalid(path, "row %d references source %d of %d", r, src, nSources)
-		}
-		seq := binary.LittleEndian.Uint64(body[4*p+3:])
-		if seq >= watermark {
-			return nil, nil, ckptInvalid(path, "row %d has seq %d beyond watermark %d", r, seq, watermark)
-		}
-		base := r * p
-		for i := 0; i < p; i++ {
-			c := binary.LittleEndian.Uint32(body[4*i:])
-			if int(c) >= persisted[i] {
-				return nil, nil, ckptInvalid(path, "row %d references code %d of parameter %d outside its dictionary", r, c, i)
+	decodeRows := func(lo, hi int) error {
+		for r := lo; r < hi; r++ {
+			row := rows[r*rowSize : (r+1)*rowSize]
+			h := binary.LittleEndian.Uint64(row)
+			body := row[8:]
+			out := pipeline.Outcome(body[4*p])
+			if out != pipeline.Succeed && out != pipeline.Fail {
+				return ckptInvalid(path, "row %d has outcome %d", r, body[4*p])
 			}
-			flat[base+i] = c
+			src := binary.LittleEndian.Uint16(body[4*p+1:])
+			if int(src) >= nSources {
+				return ckptInvalid(path, "row %d references source %d of %d", r, src, nSources)
+			}
+			seq := binary.LittleEndian.Uint64(body[4*p+3:])
+			if seq >= watermark {
+				return ckptInvalid(path, "row %d has seq %d beyond watermark %d", r, seq, watermark)
+			}
+			base := r * p
+			for i := 0; i < p; i++ {
+				c := binary.LittleEndian.Uint32(body[4*i:])
+				if int(c) >= persisted[i] {
+					return ckptInvalid(path, "row %d references code %d of parameter %d outside its dictionary", r, c, i)
+				}
+				flat[base+i] = c
+			}
+			if r%hashStride == 0 && pipeline.HashCodes(flat[base:base+p]) != h {
+				return ckptInvalid(path, "row %d hash does not match its codes", r)
+			}
+			hashes[r] = h
+			seqs[r] = int32(seq)
+			outs[r] = out
+			srcs[r] = src
 		}
-		if r%hashStride == 0 && pipeline.HashCodes(flat[base:base+p]) != h {
-			return nil, nil, ckptInvalid(path, "row %d hash does not match its codes", r)
+		return nil
+	}
+	workers := par
+	if max := w / minRowsPerDecoder; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// rangeErr runs fn over [0, w) split into workers contiguous ranges,
+	// one goroutine each, and reports the error of the lowest errored
+	// range — within a range fn stops at its first bad row, so the error
+	// surfaced is exactly the one the sequential scan would have hit.
+	rangeErr := func(fn func(lo, hi int) error) error {
+		if workers == 1 {
+			return fn(0, w)
 		}
-		hashes[r] = h
-		seqs[r] = int32(seq)
-		outs[r] = out
-		srcs[r] = src
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			lo, hi := g*w/workers, (g+1)*w/workers
+			wg.Add(1)
+			go func(g, lo, hi int) {
+				defer wg.Done()
+				errs[g] = fn(lo, hi)
+			}(g, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rangeErr(decodeRows); err != nil {
+		return nil, nil, err
+	}
+	// Sequence slots must be distinct before adoption may fan out: every
+	// seq is below the watermark (checked per row), so a cheap bitmap pass
+	// proves the seq column a permutation of [0, w) — the parallel ranges
+	// then write disjoint recs slots, race-free by construction.
+	seen := make([]uint64, (w+63)/64)
+	for _, s := range seqs {
+		if seen[s>>6]&(1<<(uint(s)&63)) != 0 {
+			return nil, nil, ckptInvalid(path, "duplicate seq %d", s)
+		}
+		seen[s>>6] |= 1 << (uint(s) & 63)
 	}
 	// Code-only instances adopt the decoded matrix wholesale — no Value
 	// materialization, no re-hashing — and stream straight into their
 	// sequence-ordered slots (the counting sort back into execution
-	// order): the index-free sequential load.
+	// order): the index-free load, fanned across the same row ranges.
 	recs := make([]provenance.Record, w)
-	dupSeq := -1
-	if err := space.AdoptInstances(flat, hashes, func(r int, in pipeline.Instance) {
-		seq := seqs[r]
-		if recs[seq].Outcome != pipeline.OutcomeUnknown {
-			dupSeq = int(seq)
-		}
-		recs[seq] = provenance.Record{Seq: int(seq), Instance: in, Outcome: outs[r], Source: sources[srcs[r]]}
+	if err := rangeErr(func(lo, hi int) error {
+		return space.AdoptInstancesRange(flat, hashes, lo, hi, func(r int, in pipeline.Instance) {
+			seq := seqs[r]
+			recs[seq] = provenance.Record{Seq: int(seq), Instance: in, Outcome: outs[r], Source: sources[srcs[r]]}
+		})
 	}); err != nil {
 		return nil, nil, fmt.Errorf("provlog: %s: %w", filepath.Base(path), err)
-	}
-	if dupSeq >= 0 {
-		return nil, nil, ckptInvalid(path, "duplicate seq %d", dupSeq)
 	}
 	st := provenance.NewStoreSharded(space, shards)
 	if err := st.LoadSortedRun(recs, hashes, seqs); err != nil {

@@ -11,6 +11,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -396,8 +397,9 @@ func replaySegment(sf segFile, rs *replayState, isFinal bool) (lastGood int64, e
 // the intact byte length of the final segment (the recovery point a writer
 // must truncate to before appending). The rebuilt store is sharded across
 // shards hash ranges (1 = unsharded); a loaded checkpoint run splits at
-// the shard boundaries.
-func replayDir(dir string, space *pipeline.Space, shards int) (*replayState, []segFile, int64, error) {
+// the shard boundaries and decodes on up to par goroutines (<= 1 =
+// sequential).
+func replayDir(dir string, space *pipeline.Space, shards, par int) (*replayState, []segFile, int64, error) {
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, nil, 0, err
@@ -420,7 +422,7 @@ func replayDir(dir string, space *pipeline.Space, shards int) (*replayState, []s
 	var rs *replayState
 	var ckErr error
 	for _, ck := range cks {
-		st, cs, err := loadCheckpoint(ck.path, space, shards)
+		st, cs, err := loadCheckpoint(ck.path, space, shards, par)
 		if err != nil {
 			// An unreadable checkpoint falls back to an older one or the
 			// full WAL — unless it provably belongs to a different space,
@@ -523,7 +525,7 @@ func pickStartSegment(segs []segFile, watermark int) (int, int, error) {
 // record — the signature of a crash mid-append — is skipped; the returned
 // store holds exactly the intact prefix.
 func Replay(dir string, space *pipeline.Space) (*provenance.Store, error) {
-	rs, segs, _, err := replayDir(dir, space, 1)
+	rs, segs, _, err := replayDir(dir, space, 1, runtime.GOMAXPROCS(0))
 	if err != nil {
 		return nil, err
 	}
