@@ -26,6 +26,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/provlog"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 var benchSynth = synth.Config{MinParams: 3, MaxParams: 5, MinValues: 4, MaxValues: 6}
@@ -288,6 +289,34 @@ func BenchmarkExecutorMemoized(b *testing.B) {
 	sp, ex := newBenchProblem(b, 11)
 	in := sp.Space.RandomInstance(rand.New(rand.NewSource(1)))
 	ctx := context.Background()
+	if _, err := ex.Evaluate(ctx, in); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Evaluate(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemoizedWithTelemetry is BenchmarkExecutorMemoized with a live
+// registry attached: the memo-hit fast path gains one nil check plus one
+// atomic counter add, and the gate in BENCH_BASELINE.json holds it to the
+// uninstrumented baseline's neighborhood.
+func BenchmarkMemoizedWithTelemetry(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	sp, err := synth.Generate(r, benchSynth, synth.Disjunction)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tel := exec.NewTelemetry(telemetry.NewRegistry(), nil, 4)
+	ex := exec.New(sp.Oracle(), provenance.NewStore(sp.Space), exec.WithTelemetry(tel))
+	ctx := context.Background()
+	if err := core.SeedHistory(ctx, ex, r, 500); err != nil {
+		b.Fatal(err)
+	}
+	in := sp.Space.RandomInstance(rand.New(rand.NewSource(1)))
 	if _, err := ex.Evaluate(ctx, in); err != nil {
 		b.Fatal(err)
 	}

@@ -232,6 +232,8 @@ type Session struct {
 	syncPolicy   *SyncPolicy
 	fsync        bool
 	compactEvery int
+	telemetryReg *Registry
+	journal      *Journal
 }
 
 // NewSession builds a session for the pipeline described by space whose
@@ -247,9 +249,13 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	telOpt := s.telemetryOption()
 	if s.stateDir != "" {
 		exOpts := []exec.Option{exec.WithBudget(s.budget), exec.WithWorkers(s.workers),
 			exec.WithStoreShards(s.shards)}
+		if telOpt != nil {
+			exOpts = append(exOpts, telOpt)
+		}
 		if s.openParallel != 0 {
 			exOpts = append(exOpts, exec.WithOpenParallelism(s.openParallel))
 		}
@@ -293,8 +299,11 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 			return nil, fmt.Errorf("bugdoc: history: %w", err)
 		}
 	}
-	s.ex = exec.New(oracle, st,
-		exec.WithBudget(s.budget), exec.WithWorkers(s.workers))
+	volOpts := []exec.Option{exec.WithBudget(s.budget), exec.WithWorkers(s.workers)}
+	if telOpt != nil {
+		volOpts = append(volOpts, telOpt)
+	}
+	s.ex = exec.New(oracle, st, volOpts...)
 	return s, nil
 }
 

@@ -1,0 +1,103 @@
+package bugdoc_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/bugdoc"
+)
+
+// TestJournalMatchesStore is the differential test from the issue: after a
+// randomized session, the journal's completed-trial count and the trial
+// counter both equal the store's committed record count — every oracle run
+// is journaled exactly once and recorded exactly once.
+func TestJournalMatchesStore(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		r := rand.New(rand.NewSource(seed))
+		space := bugdoc.MustSpace(
+			bugdoc.Parameter{Name: "a", Kind: bugdoc.Ordinal, Domain: []bugdoc.Value{
+				bugdoc.Ord(1), bugdoc.Ord(2), bugdoc.Ord(3), bugdoc.Ord(4), bugdoc.Ord(5),
+			}},
+			bugdoc.Parameter{Name: "b", Kind: bugdoc.Categorical, Domain: []bugdoc.Value{
+				bugdoc.Cat("x"), bugdoc.Cat("y"), bugdoc.Cat("z"),
+			}},
+		)
+		badA := bugdoc.Ord(float64(1 + r.Intn(5)))
+		oracle := bugdoc.OracleFunc(func(_ context.Context, in bugdoc.Instance) (bugdoc.Outcome, error) {
+			if v, _ := in.ByName("a"); v == badA {
+				return bugdoc.Fail, nil
+			}
+			return bugdoc.Succeed, nil
+		})
+
+		reg := bugdoc.NewRegistry()
+		var jbuf bytes.Buffer
+		session, err := bugdoc.NewSession(space, oracle,
+			bugdoc.WithSeed(seed), bugdoc.WithWorkers(4),
+			bugdoc.WithTelemetry(reg), bugdoc.WithJournal(bugdoc.NewJournal(&jbuf)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := session.Seed(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := session.FindAll(ctx, bugdoc.DebuggingDecisionTrees); err != nil {
+			t.Fatal(err)
+		}
+
+		stats := session.Stats()
+		records := int64(session.Store().Len())
+		if got := stats.Counters["exec_oracle_trials"]; got != records {
+			t.Errorf("seed %d: %d oracle trials but %d committed records", seed, got, records)
+		}
+		if h := stats.Histograms["exec_oracle_latency_ns"]; h.Count != stats.Counters["exec_oracle_trials"] {
+			t.Errorf("seed %d: latency histogram count %d != trial counter %d",
+				seed, h.Count, stats.Counters["exec_oracle_trials"])
+		}
+
+		trialEnds := int64(0)
+		sc := bufio.NewScanner(bytes.NewReader(jbuf.Bytes()))
+		for sc.Scan() {
+			var m map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+				t.Fatalf("seed %d: journal line not JSON: %v: %q", seed, err, sc.Text())
+			}
+			if m["ev"] == "trial_end" {
+				if m["outcome"] != "succeed" && m["outcome"] != "fail" {
+					t.Errorf("seed %d: unexpected trial outcome %v", seed, m["outcome"])
+				}
+				trialEnds++
+			}
+		}
+		if trialEnds != records {
+			t.Errorf("seed %d: %d journaled trials but %d committed records", seed, trialEnds, records)
+		}
+	}
+}
+
+func TestStatsWithoutTelemetry(t *testing.T) {
+	space := bugdoc.MustSpace(
+		bugdoc.Parameter{Name: "a", Kind: bugdoc.Ordinal, Domain: []bugdoc.Value{
+			bugdoc.Ord(1), bugdoc.Ord(2),
+		}},
+	)
+	oracle := bugdoc.OracleFunc(func(context.Context, bugdoc.Instance) (bugdoc.Outcome, error) {
+		return bugdoc.Succeed, nil
+	})
+	session, err := bugdoc.NewSession(space, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := session.Stats()
+	if stats.Counters == nil || stats.Gauges == nil || stats.Histograms == nil {
+		t.Fatal("uninstrumented Stats() must still return well-formed maps")
+	}
+	if len(stats.Counters) != 0 {
+		t.Fatalf("uninstrumented session recorded counters: %v", stats.Counters)
+	}
+}

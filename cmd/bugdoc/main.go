@@ -52,6 +52,19 @@
 // After compaction, resuming loads the checkpoint and replays only the WAL
 // suffix past its watermark — resume cost is bounded by the live history.
 //
+// Observability flags: -stats prints a runtime telemetry summary when the
+// session ends — including when it is interrupted with Ctrl-C — covering
+// memo hits, oracle latency percentiles, WAL flush and checkpoint costs,
+// and epoch staleness. -events appends a JSON-lines journal of session
+// events (oracle trial spans, batch dispatches, group-commit flushes,
+// checkpoints, epoch refreshes) to a file. -debug-addr serves the live
+// metric registry at /debug/vars (JSON) and the Go profiler at
+// /debug/pprof/ while the session runs; ":0" picks a free port and the
+// chosen address is printed to stderr:
+//
+//	bugdoc -demo polygamy -algo ddt -goal all -workers 8 \
+//	    -stats -debug-addr 127.0.0.1:6060 -events events.jsonl
+//
 // The algorithms submit hypothesis sets (DDT suspect verifications,
 // stacked-shortcut candidate rounds) as batches: the executor dedupes them
 // against memoized provenance, dispatches the misses across -workers
@@ -67,7 +80,11 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"repro/internal/core"
@@ -79,6 +96,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/provlog"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -106,6 +124,9 @@ func run() error {
 		ckptN    = flag.Int("checkpoint-every", 0, "compact the WAL in the background every N logged records (0 = only on -compact)")
 		shards   = flag.Int("shards", 1, "shard the provenance store across N instance-hash ranges (rounded up to a power of two; 1 = unsharded)")
 		openPar  = flag.Int("open-parallel", 0, "decode the -state-dir checkpoint on N goroutines (0 = all cores; 1 = sequential)")
+		stats    = flag.Bool("stats", false, "print a runtime telemetry summary at exit (also on Ctrl-C)")
+		dbgAddr  = flag.String("debug-addr", "", "serve live /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060; :0 picks a port)")
+		events   = flag.String("events", "", "append a JSON-lines journal of session events to this file")
 	)
 	flag.Parse()
 
@@ -123,6 +144,49 @@ func run() error {
 		algo = core.AlgoDDT
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algoName)
+	}
+
+	// Observability: one registry feeds -stats, -debug-addr, and the
+	// internal instrumentation; the journal is independent so -events works
+	// without the counters and vice versa.
+	var (
+		reg     *telemetry.Registry
+		journal *telemetry.Journal
+	)
+	if *stats || *dbgAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *events != "" {
+		j, err := telemetry.OpenJournal(*events)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		journal = j
+	}
+	if *stats {
+		// Deferred so an interrupted or failed session still reports what it
+		// did before dying.
+		defer func() {
+			fmt.Printf("\n--- runtime telemetry ---\n%s", reg.Snapshot().Table())
+		}()
+	}
+	if *dbgAddr != "" {
+		ln, err := net.Listen("tcp", *dbgAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", reg)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bugdoc: debug server on http://%s/debug/vars\n", ln.Addr())
 	}
 
 	var (
@@ -180,6 +244,9 @@ func run() error {
 		if *openPar != 0 {
 			logOpts = append(logOpts, provlog.WithOpenParallelism(*openPar))
 		}
+		if reg != nil || journal != nil {
+			logOpts = append(logOpts, provlog.WithMetrics(provlog.NewMetrics(reg, journal)))
+		}
 		lg, durable, err := provlog.Open(*stateDir, st.Space(), logOpts...)
 		if err != nil {
 			return err
@@ -201,8 +268,13 @@ func run() error {
 		st = durable
 	}
 
-	ctx := context.Background()
-	ex := exec.New(oracle, st, exec.WithBudget(*budget), exec.WithWorkers(*workers))
+	ctx, unnotify := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer unnotify()
+	exOpts := []exec.Option{exec.WithBudget(*budget), exec.WithWorkers(*workers)}
+	if tel := exec.NewTelemetry(reg, journal, *workers); tel != nil {
+		exOpts = append(exOpts, exec.WithTelemetry(tel))
+	}
+	ex := exec.New(oracle, st, exOpts...)
 	r := rand.New(rand.NewSource(*seed))
 	if err := core.SeedHistory(ctx, ex, r, 0); err != nil {
 		return fmt.Errorf("seeding history: %w", err)

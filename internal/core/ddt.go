@@ -88,6 +88,7 @@ loop:
 			examples = append(examples, dtree.Example{Instance: r.Instance, Outcome: r.Outcome})
 		}
 		tree := dtree.Build(s, examples)
+		ex.Telemetry().TreeRegrow()
 		suspect, ok, err := nextSuspect(s, tree, confirmed, resolved)
 		if err != nil {
 			return nil, err
@@ -159,6 +160,7 @@ func nextSuspect(s *pipeline.Space, tree *dtree.Node, confirmed predicate.DNF, r
 // for the rest) — exhaustively when the region is small, by sampling
 // otherwise.
 func verifySuspect(ctx context.Context, ex *exec.Executor, suspect predicate.Conjunction, opts DDTOptions) (verdict, error) {
+	ex.Telemetry().Decision()
 	s := ex.Store().Space()
 	region, err := predicate.RegionOf(s, suspect)
 	if err != nil {

@@ -57,6 +57,7 @@ func Shortcut(ctx context.Context, ex *exec.Executor, cpf, cpg pipeline.Instance
 			continue
 		}
 		candidate := current.With(i, gv)
+		ex.Telemetry().Decision()
 		out, err := ex.Evaluate(ctx, candidate)
 		switch {
 		case err == nil:

@@ -29,6 +29,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/provenance"
 	"repro/internal/provlog"
+	"repro/internal/telemetry"
 )
 
 // Oracle runs one pipeline instance and evaluates its result (the
@@ -110,6 +111,7 @@ type Executor struct {
 	logOpts      []provlog.Option // collected by WithLogOptions for NewDurable
 	storeShards  int              // hash-range shards of the store NewDurable rebuilds
 	openParallel int              // checkpoint-decode goroutines for NewDurable's open
+	tel          *Telemetry       // nil when uninstrumented (the fast path)
 
 	mu     sync.Mutex
 	budget int // remaining new executions; negative = unlimited
@@ -123,6 +125,13 @@ func New(oracle Oracle, store *provenance.Store, opts ...Option) *Executor {
 	e := &Executor{oracle: oracle, store: store, workers: 1, budget: -1}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.tel != nil {
+		// Extend the instrumentation down into the store: per-shard record
+		// gauges, epoch refresh/staleness, index-build timing. The executor
+		// owns the evaluation session, so attaching here keeps one
+		// WithTelemetry option the single switch for the whole stack.
+		store.SetMetrics(provenance.NewMetrics(e.tel.reg, e.tel.journal, store.Shards()))
 	}
 	return e
 }
@@ -145,6 +154,9 @@ func NewDurable(oracle Oracle, space *pipeline.Space, dir string, opts ...Option
 	}
 	if cfg.openParallel != 0 {
 		cfg.logOpts = append(cfg.logOpts, provlog.WithOpenParallelism(cfg.openParallel))
+	}
+	if cfg.tel != nil {
+		cfg.logOpts = append(cfg.logOpts, provlog.WithMetrics(provlog.NewMetrics(cfg.tel.reg, cfg.tel.journal)))
 	}
 	l, st, err := provlog.Open(dir, space, cfg.logOpts...)
 	if err != nil {
@@ -209,6 +221,7 @@ func (e *Executor) reserve() error {
 		e.budget--
 	}
 	e.spent++
+	e.tel.budget(e.spent, e.budget, e.budget >= 0)
 	return nil
 }
 
@@ -220,6 +233,7 @@ func (e *Executor) release() {
 		e.budget++
 	}
 	e.spent--
+	e.tel.budget(e.spent, e.budget, e.budget >= 0)
 }
 
 // Evaluate returns the outcome of one instance: from provenance when
@@ -228,7 +242,13 @@ func (e *Executor) release() {
 // memoization is sound.
 func (e *Executor) Evaluate(ctx context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
 	if out, ok := e.store.Lookup(in); ok {
+		if t := e.tel; t != nil {
+			t.memoHits.Inc()
+		}
 		return out, nil
+	}
+	if t := e.tel; t != nil {
+		t.memoMisses.Inc()
 	}
 	if err := ctx.Err(); err != nil {
 		return pipeline.OutcomeUnknown, err
@@ -236,7 +256,7 @@ func (e *Executor) Evaluate(ctx context.Context, in pipeline.Instance) (pipeline
 	if err := e.reserve(); err != nil {
 		return pipeline.OutcomeUnknown, err
 	}
-	out, err := e.runReserved(ctx, in)
+	out, err := e.runReserved(ctx, in, 0)
 	if err != nil {
 		return pipeline.OutcomeUnknown, err
 	}
@@ -246,20 +266,33 @@ func (e *Executor) Evaluate(ctx context.Context, in pipeline.Instance) (pipeline
 // runReserved runs the oracle for an instance whose budget is already
 // reserved, refunding the reservation on failure — or when the instance
 // turned out to be memoized between the claim and the run (a concurrent
-// evaluation won; nothing was executed).
-func (e *Executor) runReserved(ctx context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+// evaluation won; nothing was executed). lane is a telemetry stripe hint
+// (the worker index) for the oracle-latency histogram.
+func (e *Executor) runReserved(ctx context.Context, in pipeline.Instance, lane int) (pipeline.Outcome, error) {
 	if out, ok := e.store.Lookup(in); ok {
 		e.release()
+		if t := e.tel; t != nil {
+			t.memoHits.Inc()
+		}
 		return out, nil
 	}
+	t := e.tel
+	var start time.Time
+	if t != nil {
+		start = t.trialStart(in)
+	}
 	out, err := e.oracle.Run(ctx, in)
+	if err == nil && out != pipeline.Succeed && out != pipeline.Fail {
+		err = fmt.Errorf("exec: oracle returned %v for %v", out, in)
+	} else if err != nil {
+		err = fmt.Errorf("exec: run %v: %w", in, err)
+	}
+	if t != nil {
+		t.trialEnd(lane, in, out, err, start)
+	}
 	if err != nil {
 		e.release()
-		return pipeline.OutcomeUnknown, fmt.Errorf("exec: run %v: %w", in, err)
-	}
-	if out != pipeline.Succeed && out != pipeline.Fail {
-		e.release()
-		return pipeline.OutcomeUnknown, fmt.Errorf("exec: oracle returned %v for %v", out, in)
+		return pipeline.OutcomeUnknown, err
 	}
 	return out, nil
 }
@@ -327,6 +360,7 @@ func (e *Executor) EvaluateBatch(ctx context.Context, ins []pipeline.Instance) [
 func (e *Executor) evaluateSet(ctx context.Context, ins []pipeline.Instance, batch bool) []Result {
 	results := make([]Result, len(ins))
 	run, dupOf := e.planSet(ctx, ins, results)
+	e.tel.batchDispatch(len(ins), len(run), len(dupOf), batch)
 
 	if len(run) > 0 {
 		jobs := make(chan int)
@@ -335,20 +369,26 @@ func (e *Executor) evaluateSet(ctx context.Context, ins []pipeline.Instance, bat
 		if workers > len(run) {
 			workers = len(run)
 		}
+		var queue *telemetry.Gauge
+		if e.tel != nil {
+			queue = e.tel.queueDepth
+		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(lane int) {
 				defer wg.Done()
 				for i := range jobs {
-					out, err := e.runReserved(ctx, ins[i])
+					queue.Add(-1)
+					out, err := e.runReserved(ctx, ins[i], lane)
 					if err == nil && !batch {
 						out, err = e.commitOne(ins[i], out)
 					}
 					results[i].Outcome, results[i].Err = out, err
 				}
-			}()
+			}(w)
 		}
 		for _, i := range run {
+			queue.Add(1)
 			jobs <- i
 		}
 		close(jobs)
@@ -368,19 +408,29 @@ func (e *Executor) evaluateSet(ctx context.Context, ins []pipeline.Instance, bat
 // budget for the misses in input order. It fills results for everything it
 // resolves and returns the indices to dispatch plus the duplicate mapping.
 func (e *Executor) planSet(ctx context.Context, ins []pipeline.Instance, results []Result) (run []int, dupOf map[int]int) {
+	t := e.tel
 	firstAt := pipeline.NewInstanceMap[int32](len(ins))
 	for i, in := range ins {
 		results[i].Instance = in
 		if out, ok := e.store.Lookup(in); ok {
+			if t != nil {
+				t.memoHits.Inc()
+			}
 			results[i].Outcome = out
 			continue
 		}
 		if j, seen := firstAt.Get(in); seen {
+			if t != nil {
+				t.dedupDrops.Inc()
+			}
 			if dupOf == nil {
 				dupOf = make(map[int]int)
 			}
 			dupOf[i] = int(j)
 			continue
+		}
+		if t != nil {
+			t.memoMisses.Inc()
 		}
 		if err := ctx.Err(); err != nil {
 			results[i].Outcome, results[i].Err = pipeline.OutcomeUnknown, err

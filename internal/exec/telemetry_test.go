@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/provenance"
+	"repro/internal/telemetry"
+)
+
+func TestTelemetryCounters(t *testing.T) {
+	s := testSpace(t)
+	reg := telemetry.NewRegistry()
+	var buf bytes.Buffer
+	tel := NewTelemetry(reg, telemetry.NewJournal(&buf), 2)
+	ex := New(OracleFunc(failIfA1), provenance.NewStore(s),
+		WithWorkers(2), WithBudget(10), WithTelemetry(tel))
+	ctx := context.Background()
+
+	in1 := pipeline.MustInstance(s, pipeline.Ord(1), pipeline.Ord(1))
+	in2 := pipeline.MustInstance(s, pipeline.Ord(2), pipeline.Ord(2))
+
+	if _, err := ex.Evaluate(ctx, in1); err != nil { // miss + trial
+		t.Fatal(err)
+	}
+	if _, err := ex.Evaluate(ctx, in1); err != nil { // hit
+		t.Fatal(err)
+	}
+	// Batch: in1 memoized, in2 new, in2 again is an intra-set dup.
+	res := ex.EvaluateBatch(ctx, []pipeline.Instance{in1, in2, in2})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("batch result %d: %v", i, r.Err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["exec_memo_hits"]; got != 2 {
+		t.Errorf("memo hits = %d, want 2", got)
+	}
+	if got := snap.Counters["exec_memo_misses"]; got != 2 {
+		t.Errorf("memo misses = %d, want 2", got)
+	}
+	if got := snap.Counters["exec_dedup_drops"]; got != 1 {
+		t.Errorf("dedup drops = %d, want 1", got)
+	}
+	if got := snap.Counters["exec_oracle_trials"]; got != 2 {
+		t.Errorf("oracle trials = %d, want 2", got)
+	}
+	if got := snap.Gauges["exec_budget_spent"]; got != 2 {
+		t.Errorf("budget spent = %d, want 2", got)
+	}
+	if got := snap.Gauges["exec_budget_remaining"]; got != 8 {
+		t.Errorf("budget remaining = %d, want 8", got)
+	}
+	h := snap.Histograms["exec_oracle_latency_ns"]
+	if h.Count != snap.Counters["exec_oracle_trials"] {
+		t.Errorf("latency histogram count %d != trial counter %d", h.Count, snap.Counters["exec_oracle_trials"])
+	}
+
+	// Journal: one trial_start/trial_end pair per oracle run, one
+	// batch_dispatch per set.
+	counts := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("journal line not JSON: %v: %q", err, sc.Text())
+		}
+		counts[m["ev"].(string)]++
+	}
+	if counts["trial_start"] != 2 || counts["trial_end"] != 2 {
+		t.Errorf("journal trials = %v, want 2 starts + 2 ends", counts)
+	}
+	if counts["batch_dispatch"] != 1 {
+		t.Errorf("journal batch_dispatch = %d, want 1", counts["batch_dispatch"])
+	}
+}
+
+func TestTelemetryUnboundedBudgetGauge(t *testing.T) {
+	s := testSpace(t)
+	reg := telemetry.NewRegistry()
+	ex := New(OracleFunc(failIfA1), provenance.NewStore(s),
+		WithTelemetry(NewTelemetry(reg, nil, 1)))
+	in := pipeline.MustInstance(s, pipeline.Ord(3), pipeline.Ord(3))
+	if _, err := ex.Evaluate(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["exec_budget_remaining"]; got != -1 {
+		t.Errorf("unbounded budget gauge = %d, want -1 sentinel", got)
+	}
+	if got := snap.Gauges["exec_budget_spent"]; got != 1 {
+		t.Errorf("budget spent = %d, want 1", got)
+	}
+}
+
+func TestNewTelemetryNilNil(t *testing.T) {
+	if NewTelemetry(nil, nil, 4) != nil {
+		t.Fatal("NewTelemetry(nil, nil) should return nil (uninstrumented)")
+	}
+	var tel *Telemetry
+	tel.Decision()
+	tel.TreeRegrow()
+	tel.budget(1, 2, true)
+	tel.batchDispatch(1, 1, 0, false)
+}
+
+// TestMemoizedNilTelemetryAllocFree pins the acceptance criterion that the
+// uninstrumented memoized-lookup path stays allocation-free.
+func TestMemoizedNilTelemetryAllocFree(t *testing.T) {
+	s := testSpace(t)
+	ex := New(OracleFunc(failIfA1), provenance.NewStore(s))
+	ctx := context.Background()
+	in := pipeline.MustInstance(s, pipeline.Ord(2), pipeline.Ord(1))
+	if _, err := ex.Evaluate(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := ex.Evaluate(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("memoized Evaluate (no telemetry) allocated %v/op", n)
+	}
+}
+
+// TestMemoizedWithTelemetryAllocFree pins the instrumented memoized path:
+// the counter increment is one atomic add, no allocation.
+func TestMemoizedWithTelemetryAllocFree(t *testing.T) {
+	s := testSpace(t)
+	reg := telemetry.NewRegistry()
+	ex := New(OracleFunc(failIfA1), provenance.NewStore(s),
+		WithTelemetry(NewTelemetry(reg, nil, 1)))
+	ctx := context.Background()
+	in := pipeline.MustInstance(s, pipeline.Ord(2), pipeline.Ord(1))
+	if _, err := ex.Evaluate(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := ex.Evaluate(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("memoized Evaluate (telemetry on) allocated %v/op", n)
+	}
+}

@@ -4,6 +4,11 @@
 // cause is decided exactly with the region algebra: an assertion is a true
 // minimal definitive root cause iff it is definitive for the ground-truth
 // failure condition (Definition 4) and minimal (Definition 5).
+//
+// Not to be confused with internal/telemetry, which is *runtime*
+// observability of the engine (hot-path counters, latency histograms, the
+// session event journal); this package scores *algorithm output* against
+// planted ground truth. See docs/ARCHITECTURE.md.
 package metrics
 
 import (

@@ -2,6 +2,7 @@ package provenance
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/pipeline"
 	"repro/internal/predicate"
@@ -37,24 +38,40 @@ type shardEpoch struct {
 // it is served as-is. A stale epoch is refreshed by whoever wins the
 // shard's single-flight mutex; losers serve the published epoch (a
 // consistent, slightly older horizon) rather than block — except on the
-// very first call, when nothing is published yet and everyone waits.
-func (st *Store) epochOf(sh *shard) *shardEpoch {
+// very first call, when nothing is published yet and everyone waits. i is
+// the shard's index, a telemetry stripe hint for the staleness histogram.
+func (st *Store) epochOf(i int, sh *shard) *shardEpoch {
 	ep := sh.epoch.Load()
 	if ep != nil && int64(ep.n) >= sh.committed.Load() {
+		st.met.epochServed(i, 0)
 		return ep
 	}
 	if !sh.epochMu.TryLock() {
 		if ep != nil {
+			st.met.epochServed(i, sh.committed.Load()-int64(ep.n))
 			return ep
 		}
 		sh.epochMu.Lock() // first epoch: nothing published, wait for the builder
 	}
 	defer sh.epochMu.Unlock()
 	if ep = sh.epoch.Load(); ep != nil && int64(ep.n) >= sh.committed.Load() {
+		st.met.epochServed(i, 0)
 		return ep
+	}
+	start := time.Time{}
+	if st.met != nil {
+		start = time.Now()
 	}
 	ne := st.buildShardEpoch(sh, ep)
 	sh.epoch.Store(ne)
+	if st.met != nil {
+		prev := 0
+		if ep != nil {
+			prev = ep.n
+		}
+		st.met.epochServed(i, 0)
+		st.met.epochRefreshed(i, prev, ne.n, time.Since(start))
+	}
 	return ne
 }
 
@@ -151,7 +168,7 @@ func (st *Store) Epoch() *Epoch {
 	k := len(st.shards)
 	e := &Epoch{st: st, shards: make([]*shardEpoch, k), cuts: make([]int, k)}
 	for i := range st.shards {
-		e.shards[i] = st.epochOf(&st.shards[i])
+		e.shards[i] = st.epochOf(i, &st.shards[i])
 	}
 	if k == 1 {
 		// One shard commits in global sequence order: the whole snapshot is

@@ -1,0 +1,108 @@
+package provenance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/telemetry"
+)
+
+func metricsTestSpace(t *testing.T) *pipeline.Space {
+	t.Helper()
+	return pipeline.MustSpace(
+		pipeline.Parameter{Name: "a", Kind: pipeline.Ordinal, Domain: []pipeline.Value{
+			pipeline.Ord(1), pipeline.Ord(2), pipeline.Ord(3), pipeline.Ord(4),
+			pipeline.Ord(5), pipeline.Ord(6), pipeline.Ord(7), pipeline.Ord(8),
+		}},
+		pipeline.Parameter{Name: "b", Kind: pipeline.Ordinal, Domain: []pipeline.Value{
+			pipeline.Ord(1), pipeline.Ord(2), pipeline.Ord(3), pipeline.Ord(4),
+		}},
+	)
+}
+
+func TestStoreMetricsGaugesAndEpoch(t *testing.T) {
+	s := metricsTestSpace(t)
+	st := NewStoreSharded(s, 4)
+	reg := telemetry.NewRegistry()
+	st.SetMetrics(NewMetrics(reg, nil, st.Shards()))
+
+	n := 0
+	for _, av := range s.Domain("a") {
+		for _, bv := range s.Domain("b") {
+			in := pipeline.MustInstance(s, av, bv)
+			out := pipeline.Succeed
+			if n%3 == 0 {
+				out = pipeline.Fail
+			}
+			if err := st.Add(in, out, "test"); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+
+	// Per-shard gauges read the live committed counters and sum to Len.
+	snap := reg.Snapshot()
+	var sum int64
+	for i := 0; i < st.Shards(); i++ {
+		v, ok := snap.Gauges[fmt.Sprintf("provenance_shard%d_records", i)]
+		if !ok {
+			t.Fatalf("missing gauge for shard %d", i)
+		}
+		sum += v
+	}
+	if sum != int64(st.Len()) {
+		t.Errorf("shard gauges sum to %d, store has %d", sum, st.Len())
+	}
+	if got := snap.Gauges["provenance_records"]; got != int64(st.Len()) {
+		t.Errorf("total gauge = %d, want %d", got, st.Len())
+	}
+
+	// First Epoch builds every non-empty shard's snapshot; a second over a
+	// quiescent store serves the published ones with zero staleness.
+	if st.Epoch().Len() != st.Len() {
+		t.Fatal("epoch misses records")
+	}
+	st.Epoch()
+	snap = reg.Snapshot()
+	if snap.Counters["provenance_epoch_refreshes"] == 0 {
+		t.Error("no epoch refreshes counted")
+	}
+	stale := snap.Histograms["provenance_epoch_staleness"]
+	if stale.Count == 0 {
+		t.Error("no staleness observations")
+	}
+
+	// More writes make the published epochs stale; refresh count grows.
+	before := snap.Counters["provenance_epoch_refreshes"]
+	if err := st.Add(pipeline.MustInstance(s, pipeline.Ord(100), pipeline.Ord(1)), pipeline.Succeed, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch().Len() != st.Len() {
+		t.Fatal("refreshed epoch misses the new record")
+	}
+	if after := reg.Snapshot().Counters["provenance_epoch_refreshes"]; after <= before {
+		t.Errorf("epoch refreshes did not grow: %d -> %d", before, after)
+	}
+}
+
+func TestSetMetricsNilSafe(t *testing.T) {
+	s := metricsTestSpace(t)
+	st := NewStore(s)
+	st.SetMetrics(nil)
+	if NewMetrics(nil, nil, 1) != nil {
+		t.Fatal("NewMetrics(nil, nil) should return nil")
+	}
+	var m *Metrics
+	m.epochServed(0, 1)
+	m.epochRefreshed(0, 0, 1, 0)
+	m.indexBuilt(0)
+	in := pipeline.MustInstance(s, pipeline.Ord(1), pipeline.Ord(1))
+	if err := st.Add(in, pipeline.Fail, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch().Len() != 1 {
+		t.Fatal("epoch over uninstrumented store broken")
+	}
+}

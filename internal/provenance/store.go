@@ -56,6 +56,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/pipeline"
 )
@@ -149,6 +150,7 @@ type Store struct {
 	// and is not taken at all on the sink-less fast path.
 	wmu      sync.Mutex
 	sink     Sink
+	met      *Metrics    // nil when uninstrumented; see SetMetrics
 	stageErr error       // set on staged-sink failure; poisons writes (reads stay valid)
 	poisoned atomic.Bool // mirrors stageErr != nil for the lock-free fast path
 	stageOne [1]Record   // single-record staging scratch, used under wmu
@@ -817,10 +819,17 @@ func (st *Store) ensureShardIndexed(sh *shard) {
 	if !pending {
 		return
 	}
+	start := time.Time{}
+	if st.met != nil {
+		start = time.Now()
+	}
 	bi := st.buildBaseIndex(base)
 	sh.mu.Lock()
 	st.installBaseIndexLocked(sh, bi)
 	sh.mu.Unlock()
+	if st.met != nil {
+		st.met.indexBuilt(time.Since(start))
+	}
 }
 
 // Lookup returns the recorded outcome for the instance, if any. Hits

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/pipeline"
 	"repro/internal/provenance"
@@ -616,6 +617,10 @@ func (l *Log) Checkpoint() error {
 	fingerprint := l.fingerprint
 	l.mu.Unlock()
 
+	var ckptStart time.Time
+	if l.met != nil {
+		ckptStart = time.Now()
+	}
 	buf, err := encodeCheckpoint(l.space, fingerprint, sn, w)
 	if err != nil {
 		return err
@@ -631,6 +636,7 @@ func (l *Log) Checkpoint() error {
 	if err := writeCheckpointFile(l.dir, buf, w); err != nil {
 		return fmt.Errorf("provlog: checkpoint: %w", err)
 	}
+	l.met.checkpointed(w, len(buf), time.Since(ckptStart))
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -709,6 +715,7 @@ func (l *Log) gcLocked(w int) error {
 		if err := os.Remove(segs[i].path); err != nil {
 			return err
 		}
+		l.met.segmentGCd()
 	}
 	cks, err := listCheckpoints(l.dir)
 	if err != nil {
@@ -722,6 +729,7 @@ func (l *Log) gcLocked(w int) error {
 			if err := os.Remove(ck.path); err != nil {
 				return err
 			}
+			l.met.segmentGCd()
 		}
 	}
 	return syncDir(l.dir)

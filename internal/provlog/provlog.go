@@ -155,8 +155,9 @@ type Log struct {
 	segIndex     uint32
 	size         int64 // flusher-owned once open; serialized by flushing
 	nextSeq      int
-	storeShards  int // hash-range shards of the store Open rebuilds (0/1 = unsharded)
-	openParallel int // checkpoint-decode goroutines for Open (< 1 = GOMAXPROCS)
+	storeShards  int      // hash-range shards of the store Open rebuilds (0/1 = unsharded)
+	openParallel int      // checkpoint-decode goroutines for Open (< 1 = GOMAXPROCS)
+	met          *Metrics // nil when uninstrumented; see WithMetrics
 
 	// Compaction state: the store Open attached (checkpoints snapshot it),
 	// the newest checkpoint's watermark, the WAL bytes written since, and
@@ -449,7 +450,7 @@ func (l *Log) Append(r provenance.Record) error {
 		frames, firstSeq := l.pending, l.pendingFirst
 		l.pending = frames[:0]
 		l.pendingRecs = 0
-		if err := l.writeWindow(frames, firstSeq, true); err != nil {
+		if err := l.writeWindow(frames, firstSeq, 1, true); err != nil {
 			var fe *flushError
 			if errors.As(err, &fe) && !fe.dirty {
 				// The file is back at its pre-append state; undo the stage
@@ -630,6 +631,7 @@ func (l *Log) leaderFlushLocked(g *commitGroup, window bool) {
 	firstSeq := l.pendingFirst
 	flushedGroup := l.cur
 	broken := l.broken
+	recs := l.pendingRecs
 	l.cur = nil
 	l.pending = nil
 	l.pendingRecs = 0
@@ -644,7 +646,7 @@ func (l *Log) leaderFlushLocked(g *commitGroup, window bool) {
 		// recovery repairs.
 		err = broken
 	case len(frames) > 0:
-		err = l.writeWindow(frames, firstSeq, false)
+		err = l.writeWindow(frames, firstSeq, recs, false)
 	}
 
 	// Any failure here poisons the log, even one that provably wrote
@@ -697,8 +699,9 @@ func (e *flushError) Unwrap() error { return e.cause }
 // serializes every other toucher of l.f and l.size); rotation updates
 // l.segIndex, which SegmentCount reads, so it always runs under the mutex.
 // Write and fsync failures come back as *flushError, trimming the partial
-// write back to the window boundary when possible.
-func (l *Log) writeWindow(frames []byte, firstSeq int, muHeld bool) error {
+// write back to the window boundary when possible. recs is the number of
+// records in the window, reported to telemetry.
+func (l *Log) writeWindow(frames []byte, firstSeq, recs int, muHeld bool) error {
 	if l.size >= l.segSize {
 		if !muHeld {
 			l.mu.Lock()
@@ -724,13 +727,22 @@ func (l *Log) writeWindow(frames []byte, firstSeq int, muHeld bool) error {
 	if _, err := l.f.Write(frames); err != nil {
 		return fail(err)
 	}
+	var fsyncDur time.Duration
 	if l.sync {
+		var start time.Time
+		if l.met != nil {
+			start = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			return fail(err)
+		}
+		if l.met != nil {
+			fsyncDur = time.Since(start)
 		}
 	}
 	l.size += int64(len(frames))
 	l.bytesSinceCkpt.Add(int64(len(frames)))
+	l.met.flushed(recs, len(frames), fsyncDur, l.sync)
 	return nil
 }
 

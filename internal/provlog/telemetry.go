@@ -1,0 +1,103 @@
+package provlog
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics is the log's instrumentation bundle: commit-window size
+// distribution, fsync latency, bytes appended, segments garbage-collected,
+// and checkpoint duration/bytes, plus group-commit-flush and checkpoint
+// span events in the session journal. Build one with NewMetrics and attach
+// it with WithMetrics; a nil *Metrics — the default — is the
+// uninstrumented fast path.
+type Metrics struct {
+	reg     *telemetry.Registry
+	journal *telemetry.Journal
+
+	windowRecs    *telemetry.Histogram // records per commit window
+	fsyncNs       *telemetry.Histogram // fsync latency per flushed window
+	bytesAppended *telemetry.Counter
+	flushes       *telemetry.Counter
+	segmentsGCd   *telemetry.Counter
+	checkpoints   *telemetry.Counter
+	checkpointNs  *telemetry.Histogram
+	ckptBytes     *telemetry.Counter
+}
+
+// NewMetrics registers the log's metrics in reg (under provlog_* names)
+// and emits flush/checkpoint span events to journal. Either argument may
+// be nil; NewMetrics(nil, nil) returns nil, the uninstrumented log.
+func NewMetrics(reg *telemetry.Registry, journal *telemetry.Journal) *Metrics {
+	if reg == nil && journal == nil {
+		return nil
+	}
+	return &Metrics{
+		reg:           reg,
+		journal:       journal,
+		windowRecs:    reg.Histogram("provlog_commit_window_recs"),
+		fsyncNs:       reg.Histogram("provlog_fsync_ns"),
+		bytesAppended: reg.Counter("provlog_bytes_appended"),
+		flushes:       reg.Counter("provlog_flushes"),
+		segmentsGCd:   reg.Counter("provlog_segments_gcd"),
+		checkpoints:   reg.Counter("provlog_checkpoints"),
+		checkpointNs:  reg.Histogram("provlog_checkpoint_ns"),
+		ckptBytes:     reg.Counter("provlog_checkpoint_bytes"),
+	}
+}
+
+// WithMetrics attaches an instrumentation bundle to the log Open builds.
+// A nil bundle (or omitting the option) leaves the log uninstrumented.
+func WithMetrics(m *Metrics) Option {
+	return func(l *Log) { l.met = m }
+}
+
+// flushed records one durable commit window: size distribution, byte
+// counter, fsync latency (synced is false when the sync policy skipped the
+// fsync), and the group-commit-flush journal span.
+func (m *Metrics) flushed(recs, bytes int, fsync time.Duration, synced bool) {
+	if m == nil {
+		return
+	}
+	m.flushes.Inc()
+	m.windowRecs.Observe(int64(recs))
+	m.bytesAppended.Add(int64(bytes))
+	if synced {
+		m.fsyncNs.Observe(int64(fsync))
+	}
+	if m.journal != nil {
+		m.journal.Emit("wal_flush",
+			telemetry.Int("recs", int64(recs)),
+			telemetry.Int("bytes", int64(bytes)),
+			telemetry.Dur("fsync_ns", fsync),
+		)
+	}
+}
+
+// segmentGCd counts one garbage-collected file (a superseded WAL segment
+// or checkpoint).
+func (m *Metrics) segmentGCd() {
+	if m == nil {
+		return
+	}
+	m.segmentsGCd.Inc()
+}
+
+// checkpointed records one completed checkpoint: counter, byte counter,
+// duration histogram, and the checkpoint journal span.
+func (m *Metrics) checkpointed(watermark, bytes int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.checkpoints.Inc()
+	m.ckptBytes.Add(int64(bytes))
+	m.checkpointNs.Observe(int64(d))
+	if m.journal != nil {
+		m.journal.Emit("checkpoint",
+			telemetry.Int("watermark", int64(watermark)),
+			telemetry.Int("bytes", int64(bytes)),
+			telemetry.Dur("dur_ns", d),
+		)
+	}
+}
