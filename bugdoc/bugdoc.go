@@ -75,6 +75,10 @@ type (
 	// appends coalesce into commit windows (one buffered write, and — with
 	// WithFsync — one fsync, per window).
 	SyncPolicy = provlog.SyncPolicy
+	// MergePolicy schedules the durable log's checkpoint tier compaction:
+	// how many LSM-style tiers may accumulate and how steeply their sizes
+	// must grow before adjacent tiers merge.
+	MergePolicy = provlog.MergePolicy
 )
 
 // Value kinds.
@@ -205,6 +209,18 @@ func WithFsync(on bool) Option {
 	return func(s *Session) { s.fsync = on }
 }
 
+// WithMergePolicy sets the checkpoint tier-compaction policy of a durable
+// session's write-ahead log: every compaction folds only the records past
+// the newest checkpoint into a small tier file, and adjacent tiers merge
+// when more than MaxTiers accumulate or an older tier is less than
+// SizeRatio times its newer neighbor — so checkpoint cost tracks the
+// session's recent work, not its whole history. Zero fields take the
+// defaults (8 tiers, ratio 4); MaxTiers 1 restores the historic
+// full-rewrite compaction. It has no effect without WithDurability.
+func WithMergePolicy(p MergePolicy) Option {
+	return func(s *Session) { s.mergePolicy = &p }
+}
+
 // WithCompactEvery schedules automatic compaction for a durable session:
 // whenever n records have been logged past the newest checkpoint, the
 // write-ahead log folds its sealed history into a checkpoint in the
@@ -232,6 +248,7 @@ type Session struct {
 	syncPolicy   *SyncPolicy
 	fsync        bool
 	compactEvery int
+	mergePolicy  *MergePolicy
 	telemetryReg *Registry
 	journal      *Journal
 }
@@ -269,6 +286,9 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 		if s.compactEvery > 0 {
 			logOpts = append(logOpts, provlog.WithCompactPolicy(
 				provlog.CompactPolicy{EveryRecords: s.compactEvery}))
+		}
+		if s.mergePolicy != nil {
+			logOpts = append(logOpts, provlog.WithMergePolicy(*s.mergePolicy))
 		}
 		if len(logOpts) > 0 {
 			exOpts = append(exOpts, exec.WithLogOptions(logOpts...))

@@ -39,18 +39,22 @@
 //	    -workers 8 -sync 2ms
 //
 // Compaction flags: long sessions accumulate a WAL whose replay cost grows
-// with the whole past. -checkpoint-every N folds the log into a sorted
-// checkpoint in the background every N logged records, and -compact runs
-// one compaction over an existing state directory and exits (no search;
-// the space comes from the persisted spec, so not even -demo/-spec is
-// needed):
+// with the whole past. -checkpoint-every N folds the records past the
+// newest checkpoint into a new tier file every N logged records, and
+// -compact runs one compaction over an existing state directory and exits
+// (no search; the space comes from the persisted spec, so not even
+// -demo/-spec is needed). Checkpoints are LSM-tiered: each compaction
+// writes only the delta, and -merge-policy K:R bounds the tier count (at
+// most K tiers, each at least R times the one above it; 1:1 restores the
+// historic rewrite-everything compaction):
 //
 //	bugdoc -demo polygamy -algo ddt -goal all -state-dir ./state \
-//	    -checkpoint-every 10000
+//	    -checkpoint-every 10000 -merge-policy 8:4
 //	bugdoc -state-dir ./state -compact
 //
-// After compaction, resuming loads the checkpoint and replays only the WAL
-// suffix past its watermark — resume cost is bounded by the live history.
+// After compaction, resuming loads the manifest's tiers and replays only
+// the WAL suffix past the newest watermark — resume cost is bounded by the
+// live history, and checkpoint cost by the delta since the last one.
 //
 // Observability flags: -stats prints a runtime telemetry summary when the
 // session ends — including when it is interrupted with Ctrl-C — covering
@@ -86,6 +90,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -120,8 +126,9 @@ func run() error {
 		resume   = flag.Bool("resume", false, "require existing state in -state-dir and continue it")
 		latency  = flag.Duration("latency", 0, "simulated per-execution latency (e.g. 50ms)")
 		syncWin  = flag.Duration("sync", -1, "fsync the WAL with this group-commit window (e.g. 2ms; 0 = every window; < 0 = no fsync)")
-		compact  = flag.Bool("compact", false, "fold the -state-dir WAL into a checkpoint, collect superseded segments, and exit")
+		compact  = flag.Bool("compact", false, "fold the -state-dir WAL into a checkpoint tier, collect superseded files, and exit")
 		ckptN    = flag.Int("checkpoint-every", 0, "compact the WAL in the background every N logged records (0 = only on -compact)")
+		mergePol = flag.String("merge-policy", "", "checkpoint tier merge policy as K:R — at most K tiers, each at least R times the one above (default 8:4; 1:1 = full rewrite)")
 		shards   = flag.Int("shards", 1, "shard the provenance store across N instance-hash ranges (rounded up to a power of two; 1 = unsharded)")
 		openPar  = flag.Int("open-parallel", 0, "decode the -state-dir checkpoint on N goroutines (0 = all cores; 1 = sequential)")
 		stats    = flag.Bool("stats", false, "print a runtime telemetry summary at exit (also on Ctrl-C)")
@@ -130,8 +137,13 @@ func run() error {
 	)
 	flag.Parse()
 
+	merge, mpErr := parseMergePolicy(*mergePol)
+	if mpErr != nil {
+		return mpErr
+	}
+
 	if *compact {
-		return compactStateDir(*stateDir, *specPath)
+		return compactStateDir(*stateDir, *specPath, merge)
 	}
 
 	var algo core.Algorithm
@@ -238,6 +250,9 @@ func run() error {
 			logOpts = append(logOpts,
 				provlog.WithCompactPolicy(provlog.CompactPolicy{EveryRecords: *ckptN}))
 		}
+		if merge != nil {
+			logOpts = append(logOpts, provlog.WithMergePolicy(*merge))
+		}
 		if *shards > 1 {
 			logOpts = append(logOpts, provlog.WithStoreShards(*shards))
 		}
@@ -300,12 +315,31 @@ func run() error {
 	return nil
 }
 
+// parseMergePolicy parses the -merge-policy flag: "" means nil (library
+// defaults), otherwise "K:R" with K >= 1 tiers and size ratio R >= 1.
+func parseMergePolicy(s string) (*provlog.MergePolicy, error) {
+	if s == "" {
+		return nil, nil
+	}
+	k, r, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("-merge-policy: want K:R (e.g. 8:4), got %q", s)
+	}
+	maxTiers, err1 := strconv.Atoi(k)
+	ratio, err2 := strconv.Atoi(r)
+	if err1 != nil || err2 != nil || maxTiers < 1 || ratio < 1 {
+		return nil, fmt.Errorf("-merge-policy: want positive integers K:R (e.g. 8:4), got %q", s)
+	}
+	return &provlog.MergePolicy{MaxTiers: maxTiers, SizeRatio: ratio}, nil
+}
+
 // compactStateDir runs one explicit compaction over an existing state
-// directory: open (replaying checkpoint + WAL suffix), fold everything
-// into a fresh checkpoint, collect superseded files, and report the
-// before/after shape. The parameter space comes from specPath when given,
-// otherwise from the spec persisted alongside the log.
-func compactStateDir(stateDir, specPath string) error {
+// directory: open (replaying the checkpoint tiers + WAL suffix), fold the
+// suffix into a new tier, merge tiers the policy says are due, collect
+// superseded files, and report the before/after shape. The parameter space
+// comes from specPath when given, otherwise from the spec persisted
+// alongside the log. A nil merge applies the library default policy.
+func compactStateDir(stateDir, specPath string, merge *provlog.MergePolicy) error {
 	if stateDir == "" {
 		return fmt.Errorf("-compact requires -state-dir")
 	}
@@ -334,7 +368,11 @@ func compactStateDir(stateDir, specPath string) error {
 	if err != nil {
 		return err
 	}
-	lg, st, err := provlog.Open(stateDir, space)
+	var logOpts []provlog.Option
+	if merge != nil {
+		logOpts = append(logOpts, provlog.WithMergePolicy(*merge))
+	}
+	lg, st, err := provlog.Open(stateDir, space, logOpts...)
 	if err != nil {
 		return err
 	}

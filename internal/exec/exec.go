@@ -101,6 +101,15 @@ func WithOpenParallelism(n int) Option {
 	return func(e *Executor) { e.openParallel = n }
 }
 
+// WithMergePolicy sets the checkpoint tier-compaction policy of the
+// durability log NewDurable opens (see provlog.MergePolicy): how many
+// LSM-style checkpoint tiers may accumulate and how steeply their sizes
+// must grow before adjacent tiers merge. Zero fields take the provlog
+// defaults. Executors built by New have no log and ignore it.
+func WithMergePolicy(p provlog.MergePolicy) Option {
+	return func(e *Executor) { e.logOpts = append(e.logOpts, provlog.WithMergePolicy(p)) }
+}
+
 // Executor mediates every instance execution for the debugging algorithms.
 // It is safe for concurrent use.
 type Executor struct {

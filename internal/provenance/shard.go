@@ -32,20 +32,23 @@ type shard struct {
 
 	// byKey maps instance identity to local log position (hash-bucketed
 	// with Equal confirmation; see pipeline.InstanceMap). Records adopted
-	// as a base run are not in byKey: identity probes for them
-	// binary-search baseHash/baseSeq instead, LSM-style, so a checkpoint
-	// load never pays to build a hash index.
+	// as base runs are not in byKey: identity probes for them binary-search
+	// the sorted runs instead, LSM-style, so a checkpoint load never pays
+	// to build a hash index.
 	byKey *pipeline.InstanceMap[int32]
 
-	// The base run: the shard's slice of a hash-sorted checkpoint run.
-	// baseHash is ascending; baseSeq[i] is the local log position of the
-	// record whose instance hashes to baseHash[i] (ties ordered by seq).
-	// baseUnindexed is the length of the base prefix whose outcome and
-	// posting indices have not been built yet; the first query that needs
-	// them triggers indexBaseLocked. The memoization path (Lookup) never
-	// does.
-	baseHash      []uint64
-	baseSeq       []int32
+	// The base runs: the shard's slices of the hash-sorted checkpoint
+	// tiers, newest tier first. Each run's hash column is ascending and
+	// pos[i] is the local log position of the record whose instance hashes
+	// to hash[i] (ties ordered by seq). An identity probe binary-searches
+	// the runs newest-first, so when tiers could ever shadow one another
+	// the most recent write wins — though a store-fed log holds each
+	// instance exactly once, so in practice every probe hits at most one
+	// run. baseUnindexed is the length of the base prefix (all adopted
+	// records, across every run) whose outcome and posting indices have not
+	// been built yet; the first query that needs them triggers the deferred
+	// build. The memoization path (Lookup) never does.
+	baseRuns      []baseRun
 	baseUnindexed int
 
 	// Staged-commit state (StagedSink path): records of this shard whose
@@ -150,52 +153,83 @@ func (sh *shard) lookupPosLocked(in pipeline.Instance) (int32, bool) {
 	return sh.baseLookupLocked(in)
 }
 
-// baseLookupLocked probes the sorted base run. Kept out of the map-hit
-// path: Lookup's memoization hit is the hottest operation in the system
-// and pays only a length check for the base tier.
+// baseRun is one adopted tier slice: a hash-ascending column plus the
+// local log position of each row's record.
+type baseRun struct {
+	hash []uint64
+	pos  []int32
+}
+
+// baseLookupLocked probes the sorted base runs, newest tier first, and
+// returns the first hit — the recency-ordered fan-out that makes a
+// multi-tier checkpoint load behave exactly like the single merged run.
+// Kept out of the map-hit path: Lookup's memoization hit is the hottest
+// operation in the system and pays only a length check for the base tiers.
 func (sh *shard) baseLookupLocked(in pipeline.Instance) (int32, bool) {
 	h := in.Hash()
-	lo, hi := 0, len(sh.baseHash)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if sh.baseHash[mid] < h {
-			lo = mid + 1
-		} else {
-			hi = mid
+	for ri := range sh.baseRuns {
+		run := &sh.baseRuns[ri]
+		lo, hi := 0, len(run.hash)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if run.hash[mid] < h {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
 		}
-	}
-	for ; lo < len(sh.baseHash) && sh.baseHash[lo] == h; lo++ {
-		pos := sh.baseSeq[lo]
-		if sh.recs[pos].Instance.Equal(in) {
-			return pos, true
+		for ; lo < len(run.hash) && run.hash[lo] == h; lo++ {
+			pos := run.pos[lo]
+			if sh.recs[pos].Instance.Equal(in) {
+				return pos, true
+			}
 		}
 	}
 	return 0, false
 }
 
-// adoptRun adopts rows [lo, hi) of a hash-sorted run as the shard's base
-// tier: the shard's records are the rows' records re-sorted into sequence
-// order, baseHash aliases the run's hash column, and baseSeq maps each row
-// to its local position. seqToLocal is a caller-provided scratch array
-// indexed by global sequence; shards touch disjoint sequences, so one
-// array serves every shard even when adoptions run in parallel.
-func (sh *shard) adoptRun(recs []Record, hashes []uint64, seqs []int32, lo, hi int, seqToLocal []int32) {
-	m := hi - lo
-	order := make([]int32, m)
-	copy(order, seqs[lo:hi])
+// subRun is one tier's slice belonging to a single shard: the rows of a
+// hash-sorted run whose hashes fall in the shard's range.
+type subRun struct {
+	hashes []uint64
+	seqs   []int32 // global sequences
+}
+
+// adoptRuns adopts one hash-range slice per tier (newest first; empty
+// slices allowed) as the shard's base tiers: the shard's records are the
+// union of the slices' records re-sorted into sequence order, each run's
+// hash column aliases its tier's hash column, and each run's pos column
+// maps its rows to local positions. seqToLocal is a caller-provided
+// scratch array indexed by global sequence; shards own disjoint sequence
+// sets, so one array serves every shard even when adoptions run in
+// parallel.
+func (sh *shard) adoptRuns(recs []Record, subs []subRun, seqToLocal []int32) {
+	m := 0
+	for _, s := range subs {
+		m += len(s.seqs)
+	}
+	order := make([]int32, 0, m)
+	for _, s := range subs {
+		order = append(order, s.seqs...)
+	}
 	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
 	shRecs := make([]Record, m)
 	for j, g := range order {
 		shRecs[j] = recs[g]
 		seqToLocal[g] = int32(j)
 	}
-	local := make([]int32, m)
-	for r := 0; r < m; r++ {
-		local[r] = seqToLocal[seqs[lo+r]]
+	sh.baseRuns = make([]baseRun, 0, len(subs))
+	for _, s := range subs {
+		if len(s.seqs) == 0 {
+			continue
+		}
+		local := make([]int32, len(s.seqs))
+		for r := range s.seqs {
+			local[r] = seqToLocal[s.seqs[r]]
+		}
+		sh.baseRuns = append(sh.baseRuns, baseRun{hash: s.hashes, pos: local})
 	}
 	sh.recs = shRecs
-	sh.baseHash = hashes[lo:hi]
-	sh.baseSeq = local
 	sh.baseUnindexed = m
 	sh.committed.Store(int64(m))
 }

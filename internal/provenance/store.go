@@ -697,88 +697,143 @@ func (st *Store) LoadRecords(recs []Record) error {
 	return nil
 }
 
-// LoadSortedRun adopts a decoded checkpoint run as the store's base tier:
-// recs in sequence order (dense from 0 — the store must be empty), plus
-// the run's hash ordering as two parallel arrays, hashes ascending and
-// seqs[i] the log position of the record hashing to hashes[i] (ties in seq
-// order). Unlike LoadRecords, no hash index is built — identity probes
-// against the base run binary-search the sorted arrays — and the outcome
-// and posting indices are deferred to the first query that needs them, so
-// loading a checkpoint of any size costs O(records) decode-adjacent work
-// and the memoization path is ready immediately. Records added after the
-// load go to the hash-map tier and index incrementally as usual; the
-// deferred base build merges in front of them (base sequences all precede
-// post-load ones, and bitsets are positional).
-//
-// On a sharded store the run splits at the shard boundaries — shards are
-// hash ranges and the run is hash-sorted, so each boundary is one binary
-// search — and every shard adopts its sub-run independently and in
-// parallel, re-sorted into sequence order. Single-shard stores adopt all
-// three slices wholesale, copying nothing.
-//
-// The store takes ownership of all three slices. The caller vouches that
-// hashes are the records' instance hashes (internal/provlog verifies them
-// against the CRC-protected rows); sortedness is verified here, and
-// duplicate instances surface as a verification error since equal
-// instances hash adjacently.
+// SortedRun is one hash-sorted checkpoint tier handed to LoadSortedRuns:
+// Hashes ascending, and Seqs[i] the global sequence (log position) of the
+// record hashing to Hashes[i] (ties in sequence order). The two columns
+// are parallel and the store takes ownership of both.
+type SortedRun struct {
+	Hashes []uint64
+	Seqs   []int32
+}
+
+// LoadSortedRun adopts one decoded checkpoint run as the store's base
+// tier. It is LoadSortedRuns with a single tier; see there for the full
+// contract.
 func (st *Store) LoadSortedRun(recs []Record, hashes []uint64, seqs []int32) error {
+	return st.LoadSortedRuns(recs, []SortedRun{{Hashes: hashes, Seqs: seqs}})
+}
+
+// LoadSortedRuns adopts a set of decoded checkpoint tiers as the store's
+// base runs: recs in sequence order (dense from 0 — the store must be
+// empty), plus one SortedRun per tier, newest tier first, whose sequence
+// sets partition [0, len(recs)). Unlike LoadRecords, no hash index is
+// built — identity probes binary-search each tier's sorted hash column,
+// newest first, so the most recent tier wins a probe (recency dedup) —
+// and the outcome and posting indices are deferred to the first query that
+// needs them, so loading checkpoints of any size costs O(records)
+// decode-adjacent work and the memoization path is ready immediately.
+// Records added after the load go to the hash-map tier and index
+// incrementally as usual; the deferred base build merges in front of them
+// (base sequences all precede post-load ones, and bitsets are positional).
+//
+// On a sharded store every run splits at the shard boundaries — shards
+// are hash ranges and the runs are hash-sorted, so each boundary is one
+// binary search per tier — and every shard adopts its sub-runs
+// independently and in parallel, re-sorted into one sequence-ordered
+// record slice. Single-shard stores adopt the tiers' columns wholesale,
+// copying nothing.
+//
+// The store takes ownership of every slice. The caller vouches that the
+// hashes are the records' instance hashes (internal/provlog verifies them
+// against the CRC-protected rows); sortedness and sequence coverage are
+// verified here, and duplicate instances within a tier surface as a
+// verification error since equal instances hash adjacently.
+func (st *Store) LoadSortedRuns(recs []Record, runs []SortedRun) error {
 	unlock := st.lockAll()
 	defer unlock()
 	if err := st.loadValidateLocked(recs); err != nil {
 		return err
 	}
 	for i := range st.shards {
-		if len(st.shards[i].recs) != 0 || len(st.shards[i].baseHash) != 0 {
-			return fmt.Errorf("provenance: LoadSortedRun into a non-empty store")
+		if len(st.shards[i].recs) != 0 || len(st.shards[i].baseRuns) != 0 {
+			return fmt.Errorf("provenance: LoadSortedRuns into a non-empty store")
 		}
 	}
-	if len(hashes) != len(recs) || len(seqs) != len(recs) {
-		return fmt.Errorf("provenance: sorted run has %d hashes and %d seqs for %d records",
-			len(hashes), len(seqs), len(recs))
+	total := 0
+	for _, run := range runs {
+		total += len(run.Hashes)
 	}
-	for i := range hashes {
-		if i > 0 && hashes[i] < hashes[i-1] {
-			return fmt.Errorf("provenance: sorted run out of order at row %d", i)
+	if total != len(recs) {
+		return fmt.Errorf("provenance: sorted runs hold %d rows for %d records", total, len(recs))
+	}
+	// Each run must be sorted and duplicate-free, and across runs the
+	// sequence columns must cover every record exactly once.
+	covered := make([]uint64, (len(recs)+63)/64)
+	for ri, run := range runs {
+		if len(run.Seqs) != len(run.Hashes) {
+			return fmt.Errorf("provenance: sorted run %d has %d hashes and %d seqs", ri, len(run.Hashes), len(run.Seqs))
 		}
-		if int(seqs[i]) >= len(recs) {
-			return fmt.Errorf("provenance: sorted run row %d names seq %d of %d", i, seqs[i], len(recs))
-		}
-		if i > 0 && hashes[i] == hashes[i-1] &&
-			recs[seqs[i]].Instance.Equal(recs[seqs[i-1]].Instance) {
-			return fmt.Errorf("provenance: sorted run holds instance %v twice", recs[seqs[i]].Instance)
+		for i := range run.Hashes {
+			if i > 0 && run.Hashes[i] < run.Hashes[i-1] {
+				return fmt.Errorf("provenance: sorted run %d out of order at row %d", ri, i)
+			}
+			s := run.Seqs[i]
+			if int(s) >= len(recs) || s < 0 {
+				return fmt.Errorf("provenance: sorted run %d row %d names seq %d of %d", ri, i, s, len(recs))
+			}
+			if covered[s>>6]&(1<<(uint(s)&63)) != 0 {
+				return fmt.Errorf("provenance: sorted runs name seq %d twice", s)
+			}
+			covered[s>>6] |= 1 << (uint(s) & 63)
+			if i > 0 && run.Hashes[i] == run.Hashes[i-1] &&
+				recs[run.Seqs[i]].Instance.Equal(recs[run.Seqs[i-1]].Instance) {
+				return fmt.Errorf("provenance: sorted run %d holds instance %v twice", ri, recs[run.Seqs[i]].Instance)
+			}
 		}
 	}
 	if len(st.shards) == 1 {
 		sh := &st.shards[0]
 		sh.recs = recs
-		sh.baseHash, sh.baseSeq = hashes, seqs
+		sh.baseRuns = make([]baseRun, 0, len(runs))
+		for _, run := range runs {
+			if len(run.Hashes) == 0 {
+				continue
+			}
+			// Local position equals global sequence on a single shard, so
+			// the tier's seq column is the pos column, adopted as-is.
+			sh.baseRuns = append(sh.baseRuns, baseRun{hash: run.Hashes, pos: run.Seqs})
+		}
 		sh.baseUnindexed = len(recs)
 		sh.committed.Store(int64(len(recs)))
 		st.seq.Store(int64(len(recs)))
 		return nil
 	}
-	// Split the run at the hash-range boundaries and adopt each sub-run in
-	// parallel; the shards' sequence sets are disjoint, so one scratch
-	// array serves every adoption.
+	// Split every run at the hash-range boundaries (one binary search per
+	// boundary per tier) and adopt each shard's sub-runs in parallel; the
+	// shards' sequence sets are disjoint, so one scratch array serves every
+	// adoption.
 	k := len(st.shards)
-	bounds := make([]int, k+1)
-	for s := 1; s < k; s++ {
-		limit := uint64(s) << st.shift
-		bounds[s] = sort.Search(len(hashes), func(i int) bool { return hashes[i] >= limit })
+	subs := make([][]subRun, k)
+	for _, run := range runs {
+		bounds := make([]int, k+1)
+		for s := 1; s < k; s++ {
+			limit := uint64(s) << st.shift
+			hashes := run.Hashes
+			bounds[s] = sort.Search(len(hashes), func(i int) bool { return hashes[i] >= limit })
+		}
+		bounds[k] = len(run.Hashes)
+		for s := 0; s < k; s++ {
+			subs[s] = append(subs[s], subRun{
+				hashes: run.Hashes[bounds[s]:bounds[s+1]],
+				seqs:   run.Seqs[bounds[s]:bounds[s+1]],
+			})
+		}
 	}
-	bounds[k] = len(hashes)
 	scratch := make([]int32, len(recs))
 	var wg sync.WaitGroup
 	for s := 0; s < k; s++ {
-		lo, hi := bounds[s], bounds[s+1]
-		if lo == hi {
+		n := 0
+		for _, sub := range subs[s] {
+			n += len(sub.seqs)
+		}
+		if n == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(sh *shard, lo, hi int) {
+		go func(sh *shard, subs []subRun) {
 			defer wg.Done()
-			sh.adoptRun(recs, hashes, seqs, lo, hi, scratch)
-		}(&st.shards[s], lo, hi)
+			sh.adoptRuns(recs, subs, scratch)
+		}(&st.shards[s], subs[s])
 	}
 	wg.Wait()
 	st.seq.Store(int64(len(recs)))
@@ -850,7 +905,7 @@ func (st *Store) Lookup(in pipeline.Instance) (pipeline.Outcome, bool) {
 		sh.mu.RUnlock()
 		return out, true
 	}
-	if len(sh.baseHash) > 0 {
+	if len(sh.baseRuns) > 0 {
 		if i, ok := sh.baseLookupLocked(in); ok {
 			out := sh.recs[i].Outcome
 			sh.mu.RUnlock()

@@ -18,17 +18,22 @@ import (
 	"repro/internal/provenance"
 )
 
-// Checkpoint files. A checkpoint is the log's sealed history folded into
-// one sorted run: every record with sequence below the watermark, keyed by
-// instance hash, with the dictionary frames that define its codes and
-// sources consolidated into dense tables. Open loads the newest valid
-// checkpoint with an index-free sequential scan and replays only the WAL
-// suffix past its watermark, so the cost of resuming a long session is
-// bounded by the live history, not its whole past (see docs/ONDISK.md for
-// the byte-level format and the crash-recovery rules).
+// Checkpoint tiers. A tier is a slice of the log's sealed history folded
+// into one sorted run: every record with sequence in [firstSeq, watermark),
+// keyed by instance hash, with the dictionary frames that define its codes
+// and sources consolidated into dense tables. The live tiers partition the
+// sealed prefix [0, W) contiguously, LSM-style — the newest tier is the
+// small delta of the last checkpoint, older tiers grow geometrically under
+// the MergePolicy — and the MANIFEST names them in recency order. Open
+// loads every tier of the best plan and replays only the WAL suffix past
+// the newest watermark, so both checkpointing and resuming cost is bounded
+// by the delta, not the whole past (see docs/ONDISK.md for the byte-level
+// format and the crash-recovery rules).
 //
-// Layout (all integers little-endian; the trailing CRC-32C covers every
-// byte before it, so one pass over the file validates everything):
+// Base-tier layout — firstSeq 0, file ckpt-<watermark>.ckpt, byte-identical
+// to the historic single-checkpoint format (all integers little-endian;
+// the trailing CRC-32C covers every byte before it, so one pass over the
+// file validates everything):
 //
 //	header  (16)  magic "BDCKPv01", parameter count (uint32), reserved
 //	              uint32 (zero)
@@ -44,17 +49,34 @@ import (
 //	              (uint64), space fingerprint (uint64), CRC-32C (uint32)
 //	              of bytes [0, size-4)
 //
-// The run is deduplicated last-write-wins per instance (ties on hash break
+// Delta-tier layout — firstSeq > 0, file tier-<firstSeq>-<watermark>.tier —
+// differs only in the magics and the footer, which adds the range's lower
+// bound:
+//
+//	header  (16)  magic "BDCKPv02", parameter count (uint32), reserved
+//	footer  (44)  magic "BDCK2end", firstSeq (uint64), record count
+//	              (uint64), seq watermark (uint64), space fingerprint
+//	              (uint64), CRC-32C (uint32) of bytes [0, size-4)
+//
+// Every tier carries the full cumulative dictionary and source tables as
+// of its own watermark (tables are tiny next to rows); an older tier's
+// tables are always a prefix of a newer's, which is what lets a merge copy
+// the newer tables verbatim and treat rows as opaque bytes.
+//
+// A run is deduplicated last-write-wins per instance (ties on hash break
 // by seq; the survivor is the highest seq). A store-fed log never contains
-// two records of one instance, so v1 checkpoints always carry exactly
-// watermark records with dense sequences 0..watermark-1 — the loader
-// verifies this and a compactor that would have to drop a sequence refuses
-// to write the run instead.
+// two records of one instance, so tiers always carry exactly
+// watermark-firstSeq records with dense sequences — the loader verifies
+// this and a compactor that would have to drop a sequence refuses to write
+// the run instead.
 const (
 	ckptMagic       = "BDCKPv01"
 	ckptFooterMagic = "BDCKPend"
 	ckptHeaderSize  = 16
 	ckptFooterSize  = 36
+	tierMagic       = "BDCKPv02"
+	tierFooterMagic = "BDCK2end"
+	tierFooterSize  = 44
 )
 
 // ckptCRC is the checksum the checkpoint file uses: CRC-32C (Castagnoli),
@@ -132,29 +154,32 @@ func listCheckpoints(dir string) ([]ckptFile, error) {
 	return cks, nil
 }
 
-// removeStrayTmp deletes leftover checkpoint temp files — the debris of a
-// crash between writing and renaming a checkpoint. Called with the
-// directory lock held, so no live compactor owns them.
+// removeStrayTmp deletes leftover temp files — the debris of a crash
+// between writing and renaming a checkpoint tier or a manifest. Called
+// with the directory lock held, so no live compactor owns them.
 func removeStrayTmp(dir string) {
-	if names, err := filepath.Glob(filepath.Join(dir, "ckpt-*.tmp")); err == nil {
-		for _, p := range names {
-			os.Remove(p)
+	for _, pat := range []string{"ckpt-*.tmp", "tier-*.tmp", manifestName + ".tmp*"} {
+		if names, err := filepath.Glob(filepath.Join(dir, pat)); err == nil {
+			for _, p := range names {
+				os.Remove(p)
+			}
 		}
 	}
 }
 
 // encodeCheckpoint renders the first w records of the snapshot as one
-// checkpoint file. The dictionary tables are derived from the record
-// prefix itself: the WAL emits a dict frame for every code up to the
-// largest one a record references, immediately before that record and in
-// the same commit window, so the codes 0..max(code) per parameter — and
-// the sources in first-use order — are exactly the dictionary state at the
-// watermark's position in the stream.
+// base tier (the historic single-checkpoint file, byte-identical). The
+// dictionary tables are derived from the record prefix itself: the WAL
+// emits a dict frame for every code up to the largest one a record
+// references, immediately before that record and in the same commit
+// window, so the codes 0..max(code) per parameter — and the sources in
+// first-use order — are exactly the dictionary state at the watermark's
+// position in the stream.
 func encodeCheckpoint(space *pipeline.Space, fingerprint uint64, sn provenance.Snapshot, w int) ([]byte, error) {
 	p := space.Len()
 	persisted := make([]int, p)
 	var sources []string
-	sourceID := make(map[string]uint16)
+	seen := make(map[string]bool)
 	for i := 0; i < w; i++ {
 		rec := sn.At(i)
 		for j := 0; j < p; j++ {
@@ -162,22 +187,42 @@ func encodeCheckpoint(space *pipeline.Space, fingerprint uint64, sn provenance.S
 				persisted[j] = c
 			}
 		}
-		if _, ok := sourceID[rec.Source]; !ok {
+		if !seen[rec.Source] {
 			if len(sources) > math.MaxUint16 {
 				return nil, fmt.Errorf("provlog: checkpoint: too many distinct sources")
 			}
-			sourceID[rec.Source] = uint16(len(sources))
+			seen[rec.Source] = true
 			sources = append(sources, rec.Source)
 		}
+	}
+	return encodeTierRange(space, fingerprint, sn, 0, w, persisted, sources)
+}
+
+// encodeTierRange renders the snapshot's records with sequences in
+// [firstSeq, w) as one tier file: base-tier format when firstSeq is 0,
+// delta-tier format otherwise. The dictionary tables written are the
+// given cumulative state — every code below persisted[i] per parameter
+// and the sources in WAL id order — which must cover every code and
+// source the range's records reference, and must be table-prefix
+// compatible with the tiers below (both hold for the log's own persisted
+// counters: dictionaries are append-only and dict frames precede the
+// records referencing them).
+func encodeTierRange(space *pipeline.Space, fingerprint uint64, sn provenance.Snapshot, firstSeq, w int, persisted []int, sources []string) ([]byte, error) {
+	p := space.Len()
+	n := w - firstSeq
+	sourceID := make(map[string]uint16, len(sources))
+	for id, s := range sources {
+		sourceID[s] = uint16(id)
 	}
 
 	// The sorted run: record order by (instance hash, seq), deduplicated
 	// last-write-wins. A duplicate instance cannot come out of a
 	// provenance store, and dropping one would leave a sequence gap the
-	// loader rejects, so a survivor set smaller than w refuses to encode.
-	order := make([]int32, w)
+	// loader rejects, so a survivor set smaller than the range refuses to
+	// encode.
+	order := make([]int32, n)
 	for i := range order {
-		order[i] = int32(i)
+		order[i] = int32(firstSeq + i)
 	}
 	sort.Slice(order, func(a, b int) bool {
 		ha, hb := sn.At(int(order[a])).Instance.Hash(), sn.At(int(order[b])).Instance.Hash()
@@ -196,14 +241,18 @@ func encodeCheckpoint(space *pipeline.Space, fingerprint uint64, sn provenance.S
 		}
 		kept = append(kept, order[i])
 	}
-	if len(kept) != w {
+	if len(kept) != n {
 		return nil, fmt.Errorf("provlog: checkpoint: snapshot holds duplicate instances (%d of %d records survive dedup)",
-			len(kept), w)
+			len(kept), n)
 	}
 
 	rowSize := 4*p + 19
-	buf := make([]byte, 0, ckptHeaderSize+w*rowSize+ckptFooterSize+4096)
-	buf = append(buf, ckptMagic...)
+	buf := make([]byte, 0, ckptHeaderSize+n*rowSize+tierFooterSize+4096)
+	if firstSeq == 0 {
+		buf = append(buf, ckptMagic...)
+	} else {
+		buf = append(buf, tierMagic...)
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
 	buf = binary.LittleEndian.AppendUint32(buf, 0)
 	for i := 0; i < p; i++ {
@@ -231,28 +280,56 @@ func encodeCheckpoint(space *pipeline.Space, fingerprint uint64, sn provenance.S
 	}
 	for _, seq := range kept {
 		rec := sn.At(int(seq))
+		for i := 0; i < p; i++ {
+			if c := int(rec.Instance.Code(i)); c >= persisted[i] {
+				return nil, fmt.Errorf("provlog: checkpoint: record %d references code %d of parameter %d beyond the persisted dictionary (%d entries)",
+					seq, c, i, persisted[i])
+			}
+		}
+		id, ok := sourceID[rec.Source]
+		if !ok {
+			return nil, fmt.Errorf("provlog: checkpoint: record %d references source %q outside the persisted table", seq, rec.Source)
+		}
 		buf = binary.LittleEndian.AppendUint64(buf, rec.Instance.Hash())
 		for i := 0; i < p; i++ {
 			buf = binary.LittleEndian.AppendUint32(buf, rec.Instance.Code(i))
 		}
 		buf = append(buf, byte(rec.Outcome))
-		buf = binary.LittleEndian.AppendUint16(buf, sourceID[rec.Source])
+		buf = binary.LittleEndian.AppendUint16(buf, id)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Seq))
 	}
-	buf = append(buf, ckptFooterMagic...)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(kept)))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(w))
+	if firstSeq == 0 {
+		buf = append(buf, ckptFooterMagic...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(kept)))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(w))
+	} else {
+		buf = append(buf, tierFooterMagic...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(firstSeq))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(kept)))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(w))
+	}
 	buf = binary.LittleEndian.AppendUint64(buf, fingerprint)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, ckptCRC))
 	return buf, nil
 }
 
-// writeCheckpointFile makes the encoded checkpoint durable: temp file,
-// fsync, atomic rename into the canonical name, directory fsync. A crash
-// at any point leaves either no checkpoint (a stray temp file Open sweeps
-// up) or a complete valid one — never a partial file under the real name.
+// writeCheckpointFile makes an encoded base tier durable under the
+// historic checkpoint name. It is writeTierFile anchored at sequence 0.
 func writeCheckpointFile(dir string, buf []byte, watermark int) error {
-	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	return writeTierFile(dir, buf, 0, watermark)
+}
+
+// writeTierFile makes an encoded tier durable: temp file, fsync, atomic
+// rename into the canonical name, directory fsync. A crash at any point
+// leaves either no tier (a stray temp file Open sweeps up) or a complete
+// valid one — never a partial file under the real name. The tier becomes
+// live only when a later manifest references it.
+func writeTierFile(dir string, buf []byte, firstSeq, watermark int) error {
+	pattern := "ckpt-*.tmp"
+	if firstSeq > 0 {
+		pattern = "tier-*.tmp"
+	}
+	tmp, err := os.CreateTemp(dir, pattern)
 	if err != nil {
 		return err
 	}
@@ -271,7 +348,7 @@ func writeCheckpointFile(dir string, buf []byte, watermark int) error {
 	if err := ckptStage("tmp-written"); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), ckptPath(dir, watermark)); err != nil {
+	if err := os.Rename(tmp.Name(), tierPath(dir, firstSeq, watermark)); err != nil {
 		return err
 	}
 	if err := syncDir(dir); err != nil {
@@ -288,14 +365,16 @@ func ckptInvalid(path, format string, args ...any) error {
 	return fmt.Errorf("%w %s: %s", errCkptInvalid, filepath.Base(path), fmt.Sprintf(format, args...))
 }
 
-// ckptState is what a loaded checkpoint seeds the suffix replay with: the
-// watermark below which records are already in the store, and the
-// dictionary state at that point in the stream.
+// ckptState is what a loaded tier plan seeds the suffix replay with: the
+// watermark below which records are already in the store, the dictionary
+// state at that point in the stream, and the live tiers (newest first,
+// with their CRCs bound) the log continues to build on.
 type ckptState struct {
 	watermark int
 	persisted []int
 	sources   []string
 	sourceID  map[string]uint16
+	tiers     []tierRef
 }
 
 // minRowsPerDecoder bounds the decode fan-out: a range smaller than this
@@ -303,158 +382,114 @@ type ckptState struct {
 // matter the requested parallelism.
 const minRowsPerDecoder = 4096
 
-// loadCheckpoint reads, validates, and decodes one checkpoint file into a
-// fresh store, adopting the rows as the store's sorted base run
-// (provenance.Store.LoadSortedRun): no hash index is built — the run's
-// hash order, recomputed from the code rows, serves identity probes by
-// binary search. The store is sharded across shards hash ranges (1 =
-// unsharded); the run is hash-sorted, so LoadSortedRun splits it at the
-// shard boundaries and each shard adopts its sub-run in parallel. The
-// whole file is verified by its trailing CRC-32C before any byte is
-// interpreted; dictionary entries replay through Space.Intern with the
-// same code-agreement check the WAL replay performs.
+// tierLoad is one decoded tier's contribution to a plan load: its sorted
+// (hash, seq) columns, its cumulative dictionary state, and the file's
+// CRC (bound into the republished manifest).
+type tierLoad struct {
+	run       provenance.SortedRun
+	persisted []int
+	sources   []string
+	crc       uint32
+}
+
+// decodeTierInto reads, validates, and decodes one tier file, placing
+// each record into its sequence slot of the shared recs slice and marking
+// its slot in the covered bitmap (which spans the whole plan, so a row
+// claiming a sequence another tier owns is caught here). The whole file
+// is verified by its trailing CRC-32C before any byte is interpreted;
+// dictionary entries replay through Space.Intern with the same
+// code-agreement check the WAL replay performs, so a tier cut against a
+// different space cannot silently remap codes.
 //
 // The row region is fixed-width and every row validates independently, so
 // decode splits into par contiguous row ranges, one goroutine each,
-// writing disjoint index ranges of the shared column arrays; adoption fans
-// out over the same ranges (Space.AdoptInstancesRange), and each record
-// lands in its disjoint sequence slot. par <= 1 is the sequential
+// writing disjoint index ranges of the shared column arrays; adoption
+// fans out over the same ranges (Space.AdoptInstancesRange), and each
+// record lands in its disjoint sequence slot. par <= 1 is the sequential
 // degenerate case, byte-for-byte the historic single-core load.
-func loadCheckpoint(path string, space *pipeline.Space, shards, par int) (*provenance.Store, *ckptState, error) {
+func decodeTierInto(path string, ref tierRef, space *pipeline.Space, par int, recs []provenance.Record, covered []uint64) (*tierLoad, error) {
 	data, release, err := mapFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer release()
-	if len(data) < ckptHeaderSize+ckptFooterSize {
-		return nil, nil, ckptInvalid(path, "file is %d bytes", len(data))
-	}
-	if crc32.Checksum(data[:len(data)-4], ckptCRC) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
-		return nil, nil, ckptInvalid(path, "checksum mismatch")
-	}
-	if string(data[:8]) != ckptMagic {
-		return nil, nil, ckptInvalid(path, "bad magic")
+	ti, err := parseTierStructure(path, data)
+	if err != nil {
+		return nil, err
 	}
 	p := space.Len()
-	if got := binary.LittleEndian.Uint32(data[8:12]); int(got) != p {
-		return nil, nil, ckptInvalid(path, "checkpoint has %d parameters, space has %d", got, p)
+	if ti.p != p {
+		return nil, ckptInvalid(path, "tier has %d parameters, space has %d", ti.p, p)
 	}
-	footer := data[len(data)-ckptFooterSize:]
-	if string(footer[:8]) != ckptFooterMagic {
-		return nil, nil, ckptInvalid(path, "bad footer magic")
+	if ti.fingerprint != space.Fingerprint() {
+		return nil, fmt.Errorf("provlog: %s: tier fingerprint %016x does not match space fingerprint %016x (different space?)",
+			filepath.Base(path), ti.fingerprint, space.Fingerprint())
 	}
-	count := binary.LittleEndian.Uint64(footer[8:16])
-	watermark := binary.LittleEndian.Uint64(footer[16:24])
-	fingerprint := binary.LittleEndian.Uint64(footer[24:32])
-	if fingerprint != space.Fingerprint() {
-		return nil, nil, fmt.Errorf("provlog: %s: checkpoint fingerprint %016x does not match space fingerprint %016x (different space?)",
-			filepath.Base(path), fingerprint, space.Fingerprint())
+	if ti.firstSeq != ref.firstSeq || ti.watermark != ref.watermark {
+		return nil, ckptInvalid(path, "covers [%d, %d), plan says [%d, %d)",
+			ti.firstSeq, ti.watermark, ref.firstSeq, ref.watermark)
 	}
-	if count != watermark {
-		return nil, nil, ckptInvalid(path, "%d records for watermark %d (sparse runs are not loadable)", count, watermark)
+	if ref.crc != 0 && ti.crc != ref.crc {
+		return nil, ckptInvalid(path, "checksum does not match its manifest entry")
 	}
-	w := int(watermark)
+	count := ti.count
 
 	// Dictionary tables: intern each code's value and require the space to
-	// assign the recorded code, exactly as WAL dict-frame replay does.
-	off := ckptHeaderSize
-	body := data[:len(data)-ckptFooterSize]
-	need := func(n int) ([]byte, error) {
-		if off+n > len(body) {
-			return nil, ckptInvalid(path, "truncated at offset %d", off)
-		}
-		b := body[off : off+n]
-		off += n
-		return b, nil
-	}
-	persisted := make([]int, p)
+	// assign the recorded code, exactly as WAL dict-frame replay does. The
+	// plan decodes newest tier first, so the newest (cumulative superset)
+	// tables drive interning and the older tiers' table prefixes are
+	// re-verified entry by entry.
+	off := 0
+	dict := ti.dict
+	persisted := ti.persisted
 	for i := 0; i < p; i++ {
-		b, err := need(4)
-		if err != nil {
-			return nil, nil, err
-		}
-		n := int(binary.LittleEndian.Uint32(b))
-		persisted[i] = n
-		for c := 0; c < n; c++ {
-			kb, err := need(1)
-			if err != nil {
-				return nil, nil, err
-			}
+		off += 4 // the entry count, already parsed into persisted[i]
+		for c := 0; c < persisted[i]; c++ {
 			var v pipeline.Value
-			switch pipeline.Kind(kb[0]) {
-			case pipeline.Ordinal:
-				ob, err := need(8)
-				if err != nil {
-					return nil, nil, err
-				}
-				v = pipeline.Ord(math.Float64frombits(binary.LittleEndian.Uint64(ob)))
-			case pipeline.Categorical:
-				lb, err := need(4)
-				if err != nil {
-					return nil, nil, err
-				}
-				ln := binary.LittleEndian.Uint32(lb)
-				if ln > maxBlob {
-					return nil, nil, ckptInvalid(path, "categorical value of %d bytes", ln)
-				}
-				sb, err := need(int(ln))
-				if err != nil {
-					return nil, nil, err
-				}
-				v = pipeline.Cat(string(sb))
+			switch dict[off] {
+			case byte(pipeline.Ordinal):
+				v = pipeline.Ord(math.Float64frombits(binary.LittleEndian.Uint64(dict[off+1:])))
+				off += 9
+			case byte(pipeline.Categorical):
+				ln := int(binary.LittleEndian.Uint32(dict[off+1:]))
+				v = pipeline.Cat(string(dict[off+5 : off+5+ln]))
+				off += 5 + ln
 			default:
-				return nil, nil, ckptInvalid(path, "dict entry with invalid kind %d", kb[0])
+				return nil, ckptInvalid(path, "dict entry with invalid kind %d", dict[off])
 			}
 			if got := space.Intern(i, v); got != uint32(c) {
-				return nil, nil, fmt.Errorf("provlog: %s: value %v of parameter %q interned as code %d, checkpoint says %d (checkpoint written against a different space?)",
+				return nil, fmt.Errorf("provlog: %s: value %v of parameter %q interned as code %d, tier says %d (tier written against a different space?)",
 					filepath.Base(path), v, space.At(i).Name, got, c)
 			}
 		}
 	}
-	sb, err := need(4)
-	if err != nil {
-		return nil, nil, err
+	if ti.nSources > math.MaxUint16+1 {
+		return nil, ckptInvalid(path, "%d sources", ti.nSources)
 	}
-	nSources := int(binary.LittleEndian.Uint32(sb))
-	if nSources > math.MaxUint16+1 {
-		return nil, nil, ckptInvalid(path, "%d sources", nSources)
-	}
-	sources := make([]string, nSources)
-	sourceID := make(map[string]uint16, nSources)
-	for id := 0; id < nSources; id++ {
-		lb, err := need(2)
-		if err != nil {
-			return nil, nil, err
-		}
-		nb, err := need(int(binary.LittleEndian.Uint16(lb)))
-		if err != nil {
-			return nil, nil, err
-		}
-		sources[id] = string(nb)
-		sourceID[sources[id]] = uint16(id)
+	off += 4 // the source count
+	sources := make([]string, ti.nSources)
+	for id := range sources {
+		ln := int(binary.LittleEndian.Uint16(dict[off:]))
+		sources[id] = string(dict[off+2 : off+2+ln])
+		off += 2 + ln
 	}
 
 	// The record section: fixed-width rows placed by their stored seq — a
 	// counting sort back into execution order, undoing the hash ordering
-	// without a comparison sort.
+	// without a comparison sort. Everything decodes sequentially in row
+	// (hash) order — codes, outcomes, sources, hashes — so the only
+	// scattered pass is the final placement into sequence slots. Rows
+	// carry their instance hash so the load never re-hashes 10^6 code
+	// vectors; the CRC guards integrity, and a deterministic sample of
+	// rows is recomputed to catch a systematically wrong writer.
 	rowSize := 4*p + 19
-	rows := body[off:]
-	if len(rows) != w*rowSize {
-		return nil, nil, ckptInvalid(path, "record section is %d bytes, want %d rows of %d", len(rows), w, rowSize)
-	}
-	// Everything decodes sequentially in row (hash) order — codes,
-	// outcomes, sources, hashes — so the only scattered pass is the final
-	// placement of records into sequence order, a counting sort by the
-	// stored seq. Rows carry their instance hash so the load never
-	// re-hashes 10^6 code vectors; the CRC guards integrity, and a
-	// deterministic sample of rows is recomputed to catch a systematically
-	// wrong writer.
-	flat := make([]uint32, w*p)
-	outs := make([]pipeline.Outcome, w)
-	srcs := make([]uint16, w)
-	hashes := make([]uint64, w)
-	seqs := make([]int32, w)
-	hashStride := w/1024 + 1
+	rows := ti.rows
+	flat := make([]uint32, count*p)
+	outs := make([]pipeline.Outcome, count)
+	srcs := make([]uint16, count)
+	hashes := make([]uint64, count)
+	seqs := make([]int32, count)
+	hashStride := count/1024 + 1
 	decodeRows := func(lo, hi int) error {
 		for r := lo; r < hi; r++ {
 			row := rows[r*rowSize : (r+1)*rowSize]
@@ -465,12 +500,13 @@ func loadCheckpoint(path string, space *pipeline.Space, shards, par int) (*prove
 				return ckptInvalid(path, "row %d has outcome %d", r, body[4*p])
 			}
 			src := binary.LittleEndian.Uint16(body[4*p+1:])
-			if int(src) >= nSources {
-				return ckptInvalid(path, "row %d references source %d of %d", r, src, nSources)
+			if int(src) >= ti.nSources {
+				return ckptInvalid(path, "row %d references source %d of %d", r, src, ti.nSources)
 			}
 			seq := binary.LittleEndian.Uint64(body[4*p+3:])
-			if seq >= watermark {
-				return ckptInvalid(path, "row %d has seq %d beyond watermark %d", r, seq, watermark)
+			if seq < uint64(ti.firstSeq) || seq >= uint64(ti.watermark) {
+				return ckptInvalid(path, "row %d has seq %d outside the tier range [%d, %d)",
+					r, seq, ti.firstSeq, ti.watermark)
 			}
 			base := r * p
 			for i := 0; i < p; i++ {
@@ -491,24 +527,24 @@ func loadCheckpoint(path string, space *pipeline.Space, shards, par int) (*prove
 		return nil
 	}
 	workers := par
-	if max := w / minRowsPerDecoder; workers > max {
+	if max := count / minRowsPerDecoder; workers > max {
 		workers = max
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	// rangeErr runs fn over [0, w) split into workers contiguous ranges,
-	// one goroutine each, and reports the error of the lowest errored
-	// range — within a range fn stops at its first bad row, so the error
-	// surfaced is exactly the one the sequential scan would have hit.
+	// rangeErr runs fn over [0, count) split into workers contiguous
+	// ranges, one goroutine each, and reports the error of the lowest
+	// errored range — within a range fn stops at its first bad row, so the
+	// error surfaced is exactly the one the sequential scan would have hit.
 	rangeErr := func(fn func(lo, hi int) error) error {
 		if workers == 1 {
-			return fn(0, w)
+			return fn(0, count)
 		}
 		errs := make([]error, workers)
 		var wg sync.WaitGroup
 		for g := 0; g < workers; g++ {
-			lo, hi := g*w/workers, (g+1)*w/workers
+			lo, hi := g*count/workers, (g+1)*count/workers
 			wg.Add(1)
 			go func(g, lo, hi int) {
 				defer wg.Done()
@@ -524,59 +560,125 @@ func loadCheckpoint(path string, space *pipeline.Space, shards, par int) (*prove
 		return nil
 	}
 	if err := rangeErr(decodeRows); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	// Sequence slots must be distinct before adoption may fan out: every
-	// seq is below the watermark (checked per row), so a cheap bitmap pass
-	// proves the seq column a permutation of [0, w) — the parallel ranges
-	// then write disjoint recs slots, race-free by construction.
-	seen := make([]uint64, (w+63)/64)
+	// seq is inside the tier's range (checked per row), so marking the
+	// plan-wide bitmap proves the slots disjoint — within this tier and
+	// against every tier decoded before it — and the parallel adoption
+	// ranges then write disjoint recs slots, race-free by construction.
 	for _, s := range seqs {
-		if seen[s>>6]&(1<<(uint(s)&63)) != 0 {
-			return nil, nil, ckptInvalid(path, "duplicate seq %d", s)
+		if covered[s>>6]&(1<<(uint(s)&63)) != 0 {
+			return nil, ckptInvalid(path, "duplicate seq %d", s)
 		}
-		seen[s>>6] |= 1 << (uint(s) & 63)
+		covered[s>>6] |= 1 << (uint(s) & 63)
 	}
 	// Code-only instances adopt the decoded matrix wholesale — no Value
 	// materialization, no re-hashing — and stream straight into their
 	// sequence-ordered slots (the counting sort back into execution
 	// order): the index-free load, fanned across the same row ranges.
-	recs := make([]provenance.Record, w)
 	if err := rangeErr(func(lo, hi int) error {
 		return space.AdoptInstancesRange(flat, hashes, lo, hi, func(r int, in pipeline.Instance) {
 			seq := seqs[r]
 			recs[seq] = provenance.Record{Seq: int(seq), Instance: in, Outcome: outs[r], Source: sources[srcs[r]]}
 		})
 	}); err != nil {
-		return nil, nil, fmt.Errorf("provlog: %s: %w", filepath.Base(path), err)
+		return nil, fmt.Errorf("provlog: %s: %w", filepath.Base(path), err)
 	}
-	st := provenance.NewStoreSharded(space, shards)
-	if err := st.LoadSortedRun(recs, hashes, seqs); err != nil {
-		return nil, nil, fmt.Errorf("provlog: %s: %w", filepath.Base(path), err)
-	}
-	return st, &ckptState{
-		watermark: w,
+	return &tierLoad{
+		run:       provenance.SortedRun{Hashes: hashes, Seqs: seqs},
 		persisted: persisted,
 		sources:   sources,
-		sourceID:  sourceID,
+		crc:       ti.crc,
 	}, nil
 }
 
-// Checkpoint folds everything the store has committed so far into a new
-// checkpoint file and garbage-collects the WAL segments and older
-// checkpoints it supersedes. The log stays live throughout: the active
-// segment is sealed (rotated) first, the sorted run is built from a store
-// snapshot and written outside the log's locks, and appends continue into
-// the new segment while compaction runs. Compactions are serialized;
-// concurrent Checkpoint calls queue. A checkpoint whose watermark would
-// not advance past the newest one is a no-op.
+// loadTierPlan loads one candidate tier plan (newest first, partitioning
+// [0, watermark) contiguously) into a fresh store: every tier decodes
+// through decodeTierInto, records land in their global sequence slots,
+// and the per-tier sorted runs are adopted as the store's base runs
+// (provenance.Store.LoadSortedRuns) — no hash index is built; identity
+// probes binary-search each run, newest first. The store is sharded
+// across shards hash ranges (1 = unsharded); each run is hash-sorted, so
+// LoadSortedRuns splits it at the shard boundaries and each shard adopts
+// its sub-runs in parallel.
 //
-// Crash safety: the checkpoint becomes visible only by atomic rename after
-// an fsync, and no segment is deleted before the rename and the directory
-// fsync complete, so a kill at any point leaves a directory Open recovers
-// — the old state, or the new checkpoint plus not-yet-collected segments
-// (which the skip-aware suffix replay tolerates and the next compaction
-// collects).
+// The newest tier decodes first, so its cumulative dictionary tables
+// seed the space and become the replay state; every older tier's tables
+// must then be a prefix of them — older entries re-verify against the
+// space, and counts may only shrink going back in time.
+func loadTierPlan(dir string, plan []tierRef, space *pipeline.Space, shards, par int) (*provenance.Store, *ckptState, error) {
+	if len(plan) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty tier plan", errCkptInvalid)
+	}
+	if err := checkTierChain(plan); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", errCkptInvalid, err)
+	}
+	w := plan[0].watermark
+	recs := make([]provenance.Record, w)
+	covered := make([]uint64, (w+63)/64)
+	runs := make([]provenance.SortedRun, 0, len(plan))
+	cs := &ckptState{watermark: w, tiers: make([]tierRef, 0, len(plan))}
+	for i, ref := range plan {
+		tl, err := decodeTierInto(filepath.Join(dir, ref.name), ref, space, par, recs, covered)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			cs.persisted = tl.persisted
+			cs.sources = tl.sources
+			cs.sourceID = make(map[string]uint16, len(tl.sources))
+			for id, s := range tl.sources {
+				cs.sourceID[s] = uint16(id)
+			}
+		} else {
+			// Older tiers carry earlier — smaller — cumulative tables.
+			for j := range tl.persisted {
+				if tl.persisted[j] > cs.persisted[j] {
+					return nil, nil, ckptInvalid(ref.name, "has %d dictionary entries for parameter %d, newer tier has %d",
+						tl.persisted[j], j, cs.persisted[j])
+				}
+			}
+			if len(tl.sources) > len(cs.sources) {
+				return nil, nil, ckptInvalid(ref.name, "has %d sources, newer tier has %d", len(tl.sources), len(cs.sources))
+			}
+			for id, s := range tl.sources {
+				if s != cs.sources[id] {
+					return nil, nil, ckptInvalid(ref.name, "source %d is %q, newer tier says %q", id, s, cs.sources[id])
+				}
+			}
+		}
+		bound := ref
+		bound.crc = tl.crc
+		cs.tiers = append(cs.tiers, bound)
+		runs = append(runs, tl.run)
+	}
+	st := provenance.NewStoreSharded(space, shards)
+	if err := st.LoadSortedRuns(recs, runs); err != nil {
+		return nil, nil, fmt.Errorf("provlog: tier plan ending at %s: %w", filepath.Base(plan[0].name), err)
+	}
+	return st, cs, nil
+}
+
+// Checkpoint folds everything the store has committed past the newest
+// tier's watermark into a new tier file — O(delta) work, not O(history) —
+// merges adjacent tiers while the MergePolicy demands it, atomically
+// publishes the resulting tier list in the MANIFEST, and garbage-collects
+// the WAL segments and tier files the manifest supersedes. The log stays
+// live throughout: the active segment is sealed (rotated) first, the
+// sorted run is built from a store snapshot and written outside the log's
+// locks, and appends continue into the new segment while compaction runs.
+// Compactions are serialized; concurrent Checkpoint calls queue. A
+// checkpoint whose watermark would not advance past the newest tier's is
+// a no-op.
+//
+// Crash safety: every tier (fresh or merged) becomes durable by atomic
+// rename after an fsync but goes live only when the manifest rename lands,
+// and no file is deleted before the manifest and the directory fsync
+// complete — so a kill at any point leaves a directory Open recovers: the
+// old manifest's state plus not-yet-collected segments (which the
+// skip-aware suffix replay tolerates), or the new manifest's state plus
+// debris files the next compaction sweeps.
 func (l *Log) Checkpoint() error {
 	// Register with the compaction wait group before doing anything, so a
 	// concurrent Close drains this call — explicit or background — before
@@ -605,7 +707,7 @@ func (l *Log) Checkpoint() error {
 		return err
 	}
 	if w <= l.lastCkptSeq {
-		// Nothing new to fold, but a crash between a predecessor's rename
+		// Nothing new to fold, but a crash between a predecessor's manifest
 		// and its collection may have left superseded files; collect them.
 		var err error
 		if l.lastCkptSeq > 0 {
@@ -615,13 +717,26 @@ func (l *Log) Checkpoint() error {
 		return err
 	}
 	fingerprint := l.fingerprint
+	// The new tier covers exactly the records past the newest tier's
+	// watermark. Its tables are the log's own persisted counters — the
+	// cumulative dictionary state, captured under mu after the snapshot,
+	// so they cover every code and source the range references and are a
+	// superset-extension of every tier below (suffix replay re-verifies
+	// any entries persisted past the snapshot against the WAL frames).
+	firstSeq := l.lastCkptSeq
+	tiers := append([]tierRef(nil), l.tiers...)
+	persisted := append([]int(nil), l.persisted...)
+	sources := make([]string, len(l.sourceID))
+	for s, id := range l.sourceID {
+		sources[int(id)] = s
+	}
 	l.mu.Unlock()
 
 	var ckptStart time.Time
 	if l.met != nil {
 		ckptStart = time.Now()
 	}
-	buf, err := encodeCheckpoint(l.space, fingerprint, sn, w)
+	buf, err := encodeTierRange(l.space, fingerprint, sn, firstSeq, w, persisted, sources)
 	if err != nil {
 		return err
 	}
@@ -633,25 +748,64 @@ func (l *Log) Checkpoint() error {
 		return fmt.Errorf("provlog: log is closed")
 	}
 	l.mu.Unlock()
-	if err := writeCheckpointFile(l.dir, buf, w); err != nil {
+	if err := writeTierFile(l.dir, buf, firstSeq, w); err != nil {
 		return fmt.Errorf("provlog: checkpoint: %w", err)
 	}
 	l.met.checkpointed(w, len(buf), time.Since(ckptStart))
 
+	// Settle the tier list under the merge policy, then make it live with
+	// one atomic manifest publish. A merge failure does not lose the
+	// checkpoint: the unmerged tiers are all valid, so they publish as-is
+	// and the error surfaces after the state is safe.
+	tiers = append([]tierRef{{
+		name:      filepath.Base(tierPath(l.dir, firstSeq, w)),
+		firstSeq:  firstSeq,
+		watermark: w,
+		count:     w - firstSeq,
+		crc:       binary.LittleEndian.Uint32(buf[len(buf)-4:]),
+	}}, tiers...)
+	tiers, mergeErr := l.mergeDue(tiers)
+
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	var pubErr error
+	if closed {
+		// The log was closed while the tier was being written; the renames
+		// already made the files durable, but the directory must not be
+		// mutated further — the flock may already be released. The old
+		// manifest stays authoritative; the unreferenced files are debris.
+		pubErr = nil
+	} else {
+		pubErr = publishManifest(l.dir, fingerprint, tiers)
+	}
+
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if pubErr != nil {
+		// The on-disk manifest still names the previous tiers, so the
+		// in-memory state must not advance past it: the files just written
+		// are left as debris (a retry with the same watermark renames over
+		// them; a later success sweeps them) and nothing is collected — a
+		// crash now must not strand the manifest referencing deleted files.
+		return fmt.Errorf("provlog: checkpoint: %w", pubErr)
+	}
 	if w > l.lastCkptSeq {
 		l.lastCkptSeq = w
 	}
+	l.tiers = tiers
+	l.met.tierCount(len(tiers))
 	l.bytesSinceCkpt.Store(0)
-	l.compactFailures = 0
-	if l.closed {
-		// The log was closed while the file was being written; the rename
-		// already made the checkpoint durable, but the directory must not
-		// be mutated further — the flock may already be released.
-		return nil
+	if mergeErr == nil {
+		l.compactFailures = 0
 	}
-	return l.gcLocked(w)
+	if l.closed {
+		return mergeErr
+	}
+	if err := l.gcLocked(w); err != nil {
+		return err
+	}
+	return mergeErr
 }
 
 // ckptBeginLocked prepares the log for a compaction covering records below
@@ -692,10 +846,14 @@ func (l *Log) ckptBeginLocked(w int) error {
 }
 
 // gcLocked removes WAL segments whose every record lies below the
-// watermark w and checkpoint files older than w. Segments are deleted
-// oldest-first and only while their successor's header proves full
-// coverage (a segment's records end where the next segment's begin); the
-// active segment never qualifies. The caller holds l.mu.
+// watermark w and tier files the live tier list does not reference —
+// superseded checkpoints, merged-away inputs, and the debris of crashed
+// compactions. Segments are deleted oldest-first and only while their
+// successor's header proves full coverage (a segment's records end where
+// the next segment's begin); the active segment never qualifies. Tier
+// files are judged purely by name against l.tiers, which the manifest
+// already names durably — everything else is unreachable by the loader's
+// manifest plan. The caller holds l.mu.
 func (l *Log) gcLocked(w int) error {
 	segs, err := listSegments(l.dir)
 	if err != nil {
@@ -717,20 +875,28 @@ func (l *Log) gcLocked(w int) error {
 		}
 		l.met.segmentGCd()
 	}
-	cks, err := listCheckpoints(l.dir)
+	if len(l.tiers) == 0 {
+		return syncDir(l.dir)
+	}
+	live := make(map[string]bool, len(l.tiers))
+	for _, t := range l.tiers {
+		live[t.name] = true
+	}
+	refs, err := listTierFiles(l.dir)
 	if err != nil {
 		return err
 	}
-	for _, ck := range cks {
-		if ck.watermark < w {
-			if err := ckptStage("gc"); err != nil {
-				return err
-			}
-			if err := os.Remove(ck.path); err != nil {
-				return err
-			}
-			l.met.segmentGCd()
+	for _, r := range refs {
+		if live[r.name] {
+			continue
 		}
+		if err := ckptStage("gc"); err != nil {
+			return err
+		}
+		if err := os.Remove(filepath.Join(l.dir, r.name)); err != nil {
+			return err
+		}
+		l.met.segmentGCd()
 	}
 	return syncDir(l.dir)
 }

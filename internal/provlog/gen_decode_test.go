@@ -1,0 +1,65 @@
+package provlog
+
+// Throwaway generator for the docs/ONDISK.md worked decode. Run with:
+//   go test -run TestGenWorkedDecode -v ./internal/provlog
+// It builds a two-tier state dir at /tmp/tierdemo.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestGenWorkedDecode(t *testing.T) {
+	if os.Getenv("GEN_DECODE") == "" {
+		t.Skip("set GEN_DECODE=1 to generate")
+	}
+	dir := "/tmp/tierdemo"
+	os.RemoveAll(dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	space := pipeline.MustSpace(
+		pipeline.Parameter{Name: "alpha", Kind: pipeline.Ordinal, Domain: []pipeline.Value{pipeline.Ord(0.1), pipeline.Ord(0.5)}},
+		pipeline.Parameter{Name: "solver", Kind: pipeline.Categorical, Domain: []pipeline.Value{pipeline.Cat("lbfgs"), pipeline.Cat("saga")}},
+	)
+	l, st, err := Open(dir, space, WithMergePolicy(MergePolicy{MaxTiers: 8, SizeRatio: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(a float64, s string) pipeline.Instance {
+		return pipeline.MustInstance(space, pipeline.Ord(a), pipeline.Cat(s))
+	}
+	add := func(in pipeline.Instance, out pipeline.Outcome, src string) {
+		if err := st.Add(in, out, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(mk(0.1, "lbfgs"), pipeline.Succeed, "executor")
+	add(mk(0.5, "saga"), pipeline.Fail, "executor")
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	add(mk(0.1, "saga"), pipeline.Succeed, "seed")
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range ents {
+		fi, _ := e.Info()
+		names = append(names, fmt.Sprintf("%s (%d bytes)", e.Name(), fi.Size()))
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	_ = filepath.Join
+}

@@ -5,12 +5,28 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/pipeline"
 	"repro/internal/provenance"
 )
+
+// loadCheckpoint loads one base checkpoint file as an unbound single-tier
+// plan — the historic single-checkpoint load path the decode tests drive
+// directly.
+func loadCheckpoint(path string, space *pipeline.Space, shards, par int) (*provenance.Store, *ckptState, error) {
+	base := filepath.Base(path)
+	num, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(base, "ckpt-"), ".ckpt"), 10, 63)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := int(num)
+	plan := []tierRef{{name: base, watermark: w, count: w}}
+	return loadTierPlan(filepath.Dir(path), plan, space, shards, par)
+}
 
 // This file tests the range-parallel checkpoint decode against the
 // sequential baseline: same store, same queries, and — on a corrupt file —

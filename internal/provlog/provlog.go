@@ -169,11 +169,13 @@ type Log struct {
 	// which runs with mu released.
 	store           *provenance.Store
 	compact         CompactPolicy
+	merge           MergePolicy // tier-compaction policy; zero fields take defaults
 	compactMu       sync.Mutex
 	compactWG       sync.WaitGroup
 	compacting      bool
 	compactFailures int // consecutive failed auto-compactions; backs off the trigger
 	lastCkptSeq     int
+	tiers           []tierRef // live checkpoint tiers, newest first; guarded by mu
 	bytesSinceCkpt  atomic.Int64
 
 	// persisted counts, per parameter, the codes already written as dict
@@ -284,6 +286,13 @@ func Open(dir string, space *pipeline.Space, opts ...Option) (*Log, *provenance.
 	l.sourceID = rs.sourceID
 	l.nextSeq = total
 	l.lastCkptSeq = rs.ckptSeq
+	if rs.ckpt != nil {
+		// Future checkpoints stack on the tiers this open loaded; their
+		// CRCs were bound during the load, so the next manifest republishes
+		// them with full integrity bindings.
+		l.tiers = append([]tierRef(nil), rs.ckpt.tiers...)
+	}
+	l.met.tierCount(len(l.tiers))
 	switch {
 	case len(segs) == 0:
 		if err := l.createSegment(0, l.nextSeq); err != nil {

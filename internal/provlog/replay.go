@@ -389,16 +389,16 @@ func replaySegment(sf segFile, rs *replayState, isFinal bool) (lastGood int64, e
 	}
 }
 
-// replayDir rebuilds the store recorded under dir: it loads the newest
-// valid checkpoint (falling back to older ones, then to a full WAL
-// replay), replays the segments holding records past the checkpoint's
-// watermark — skipping over already-covered records in a partially
-// collected segment — and returns the replay state, the segment list, and
-// the intact byte length of the final segment (the recovery point a writer
-// must truncate to before appending). The rebuilt store is sharded across
-// shards hash ranges (1 = unsharded); a loaded checkpoint run splits at
-// the shard boundaries and decodes on up to par goroutines (<= 1 =
-// sequential).
+// replayDir rebuilds the store recorded under dir: it loads the best
+// checkpoint tier plan — the manifest's, falling back to chains
+// reconstructed from tier file names, then to a full WAL replay — replays
+// the segments holding records past the plan's watermark — skipping over
+// already-covered records in a partially collected segment — and returns
+// the replay state, the segment list, and the intact byte length of the
+// final segment (the recovery point a writer must truncate to before
+// appending). The rebuilt store is sharded across shards hash ranges (1 =
+// unsharded); each loaded tier run splits at the shard boundaries and
+// decodes on up to par goroutines (<= 1 = sequential).
 func replayDir(dir string, space *pipeline.Space, shards, par int) (*replayState, []segFile, int64, error) {
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -415,18 +415,18 @@ func replayDir(dir string, space *pipeline.Space, shards, par int) (*replayState
 		}
 	}
 
-	cks, err := listCheckpoints(dir)
+	plans, err := tierPlans(dir, space.Fingerprint())
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	var rs *replayState
 	var ckErr error
-	for _, ck := range cks {
-		st, cs, err := loadCheckpoint(ck.path, space, shards, par)
+	for _, plan := range plans {
+		st, cs, err := loadTierPlan(dir, plan, space, shards, par)
 		if err != nil {
-			// An unreadable checkpoint falls back to an older one or the
-			// full WAL — unless it provably belongs to a different space,
-			// which no fallback can paper over.
+			// An unloadable plan falls back to the next one — a shallower
+			// chain, or the full WAL — unless a tier provably belongs to a
+			// different space, which no fallback can paper over.
 			if ckErr == nil {
 				ckErr = err
 			}
@@ -437,7 +437,7 @@ func replayDir(dir string, space *pipeline.Space, shards, par int) (*replayState
 		}
 		rs = newReplayState(space, st)
 		// The replay mutates its tables as it scans the suffix; the
-		// checkpoint's own stay pristine in rs.ckpt, the authoritative
+		// plan's own stay pristine in rs.ckpt, the authoritative
 		// fallback when the WAL's tail turns out to be lost.
 		copy(rs.persisted, cs.persisted)
 		rs.sources = append(rs.sources, cs.sources...)

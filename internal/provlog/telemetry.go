@@ -24,6 +24,10 @@ type Metrics struct {
 	checkpoints   *telemetry.Counter
 	checkpointNs  *telemetry.Histogram
 	ckptBytes     *telemetry.Counter
+	tierCnt       *telemetry.Gauge     // live checkpoint tiers after the last compaction
+	merges        *telemetry.Counter   // completed tier merges
+	mergeNs       *telemetry.Histogram // duration per tier merge
+	mergeBytes    *telemetry.Histogram // merged tier size in bytes
 }
 
 // NewMetrics registers the log's metrics in reg (under provlog_* names)
@@ -44,6 +48,10 @@ func NewMetrics(reg *telemetry.Registry, journal *telemetry.Journal) *Metrics {
 		checkpoints:   reg.Counter("provlog_checkpoints"),
 		checkpointNs:  reg.Histogram("provlog_checkpoint_ns"),
 		ckptBytes:     reg.Counter("provlog_checkpoint_bytes"),
+		tierCnt:       reg.Gauge("provlog_tiers"),
+		merges:        reg.Counter("provlog_merges"),
+		mergeNs:       reg.Histogram("provlog_merge_ns"),
+		mergeBytes:    reg.Histogram("provlog_merge_bytes"),
 	}
 }
 
@@ -82,6 +90,32 @@ func (m *Metrics) segmentGCd() {
 		return
 	}
 	m.segmentsGCd.Inc()
+}
+
+// merged records one completed tier merge: counter, size and duration
+// histograms, and the merge journal span.
+func (m *Metrics) merged(rows, bytes int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.merges.Inc()
+	m.mergeNs.Observe(int64(d))
+	m.mergeBytes.Observe(int64(bytes))
+	if m.journal != nil {
+		m.journal.Emit("merge",
+			telemetry.Int("rows", int64(rows)),
+			telemetry.Int("bytes", int64(bytes)),
+			telemetry.Dur("dur_ns", d),
+		)
+	}
+}
+
+// tierCount publishes the number of live checkpoint tiers.
+func (m *Metrics) tierCount(n int) {
+	if m == nil {
+		return
+	}
+	m.tierCnt.Set(int64(n))
 }
 
 // checkpointed records one completed checkpoint: counter, byte counter,

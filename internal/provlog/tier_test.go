@@ -1,0 +1,480 @@
+package provlog
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// This file tests the LSM-tiered checkpoint path: delta tiers, the
+// manifest, the merge policy, crash recovery at every merge stage, and
+// compatibility with pre-tiering single-checkpoint directories.
+
+// tierNames returns the log's live tier list as "firstSeq-watermark"
+// strings, newest first.
+func tierNames(l *Log) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.tiers))
+	for i, t := range l.tiers {
+		out[i] = fmt.Sprintf("%d-%d", t.firstSeq, t.watermark)
+	}
+	return out
+}
+
+// TestTieredCheckpointsAccumulate takes three checkpoints with shrinking
+// deltas under a no-merge-inducing policy and verifies each one writes
+// only its delta: one base checkpoint plus two delta tiers, all named by
+// the manifest, with the reopened log seeing the same tier list.
+func TestTieredCheckpointsAccumulate(t *testing.T) {
+	dir := t.TempDir()
+	s := testSpace(t)
+	// SizeRatio 1 merges only when an older tier is smaller than a newer
+	// one; shrinking deltas never trip it.
+	l, st, err := Open(dir, s, WithSegmentSize(256),
+		WithMergePolicy(MergePolicy{MaxTiers: 8, SizeRatio: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, outs, srcs := testRecords(t, s, 47)
+	fillStore(t, st, ins[:30], outs[:30], srcs[:30])
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, st, ins[30:42], outs[30:42], srcs[30:42])
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, st, ins[42:], outs[42:], srcs[42:])
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"42-47", "30-42", "0-30"}
+	if got := tierNames(l); strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("tiers = %v, want %v", got, want)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// On disk: the base tier under the legacy checkpoint name, the two
+	// delta tiers, and a manifest binding all three.
+	cks, err := listCheckpoints(dir)
+	if err != nil || len(cks) != 1 || cks[0].watermark != 30 {
+		t.Fatalf("base checkpoints = %+v, %v, want one at 30", cks, err)
+	}
+	for _, name := range []string{
+		fmt.Sprintf("tier-%016d-%016d.tier", 30, 42),
+		fmt.Sprintf("tier-%016d-%016d.tier", 42, 47),
+		manifestName,
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+	manifest, err := readManifest(dir, s.Fingerprint())
+	if err != nil || len(manifest) != 3 {
+		t.Fatalf("manifest = %+v, %v, want 3 tiers", manifest, err)
+	}
+
+	l2, st2, err := Open(dir, testSpace(t), WithSegmentSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoreMatches(t, st2, ins, outs, srcs)
+	if got := tierNames(l2); strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("reopened tiers = %v, want %v", got, want)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTierMergeFullRewrite pins MaxTiers to 1: every checkpoint must
+// settle back to a single base tier under the legacy checkpoint name,
+// reproducing the historic rewrite-everything behavior file for file.
+func TestTierMergeFullRewrite(t *testing.T) {
+	dir := t.TempDir()
+	s := testSpace(t)
+	l, st, err := Open(dir, s, WithSegmentSize(256),
+		WithMergePolicy(MergePolicy{MaxTiers: 1, SizeRatio: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, outs, srcs := testRecords(t, s, 40)
+	fillStore(t, st, ins[:25], outs[:25], srcs[:25])
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, st, ins[25:], outs[25:], srcs[25:])
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tierNames(l); len(got) != 1 || got[0] != "0-40" {
+		t.Fatalf("tiers = %v, want [0-40]", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cks, err := listCheckpoints(dir)
+	if err != nil || len(cks) != 1 || cks[0].watermark != 40 {
+		t.Fatalf("checkpoints = %+v, %v, want exactly one at 40", cks, err)
+	}
+	if names, _ := filepath.Glob(filepath.Join(dir, "tier-*.tier")); len(names) != 0 {
+		t.Fatalf("delta tiers left behind: %v", names)
+	}
+	l2, st2, err := Open(dir, testSpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	assertStoreMatches(t, st2, ins, outs, srcs)
+}
+
+// TestTieredDifferential drives randomized histories through a tiered log
+// — random policy, random checkpoint placement, with and without a live
+// WAL suffix past the last checkpoint — against a twin directory that
+// holds the same records as pure WAL. Both must replay to identical
+// stores on every indexed query surface.
+func TestTieredDifferential(t *testing.T) {
+	policies := []MergePolicy{
+		{},                          // defaults
+		{MaxTiers: 8, SizeRatio: 1}, // accumulate tiers
+		{MaxTiers: 2, SizeRatio: 2}, // merge aggressively
+		{MaxTiers: 1, SizeRatio: 1}, // legacy full rewrite
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			n := 20 + r.Intn(60)
+			segSize := int64(128 + r.Intn(2048))
+			policy := policies[r.Intn(len(policies))]
+			nCkpts := 1 + r.Intn(4)
+			at := map[int]bool{}
+			for len(at) < nCkpts {
+				at[1+r.Intn(n)] = true // after record i; n means no live suffix
+			}
+
+			s := testSpace(t)
+			ins, outs, srcs := testRecords(t, s, n)
+			// Instances bind to their space; the WAL twin records the same
+			// history rebuilt over its own independently constructed space.
+			sW := testSpace(t)
+			insW, _, _ := testRecords(t, sW, n)
+			tieredDir, walDir := t.TempDir(), t.TempDir()
+			lt, stT, err := Open(tieredDir, s, WithSegmentSize(segSize), WithMergePolicy(policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lw, stW, err := Open(walDir, sW, WithSegmentSize(segSize))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ins {
+				if err := stT.Add(ins[i], outs[i], srcs[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := stW.Add(insW[i], outs[i], srcs[i]); err != nil {
+					t.Fatal(err)
+				}
+				if at[i+1] {
+					if err := lt.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := lt.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := lw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := os.Stat(filepath.Join(tieredDir, manifestName)); err != nil {
+				t.Fatalf("no manifest after %d checkpoints: %v", nCkpts, err)
+			}
+
+			viaTiers, err := Replay(tieredDir, testSpace(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaWAL, err := Replay(walDir, testSpace(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStoreMatches(t, viaTiers, ins, outs, srcs)
+			assertStoresEqual(t, viaWAL, viaTiers)
+		})
+	}
+}
+
+// TestTierMergeCrashTorture kills the third checkpoint of a
+// merge-inducing session at every stage — the delta tier's temp write and
+// rename, the merged tier's temp write and rename, the manifest publish,
+// and mid-collection — and verifies Open recovers the identical store
+// each time, keeps accepting appends, and that the next clean checkpoint
+// settles the directory.
+func TestTierMergeCrashTorture(t *testing.T) {
+	// Policy chosen so checkpoint #3 triggers exactly one merge: tiers
+	// [10, 12, 30] exceed MaxTiers 2, merging to [22, 30], which settles.
+	cases := []struct {
+		stage string
+		nth   int // crash at the nth occurrence of stage
+	}{
+		{"tmp-written", 1}, // delta tier temp file
+		{"tmp-written", 2}, // merged tier temp file
+		{"renamed", 1},     // delta tier durable
+		{"renamed", 2},     // merged tier durable
+		{"manifest", 1},    // new tier list published
+		{"gc", 1},          // first superseded file about to go
+		{"gc", 2},          // mid-collection
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s-%d", tc.stage, tc.nth), func(t *testing.T) {
+			dir := t.TempDir()
+			s := testSpace(t)
+			l, st, err := Open(dir, s, WithSegmentSize(256),
+				WithMergePolicy(MergePolicy{MaxTiers: 2, SizeRatio: 1}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ins, outs, srcs := testRecords(t, s, 52)
+			fillStore(t, st, ins[:30], outs[:30], srcs[:30])
+			if err := l.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			fillStore(t, st, ins[30:42], outs[30:42], srcs[30:42])
+			if err := l.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			fillStore(t, st, ins[42:], outs[42:], srcs[42:])
+
+			seen := 0
+			ckptTestHook = func(got string) error {
+				if got == tc.stage {
+					seen++
+					if seen == tc.nth {
+						return fmt.Errorf("injected crash at %s #%d", got, seen)
+					}
+				}
+				return nil
+			}
+			err = l.Checkpoint()
+			ckptTestHook = nil
+			if err == nil || !strings.Contains(err.Error(), "injected crash") {
+				t.Fatalf("Checkpoint = %v, want the injected crash", err)
+			}
+			if seen < tc.nth {
+				t.Fatalf("stage %s occurred %d times, test wanted occurrence %d", tc.stage, seen, tc.nth)
+			}
+			// Simulate the kill: abandon the handle, releasing only the flock.
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Open must recover the full history regardless of which file
+			// operations landed before the crash.
+			l2, st2, err := Open(dir, testSpace(t), WithSegmentSize(256),
+				WithMergePolicy(MergePolicy{MaxTiers: 2, SizeRatio: 1}))
+			if err != nil {
+				t.Fatalf("Open after crash at %s #%d: %v", tc.stage, tc.nth, err)
+			}
+			assertStoreMatches(t, st2, ins, outs, srcs)
+
+			// The session keeps going: more records, then a clean checkpoint
+			// that finishes whatever the crashed one left half-done.
+			more, mouts, msrcs := testRecords(t, st2.Space(), len(ins)+8)
+			for i := len(ins); i < len(more); i++ {
+				if err := st2.Add(more[i], mouts[i], msrcs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l2.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Replay(dir, testSpace(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStoreMatches(t, got, more, mouts, msrcs)
+
+			// After the clean checkpoint, the directory holds no debris: every
+			// tier file on disk is named by the manifest.
+			manifest, err := readManifest(dir, s.Fingerprint())
+			if err != nil || len(manifest) == 0 {
+				t.Fatalf("manifest after recovery = %+v, %v", manifest, err)
+			}
+			live := map[string]bool{}
+			for _, tier := range manifest {
+				live[tier.name] = true
+			}
+			refs, err := listTierFiles(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ref := range refs {
+				if !live[ref.name] {
+					t.Fatalf("debris tier %s survived the recovery checkpoint", ref.name)
+				}
+			}
+		})
+	}
+}
+
+// TestSingleTierBackwardCompat opens a pre-tiering state directory — one
+// v01 checkpoint written without any manifest, exactly what an older
+// process leaves — and requires the identical store, then verifies the
+// first tiered checkpoint upgrades the directory in place.
+func TestSingleTierBackwardCompat(t *testing.T) {
+	dir := t.TempDir()
+	s := testSpace(t)
+	l, st, err := Open(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, outs, srcs := testRecords(t, s, 20)
+	fillStore(t, st, ins, outs, srcs)
+	buf, err := encodeCheckpoint(s, s.Fingerprint(), st.Snapshot(), len(ins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCheckpointFile(dir, buf, len(ins)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); !os.IsNotExist(err) {
+		t.Fatalf("pre-tiering fixture has a manifest (err = %v)", err)
+	}
+
+	l2, st2, err := Open(dir, testSpace(t), WithMergePolicy(MergePolicy{MaxTiers: 8, SizeRatio: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoreMatches(t, st2, ins, outs, srcs)
+	if got := tierNames(l2); len(got) != 1 || got[0] != "0-20" {
+		t.Fatalf("tiers from legacy dir = %v, want [0-20]", got)
+	}
+	more, mouts, msrcs := testRecords(t, st2.Space(), len(ins)+7)
+	for i := len(ins); i < len(more); i++ {
+		if err := st2.Add(more[i], mouts[i], msrcs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tierNames(l2); strings.Join(got, " ") != "20-27 0-20" {
+		t.Fatalf("tiers after upgrade checkpoint = %v, want [20-27 0-20]", got)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("upgrade checkpoint wrote no manifest: %v", err)
+	}
+	got, err := Replay(dir, testSpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoreMatches(t, got, more, mouts, msrcs)
+}
+
+// TestManifestLossFallback deletes (and separately corrupts) the MANIFEST
+// of a multi-tier directory whose covered segments are already collected:
+// Open must reconstruct the tier chain from the file names alone.
+func TestManifestLossFallback(t *testing.T) {
+	build := func(t *testing.T) (string, []int) {
+		dir := t.TempDir()
+		s := testSpace(t)
+		l, st, err := Open(dir, s, WithSegmentSize(256),
+			WithMergePolicy(MergePolicy{MaxTiers: 8, SizeRatio: 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins, outs, srcs := testRecords(t, s, 47)
+		for _, w := range [][2]int{{0, 30}, {30, 42}, {42, 47}} {
+			fillStore(t, st, ins[w[0]:w[1]], outs[w[0]:w[1]], srcs[w[0]:w[1]])
+			if err := l.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir, []int{47}
+	}
+	check := func(t *testing.T, dir string) {
+		s := testSpace(t)
+		ins, outs, srcs := testRecords(t, s, 47)
+		l, st, err := Open(dir, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		assertStoreMatches(t, st, ins, outs, srcs)
+	}
+
+	t.Run("deleted", func(t *testing.T) {
+		dir, _ := build(t)
+		if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir)
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		dir, _ := build(t)
+		path := filepath.Join(dir, manifestName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir)
+	})
+}
+
+// TestMergePolicyWantMerge pins the policy arithmetic.
+func TestMergePolicyWantMerge(t *testing.T) {
+	mk := func(counts ...int) []tierRef {
+		tiers := make([]tierRef, len(counts))
+		w := 0
+		for i := len(counts) - 1; i >= 0; i-- {
+			tiers[i] = tierRef{firstSeq: w, watermark: w + counts[i], count: counts[i]}
+			w += counts[i]
+		}
+		return tiers
+	}
+	cases := []struct {
+		p     MergePolicy
+		tiers []tierRef
+		want  bool
+	}{
+		{MergePolicy{}, nil, false},
+		{MergePolicy{}, mk(10), false},
+		{MergePolicy{MaxTiers: 2, SizeRatio: 1}, mk(5, 12, 30), true},  // too many tiers
+		{MergePolicy{MaxTiers: 8, SizeRatio: 1}, mk(5, 12, 30), false}, // shrinking deltas
+		{MergePolicy{MaxTiers: 8, SizeRatio: 4}, mk(5, 12, 30), true},  // 12 < 4*5
+		{MergePolicy{MaxTiers: 8, SizeRatio: 4}, mk(5, 20, 80), false}, // exactly geometric
+		{MergePolicy{MaxTiers: 1, SizeRatio: 1}, mk(30, 10), true},     // always down to one
+		{MergePolicy{MaxTiers: 8, SizeRatio: 1}, mk(30, 10), true},     // inverted sizes
+	}
+	for i, tc := range cases {
+		if got := tc.p.normalized().wantMerge(tc.tiers); got != tc.want {
+			t.Errorf("case %d: wantMerge(%v, %d tiers) = %v, want %v",
+				i, tc.p, len(tc.tiers), got, tc.want)
+		}
+	}
+	if n := (MergePolicy{}).normalized(); n != DefaultMergePolicy {
+		t.Errorf("normalized zero policy = %+v, want %+v", n, DefaultMergePolicy)
+	}
+}
