@@ -1001,6 +1001,37 @@ func BenchmarkEvaluateBatchDurable(b *testing.B) { benchEvaluateDurable(b, true)
 // committed record by record.
 func BenchmarkEvaluateDurablePerInstance(b *testing.B) { benchEvaluateDurable(b, false) }
 
+// BenchmarkEvaluateFlakyQuorum measures the quorum state machine on the
+// batched in-memory path: a deterministic oracle under a 3-of-5 policy
+// resolves every fresh instance at exactly MinTrials, so one instance
+// costs three claim/vote rounds, the vote-ledger bookkeeping, and the
+// resolved record commit. Gated in CI so flaky evaluation stays
+// O(trials) per instance with no hidden scans.
+func BenchmarkEvaluateFlakyQuorum(b *testing.B) {
+	space := benchLogSpace(b)
+	oracle := exec.OracleFunc(func(_ context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+		if in.Hash()&1 == 0 {
+			return pipeline.Fail, nil
+		}
+		return pipeline.Succeed, nil
+	})
+	ex := exec.New(oracle, provenance.NewStore(space),
+		exec.WithWorkers(8),
+		exec.WithFlakyPolicy(exec.FlakyPolicy{MinTrials: 3, MaxTrials: 5, Quorum: 3}))
+	const round = 256
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ins := distinctInstances(b, space, i*round, round)
+		for _, r := range ex.EvaluateBatch(ctx, ins) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/round, "ns/instance")
+}
+
 // BenchmarkStoreAddBatch measures the in-memory batched commit path (one
 // lock acquisition and amortized index maintenance for 1024 records).
 func BenchmarkStoreAddBatch(b *testing.B) {

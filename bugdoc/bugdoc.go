@@ -79,6 +79,10 @@ type (
 	// how many LSM-style tiers may accumulate and how steeply their sizes
 	// must grow before adjacent tiers merge.
 	MergePolicy = provlog.MergePolicy
+	// FlakyPolicy configures quorum outcome resolution for sessions whose
+	// oracle is non-deterministic: how many trials to dispatch per
+	// instance and how many agreeing votes resolve it.
+	FlakyPolicy = exec.FlakyPolicy
 )
 
 // Value kinds.
@@ -91,6 +95,10 @@ const (
 const (
 	Succeed = pipeline.Succeed
 	Fail    = pipeline.Fail
+	// Inconclusive records a flaky quorum that tied at its trial cap:
+	// the instance is memoized (never re-dispatched) but counts as
+	// evidence for neither side.
+	Inconclusive = pipeline.OutcomeInconclusive
 )
 
 // Comparators.
@@ -221,6 +229,18 @@ func WithMergePolicy(p MergePolicy) Option {
 	return func(s *Session) { s.mergePolicy = &p }
 }
 
+// WithFlakyPolicy declares the session's oracle non-deterministic: every
+// new instance is dispatched between MinTrials and MaxTrials times and
+// its recorded outcome is resolved by majority vote once Quorum agreeing
+// verdicts accumulate (an exact tie at MaxTrials records Inconclusive,
+// which supports neither side). Each trial consumes one budget unit. On
+// durable sessions every trial is write-ahead logged, so a killed session
+// resumes mid-quorum with its accumulated votes. The zero policy (and any
+// MaxTrials <= 1) keeps the deterministic single-trial path.
+func WithFlakyPolicy(p FlakyPolicy) Option {
+	return func(s *Session) { s.flakyPolicy = &p }
+}
+
 // WithCompactEvery schedules automatic compaction for a durable session:
 // whenever n records have been logged past the newest checkpoint, the
 // write-ahead log folds its sealed history into a checkpoint in the
@@ -249,6 +269,7 @@ type Session struct {
 	fsync        bool
 	compactEvery int
 	mergePolicy  *MergePolicy
+	flakyPolicy  *FlakyPolicy
 	telemetryReg *Registry
 	journal      *Journal
 }
@@ -266,10 +287,18 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.flakyPolicy != nil {
+		if err := s.flakyPolicy.Validate(); err != nil {
+			return nil, fmt.Errorf("bugdoc: %w", err)
+		}
+	}
 	telOpt := s.telemetryOption()
 	if s.stateDir != "" {
 		exOpts := []exec.Option{exec.WithBudget(s.budget), exec.WithWorkers(s.workers),
 			exec.WithStoreShards(s.shards)}
+		if s.flakyPolicy != nil {
+			exOpts = append(exOpts, exec.WithFlakyPolicy(*s.flakyPolicy))
+		}
 		if telOpt != nil {
 			exOpts = append(exOpts, telOpt)
 		}
@@ -320,6 +349,9 @@ func NewSession(space *Space, oracle Oracle, opts ...Option) (*Session, error) {
 		}
 	}
 	volOpts := []exec.Option{exec.WithBudget(s.budget), exec.WithWorkers(s.workers)}
+	if s.flakyPolicy != nil {
+		volOpts = append(volOpts, exec.WithFlakyPolicy(*s.flakyPolicy))
+	}
 	if telOpt != nil {
 		volOpts = append(volOpts, telOpt)
 	}

@@ -56,6 +56,19 @@
 // the WAL suffix past the newest watermark — resume cost is bounded by the
 // live history, and checkpoint cost by the delta since the last one.
 //
+// Flaky-oracle flags: -trials MIN:MAX:Q treats the oracle as
+// non-deterministic and resolves every new instance by quorum — it is
+// dispatched at least MIN and at most MAX times, its recorded outcome is
+// the majority verdict once Q agreeing trials accumulate, and an exact tie
+// at MAX records "inconclusive" (evidence for neither side). Every trial
+// consumes one unit of -budget and, with -state-dir, is write-ahead logged
+// individually, so a killed run resumes mid-quorum with its accumulated
+// votes. -flake RATE corrupts each oracle verdict with the given
+// probability (deterministically, keyed by -seed) to simulate a flaky
+// pipeline against the built-in demos:
+//
+//	bugdoc -demo polygamy -algo ddt -goal all -flake 0.05 -trials 3:7:3
+//
 // Observability flags: -stats prints a runtime telemetry summary when the
 // session ends — including when it is interrupted with Ctrl-C — covering
 // memo hits, oracle latency percentiles, WAL flush and checkpoint costs,
@@ -102,6 +115,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/provlog"
 	"repro/internal/spec"
+	"repro/internal/synth"
 	"repro/internal/telemetry"
 )
 
@@ -130,6 +144,8 @@ func run() error {
 		ckptN    = flag.Int("checkpoint-every", 0, "compact the WAL in the background every N logged records (0 = only on -compact)")
 		mergePol = flag.String("merge-policy", "", "checkpoint tier merge policy as K:R — at most K tiers, each at least R times the one above (default 8:4; 1:1 = full rewrite)")
 		shards   = flag.Int("shards", 1, "shard the provenance store across N instance-hash ranges (rounded up to a power of two; 1 = unsharded)")
+		trials   = flag.String("trials", "", "flaky-oracle quorum as MIN:MAX:Q — dispatch each instance MIN..MAX times, resolve by majority once Q trials agree (empty = deterministic single-trial)")
+		flake    = flag.Float64("flake", 0, "corrupt each oracle verdict with this probability (deterministic per -seed; simulates a flaky pipeline)")
 		openPar  = flag.Int("open-parallel", 0, "decode the -state-dir checkpoint on N goroutines (0 = all cores; 1 = sequential)")
 		stats    = flag.Bool("stats", false, "print a runtime telemetry summary at exit (also on Ctrl-C)")
 		dbgAddr  = flag.String("debug-addr", "", "serve live /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060; :0 picks a port)")
@@ -140,6 +156,10 @@ func run() error {
 	merge, mpErr := parseMergePolicy(*mergePol)
 	if mpErr != nil {
 		return mpErr
+	}
+	flaky, ftErr := parseTrials(*trials)
+	if ftErr != nil {
+		return ftErr
 	}
 
 	if *compact {
@@ -217,6 +237,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *flake > 0 {
+		oracle = synth.NoisyOracle(oracle, synth.SymmetricNoise(*flake, uint64(*seed)))
+	}
 	if *latency > 0 {
 		oracle = exec.LatencyOracle(oracle, *latency)
 	}
@@ -286,6 +309,9 @@ func run() error {
 	ctx, unnotify := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer unnotify()
 	exOpts := []exec.Option{exec.WithBudget(*budget), exec.WithWorkers(*workers)}
+	if flaky != nil {
+		exOpts = append(exOpts, exec.WithFlakyPolicy(*flaky))
+	}
 	if tel := exec.NewTelemetry(reg, journal, *workers); tel != nil {
 		exOpts = append(exOpts, exec.WithTelemetry(tel))
 	}
@@ -331,6 +357,33 @@ func parseMergePolicy(s string) (*provlog.MergePolicy, error) {
 		return nil, fmt.Errorf("-merge-policy: want positive integers K:R (e.g. 8:4), got %q", s)
 	}
 	return &provlog.MergePolicy{MaxTiers: maxTiers, SizeRatio: ratio}, nil
+}
+
+// parseTrials parses the -trials flag: "" means nil (deterministic
+// single-trial execution), otherwise "MIN:MAX:Q" with 1 <= MIN <= MAX,
+// MAX >= 2, and 1 <= Q <= MAX.
+func parseTrials(s string) (*exec.FlakyPolicy, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-trials: want MIN:MAX:Q (e.g. 3:7:3), got %q", s)
+	}
+	min, err1 := strconv.Atoi(parts[0])
+	max, err2 := strconv.Atoi(parts[1])
+	q, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("-trials: want integers MIN:MAX:Q (e.g. 3:7:3), got %q", s)
+	}
+	p := exec.FlakyPolicy{MinTrials: min, MaxTrials: max, Quorum: q}
+	if !p.Enabled() {
+		return nil, fmt.Errorf("-trials: MAX must be at least 2 (got %q); omit the flag for deterministic execution", s)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("-trials: %v", err)
+	}
+	return &p, nil
 }
 
 // compactStateDir runs one explicit compaction over an existing state

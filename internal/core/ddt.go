@@ -74,8 +74,12 @@ func DebugDecisionTrees(ctx context.Context, ex *exec.Executor, opts DDTOptions)
 
 	// The provenance log is append-only, so the training set only grows:
 	// each iteration extends the example slice with the records added since
-	// the previous tree build instead of re-copying the whole log.
+	// the previous tree build instead of re-copying the whole log. scanned
+	// tracks the snapshot position separately from len(examples) because
+	// inconclusive records (tied flaky quorums) are scanned but never become
+	// examples — they are evidence for neither label.
 	var examples []dtree.Example
+	scanned := 0
 
 loop:
 	for iter := 0; iter < opts.MaxIterations; iter++ {
@@ -83,9 +87,20 @@ loop:
 			return nil, err
 		}
 		sn := ex.Store().Snapshot()
-		for i := len(examples); i < sn.Len(); i++ {
-			r := sn.At(i)
-			examples = append(examples, dtree.Example{Instance: r.Instance, Outcome: r.Outcome})
+		for ; scanned < sn.Len(); scanned++ {
+			r := sn.At(scanned)
+			if r.Outcome == pipeline.OutcomeInconclusive {
+				continue
+			}
+			// Under a flaky quorum the vote margin weights the example:
+			// a unanimous instance pulls splits harder than a narrow 3-2.
+			// Deterministic records have no votes; TrialMargin returns 0,
+			// which dtree normalizes to weight 1.
+			examples = append(examples, dtree.Example{
+				Instance: r.Instance,
+				Outcome:  r.Outcome,
+				Weight:   ex.Store().TrialMargin(r.Instance),
+			})
 		}
 		tree := dtree.Build(s, examples)
 		ex.Telemetry().TreeRegrow()
@@ -190,6 +205,11 @@ func verifySuspect(ctx context.Context, ex *exec.Executor, suspect predicate.Con
 			return verdictRefuted, nil
 		case r.Err == nil && r.Outcome == pipeline.Fail:
 			sawFail = true
+		case r.Err == nil && r.Outcome == pipeline.OutcomeInconclusive:
+			// A tied flaky quorum is evidence for neither side: it cannot
+			// refute the suspect, and asserting a root cause on it would
+			// confirm from no evidence. Skip it; if every test ends up
+			// inconclusive the suspect reports untestable below.
 		case errors.Is(r.Err, exec.ErrBudgetExhausted):
 			sawBudget = true
 		case errors.Is(r.Err, exec.ErrUnknownInstance):

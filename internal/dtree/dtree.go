@@ -28,15 +28,32 @@ import (
 )
 
 // Example is one labelled training point: an executed instance and its
-// evaluation.
+// evaluation. Weight is the label's confidence as an integer vote count —
+// under a flaky-oracle quorum it is the vote margin (|succeed − fail|
+// votes), so an example resolved 5–0 pulls splits five times harder than
+// one resolved 3–2. Zero means 1, so deterministic single-trial sessions
+// need not set it; all counting stays integer arithmetic, keeping tree
+// growth deterministic. Examples labelled OutcomeInconclusive carry no
+// vote either way and never affect a split or a leaf count.
 type Example struct {
 	Instance pipeline.Instance
 	Outcome  pipeline.Outcome
+	Weight   int
+}
+
+// weight normalizes the zero value to one vote.
+func (ex *Example) weight() int {
+	if ex.Weight <= 0 {
+		return 1
+	}
+	return ex.Weight
 }
 
 // Node is one node of a debugging decision tree. Leaves have Yes == No ==
 // nil; inner nodes route instances satisfying Split to Yes and the rest to
-// No. Counts cover the training examples that reached the node.
+// No. Counts cover the training examples that reached the node, summed by
+// example weight (so under a flaky quorum they are vote margins, not
+// example counts).
 type Node struct {
 	Split    predicate.Triple
 	Yes, No  *Node
@@ -96,11 +113,12 @@ type builder struct {
 func (b *builder) build(lo, hi int) *Node {
 	n := &Node{}
 	for _, j := range b.idx[lo:hi] {
-		switch b.examples[j].Outcome {
+		ex := &b.examples[j]
+		switch ex.Outcome {
 		case pipeline.Succeed:
-			n.NSucceed++
+			n.NSucceed += ex.weight()
 		case pipeline.Fail:
-			n.NFail++
+			n.NFail += ex.weight()
 		}
 	}
 	if n.NSucceed == 0 || n.NFail == 0 || hi-lo < 2 {
@@ -165,20 +183,25 @@ func bestSplit(s *pipeline.Space, examples []Example) (predicate.Triple, bool) {
 func (b *builder) bestSplitRange(lo, hi int) (predicate.Triple, bool) {
 	s := b.s
 	window := b.idx[lo:hi]
-	total := float64(len(window))
 	totS, totF := 0, 0
 	for _, j := range window {
-		if b.examples[j].Outcome == pipeline.Succeed {
-			totS++
-		} else {
-			totF++
+		ex := &b.examples[j]
+		switch ex.Outcome {
+		case pipeline.Succeed:
+			totS += ex.weight()
+		case pipeline.Fail:
+			totF += ex.weight()
 		}
 	}
+	// Weighted example mass; equals len(window) for unit weights, so the
+	// gain arithmetic (and every tie-break) of a deterministic session is
+	// unchanged.
+	total := float64(totS + totF)
 	baseH := entropyCounts(float64(totS), float64(totF))
 	best := predicate.Triple{}
 	bestGain := -1.0
 	consider := func(t predicate.Triple, yesS, yesF int) {
-		yes, no := yesS+yesF, len(window)-yesS-yesF
+		yes, no := yesS+yesF, totS+totF-yesS-yesF
 		if yes == 0 || no == 0 {
 			return
 		}
@@ -200,15 +223,21 @@ func (b *builder) bestSplitRange(lo, hi int) (predicate.Triple, bool) {
 		b.order = b.order[:0]
 		for _, j := range window {
 			ex := &b.examples[j]
+			var dS, dF int
+			switch ex.Outcome {
+			case pipeline.Succeed:
+				dS = ex.weight()
+			case pipeline.Fail:
+				dF = ex.weight()
+			default:
+				continue // inconclusive: no vote, no threshold of its own
+			}
 			c := ex.Instance.Code(i)
 			if b.countS[c]+b.countF[c] == 0 {
 				b.order = append(b.order, c)
 			}
-			if ex.Outcome == pipeline.Succeed {
-				b.countS[c]++
-			} else {
-				b.countF[c]++
-			}
+			b.countS[c] += dS
+			b.countF[c] += dF
 		}
 		sort.Slice(b.order, func(a, c int) bool {
 			return s.InternedValue(i, b.order[a]).Less(s.InternedValue(i, b.order[c]))

@@ -110,6 +110,24 @@ func WithMergePolicy(p provlog.MergePolicy) Option {
 	return func(e *Executor) { e.logOpts = append(e.logOpts, provlog.WithMergePolicy(p)) }
 }
 
+// FlakyPolicy configures quorum outcome resolution for non-deterministic
+// oracles (see pipeline.FlakyPolicy): how many trials to dispatch per
+// instance and how many agreeing votes resolve it. The zero value keeps
+// the deterministic single-trial path.
+type FlakyPolicy = pipeline.FlakyPolicy
+
+// WithFlakyPolicy makes the executor treat the oracle as non-deterministic:
+// every un-memoized instance is re-dispatched until the policy's quorum
+// resolves (majority vote; an exact tie at the trial cap records
+// pipeline.OutcomeInconclusive). Each trial consumes one budget unit and is
+// write-ahead logged individually on durable executors, so a killed run
+// resumes mid-quorum with its accumulated votes. A disabled policy
+// (MaxTrials <= 1, including the zero value) is the deterministic fast
+// path: the executor behaves byte-for-byte as without the option.
+func WithFlakyPolicy(p FlakyPolicy) Option {
+	return func(e *Executor) { e.flaky = p }
+}
+
 // Executor mediates every instance execution for the debugging algorithms.
 // It is safe for concurrent use.
 type Executor struct {
@@ -121,6 +139,7 @@ type Executor struct {
 	storeShards  int              // hash-range shards of the store NewDurable rebuilds
 	openParallel int              // checkpoint-decode goroutines for NewDurable's open
 	tel          *Telemetry       // nil when uninstrumented (the fast path)
+	flaky        FlakyPolicy      // quorum policy; zero value = deterministic path
 
 	mu     sync.Mutex
 	budget int // remaining new executions; negative = unlimited
@@ -134,6 +153,16 @@ func New(oracle Oracle, store *provenance.Store, opts ...Option) *Executor {
 	e := &Executor{oracle: oracle, store: store, workers: 1, budget: -1}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.flaky.Enabled() {
+		if err := e.flaky.Validate(); err != nil {
+			panic(fmt.Sprintf("exec: %v", err))
+		}
+		// The vote ledger lives in the store so its bitset algebra and
+		// memoization see only resolved outcomes; the policy must be
+		// attached before the first ClaimTrial. For durable executors the
+		// log has already replayed any partial quorums into the ledger.
+		store.SetTrialPolicy(e.flaky)
 	}
 	if e.tel != nil {
 		// Extend the instrumentation down into the store: per-shard record
@@ -157,6 +186,11 @@ func NewDurable(oracle Oracle, space *pipeline.Space, dir string, opts ...Option
 	cfg := &Executor{}
 	for _, o := range opts {
 		o(cfg)
+	}
+	if cfg.flaky.Enabled() {
+		if err := cfg.flaky.Validate(); err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
 	}
 	if cfg.storeShards > 1 {
 		cfg.logOpts = append(cfg.logOpts, provlog.WithStoreShards(cfg.storeShards))
@@ -265,11 +299,108 @@ func (e *Executor) Evaluate(ctx context.Context, in pipeline.Instance) (pipeline
 	if err := e.reserve(); err != nil {
 		return pipeline.OutcomeUnknown, err
 	}
+	if e.flaky.Enabled() {
+		return e.evaluateFlaky(ctx, in, 0)
+	}
 	out, err := e.runReserved(ctx, in, 0)
 	if err != nil {
 		return pipeline.OutcomeUnknown, err
 	}
 	return e.commitOne(in, out)
+}
+
+// evaluateFlaky resolves one instance under the flaky policy: it claims
+// trial slots from the store's vote ledger, runs the oracle once per
+// granted slot, and records each verdict as a durable vote until the
+// quorum resolves; the resolved outcome is then committed as the
+// instance's single provenance record. Entered holding one budget
+// reservation (for the first trial); each further trial reserves its own
+// unit, and every recorded vote consumes its reservation permanently —
+// including votes the ledger discards because a concurrent quorum
+// resolved first (wasted parallel work, like commitOne's duplicate case).
+// When every slot is claimed by other goroutines the caller parks on the
+// ledger's wait channel rather than over-dispatching past MaxTrials.
+func (e *Executor) evaluateFlaky(ctx context.Context, in pipeline.Instance, lane int) (pipeline.Outcome, error) {
+	held := true // one reservation claimed by the caller
+	for {
+		if out, ok := e.store.Lookup(in); ok {
+			if held {
+				e.release()
+			}
+			if t := e.tel; t != nil {
+				t.memoHits.Inc()
+			}
+			return out, nil
+		}
+		claim := e.store.ClaimTrial(in)
+		if claim.Resolved {
+			if held {
+				e.release()
+			}
+			return e.finishQuorum(in, claim.Outcome)
+		}
+		if !claim.Granted {
+			// MaxTrials dispatches are already in flight; their votes will
+			// resolve the instance or free a slot.
+			select {
+			case <-ctx.Done():
+				if held {
+					e.release()
+				}
+				return pipeline.OutcomeUnknown, ctx.Err()
+			case <-claim.Wait:
+			}
+			continue
+		}
+		if !held {
+			if err := e.reserve(); err != nil {
+				e.store.ReleaseTrial(in)
+				return pipeline.OutcomeUnknown, err
+			}
+			held = true
+		}
+		if err := ctx.Err(); err != nil {
+			e.store.ReleaseTrial(in)
+			e.release()
+			return pipeline.OutcomeUnknown, err
+		}
+		out, err := e.runOracle(ctx, in, lane)
+		if err != nil {
+			e.store.ReleaseTrial(in)
+			e.release()
+			return pipeline.OutcomeUnknown, err
+		}
+		res, err := e.store.AddTrial(in, out, "executor")
+		if err != nil {
+			e.store.ReleaseTrial(in)
+			e.release()
+			return pipeline.OutcomeUnknown, err
+		}
+		held = false // vote recorded (or discarded post-resolution): unit spent
+		if res.Resolved {
+			return e.finishQuorum(in, res.Outcome)
+		}
+	}
+}
+
+// finishQuorum publishes a resolved flaky outcome as the instance's
+// provenance record. Concurrent resolvers race to Add; exactly one wins
+// and the rest adopt its record — identical by the vote-refusal
+// invariant (the ledger stops accepting votes once resolution holds, so
+// every resolver computes the same outcome). The winner observes the
+// instance's trial count in the telemetry histogram, counting each
+// quorum once.
+func (e *Executor) finishQuorum(in pipeline.Instance, out pipeline.Outcome) (pipeline.Outcome, error) {
+	if err := e.store.Add(in, out, "executor"); err != nil {
+		if prev, ok := e.store.Lookup(in); ok {
+			return prev, nil
+		}
+		return pipeline.OutcomeUnknown, err
+	}
+	if t := e.tel; t != nil {
+		t.quorum(in, out, e.store.TrialCount(in))
+	}
+	return out, nil
 }
 
 // runReserved runs the oracle for an instance whose budget is already
@@ -285,6 +416,18 @@ func (e *Executor) runReserved(ctx context.Context, in pipeline.Instance, lane i
 		}
 		return out, nil
 	}
+	out, err := e.runOracle(ctx, in, lane)
+	if err != nil {
+		e.release()
+		return pipeline.OutcomeUnknown, err
+	}
+	return out, nil
+}
+
+// runOracle invokes the oracle once and validates its verdict, wrapping
+// the call in trial telemetry. It does not touch budget or memoization —
+// callers own the reservation lifecycle.
+func (e *Executor) runOracle(ctx context.Context, in pipeline.Instance, lane int) (pipeline.Outcome, error) {
 	t := e.tel
 	var start time.Time
 	if t != nil {
@@ -299,11 +442,7 @@ func (e *Executor) runReserved(ctx context.Context, in pipeline.Instance, lane i
 	if t != nil {
 		t.trialEnd(lane, in, out, err, start)
 	}
-	if err != nil {
-		e.release()
-		return pipeline.OutcomeUnknown, err
-	}
-	return out, nil
+	return out, err
 }
 
 // commitOne records one oracle result in provenance.
@@ -388,9 +527,19 @@ func (e *Executor) evaluateSet(ctx context.Context, ins []pipeline.Instance, bat
 				defer wg.Done()
 				for i := range jobs {
 					queue.Add(-1)
-					out, err := e.runReserved(ctx, ins[i], lane)
-					if err == nil && !batch {
-						out, err = e.commitOne(ins[i], out)
+					var out pipeline.Outcome
+					var err error
+					if e.flaky.Enabled() {
+						// Quorum resolution commits per instance: votes from
+						// concurrent workers already share group-commit fsync
+						// windows, so batching the final records would only
+						// delay resolution visibility.
+						out, err = e.evaluateFlaky(ctx, ins[i], lane)
+					} else {
+						out, err = e.runReserved(ctx, ins[i], lane)
+						if err == nil && !batch {
+							out, err = e.commitOne(ins[i], out)
+						}
 					}
 					results[i].Outcome, results[i].Err = out, err
 				}
@@ -404,7 +553,7 @@ func (e *Executor) evaluateSet(ctx context.Context, ins []pipeline.Instance, bat
 		wg.Wait()
 	}
 
-	if batch {
+	if batch && !e.flaky.Enabled() {
 		e.commitBatch(ins, run, results)
 	}
 	for i, j := range dupOf {

@@ -33,6 +33,9 @@ type Telemetry struct {
 
 	oracleLat *telemetry.Histogram
 
+	trialsPerInst *telemetry.Histogram
+	quorumTies    *telemetry.Counter
+
 	decisions   *telemetry.Counter
 	treeRegrows *telemetry.Counter
 }
@@ -62,6 +65,8 @@ func NewTelemetry(reg *telemetry.Registry, journal *telemetry.Journal, workers i
 		budgetRemaining: reg.Gauge("exec_budget_remaining"),
 		queueDepth:      reg.Gauge("exec_queue_depth"),
 		oracleLat:       reg.HistogramStripes("exec_oracle_latency_ns", workers),
+		trialsPerInst:   reg.Histogram("exec_trials_per_instance"),
+		quorumTies:      reg.Counter("exec_quorum_ties"),
 		decisions:       reg.Counter("driver_decisions"),
 		treeRegrows:     reg.Counter("driver_tree_regrows"),
 	}
@@ -123,6 +128,24 @@ func (t *Telemetry) trialEnd(lane int, in pipeline.Instance, out pipeline.Outcom
 			telemetry.Hex("inst", in.Hash()),
 			telemetry.Str("outcome", outcome),
 			telemetry.Dur("dur_ns", d),
+		)
+	}
+}
+
+// quorum records one resolved flaky quorum: the trials-per-instance
+// histogram, the tie counter when the vote deadlocked at the trial cap,
+// and a journal event with the resolved outcome and vote count. Called
+// once per instance, by the resolver whose record commit won.
+func (t *Telemetry) quorum(in pipeline.Instance, out pipeline.Outcome, trials int) {
+	t.trialsPerInst.Observe(int64(trials))
+	if out == pipeline.OutcomeInconclusive {
+		t.quorumTies.Inc()
+	}
+	if t.journal != nil {
+		t.journal.Emit("quorum_resolved",
+			telemetry.Hex("inst", in.Hash()),
+			telemetry.Str("outcome", out.String()),
+			telemetry.Int("trials", int64(trials)),
 		)
 	}
 }

@@ -16,6 +16,12 @@ const (
 	// Fail means E(CP_i) = fail; a bug, in the paper's terms, is a set of
 	// instances that evaluate to Fail.
 	Fail
+	// OutcomeInconclusive records an instance whose repeated trials under a
+	// FlakyPolicy ended in an exact tie: the quorum machinery exhausted
+	// MaxTrials with as many succeed as fail votes. Inconclusive records
+	// are kept for memoization (the instance is not re-executed) but carry
+	// no evidence either way, so they join neither outcome bitset.
+	OutcomeInconclusive
 )
 
 // String returns the paper's lower-case outcome labels.
@@ -27,13 +33,15 @@ func (o Outcome) String() string {
 		return "succeed"
 	case Fail:
 		return "fail"
+	case OutcomeInconclusive:
+		return "inconclusive"
 	default:
 		return fmt.Sprintf("Outcome(%d)", uint8(o))
 	}
 }
 
 // ParseOutcome converts the textual outcome labels back to Outcome values;
-// it accepts the String forms of the three constants.
+// it accepts the String forms of the outcome constants.
 func ParseOutcome(s string) (Outcome, error) {
 	switch s {
 	case "unknown":
@@ -42,6 +50,8 @@ func ParseOutcome(s string) (Outcome, error) {
 		return Succeed, nil
 	case "fail":
 		return Fail, nil
+	case "inconclusive":
+		return OutcomeInconclusive, nil
 	default:
 		return OutcomeUnknown, fmt.Errorf("pipeline: unknown outcome %q", s)
 	}

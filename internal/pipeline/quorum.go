@@ -1,0 +1,89 @@
+package pipeline
+
+import "fmt"
+
+// FlakyPolicy controls repeated-trial evaluation of non-deterministic
+// oracles. A disabled policy (MaxTrials <= 1, including the zero value)
+// means classic deterministic evaluation: one trial decides the outcome
+// and none of the quorum machinery is touched.
+//
+// With an enabled policy an instance is re-dispatched until its votes
+// resolve (see Resolve) or MaxTrials trials have been spent. Each trial
+// costs one budget unit, mirroring the paper's cost model where every
+// pipeline execution is the unit of work.
+type FlakyPolicy struct {
+	// MinTrials is the minimum number of trials before an outcome may
+	// resolve by quorum. At least 1 when enabled.
+	MinTrials int
+	// MaxTrials caps the trials spent on one instance. The policy is
+	// enabled iff MaxTrials > 1.
+	MaxTrials int
+	// Quorum is the vote count an outcome needs to win before MaxTrials
+	// is reached. At MaxTrials the resolution falls back to simple
+	// majority (exact ties resolve to OutcomeInconclusive).
+	Quorum int
+}
+
+// Enabled reports whether the policy asks for repeated trials at all.
+func (p FlakyPolicy) Enabled() bool { return p.MaxTrials > 1 }
+
+// Validate checks the policy's internal consistency. The zero value (and
+// any disabled policy) is always valid.
+func (p FlakyPolicy) Validate() error {
+	if !p.Enabled() {
+		return nil
+	}
+	if p.MinTrials < 1 {
+		return fmt.Errorf("pipeline: flaky policy MinTrials %d < 1", p.MinTrials)
+	}
+	if p.MinTrials > p.MaxTrials {
+		return fmt.Errorf("pipeline: flaky policy MinTrials %d > MaxTrials %d", p.MinTrials, p.MaxTrials)
+	}
+	if p.Quorum < 1 {
+		return fmt.Errorf("pipeline: flaky policy Quorum %d < 1", p.Quorum)
+	}
+	if p.Quorum > p.MaxTrials {
+		return fmt.Errorf("pipeline: flaky policy Quorum %d > MaxTrials %d", p.Quorum, p.MaxTrials)
+	}
+	return nil
+}
+
+// Resolve decides whether succ succeed-votes and fail fail-votes settle
+// the instance's outcome under the policy. The resolution invariants:
+//
+//   - never resolves before MinTrials votes are in;
+//   - before MaxTrials, an outcome resolves only by strict-majority
+//     quorum (>= Quorum votes AND more votes than the opposition);
+//   - at MaxTrials the simple majority wins, and an exact tie resolves
+//     to OutcomeInconclusive.
+//
+// Votes are refused once a resolution holds (see provenance.Store
+// AddTrial), so a resolved outcome can never be flipped by a late trial.
+func (p FlakyPolicy) Resolve(succ, fail int) (Outcome, bool) {
+	n := succ + fail
+	if n >= p.MinTrials {
+		if succ >= p.Quorum && succ > fail {
+			return Succeed, true
+		}
+		if fail >= p.Quorum && fail > succ {
+			return Fail, true
+		}
+	}
+	if n >= p.MaxTrials {
+		switch {
+		case succ > fail:
+			return Succeed, true
+		case fail > succ:
+			return Fail, true
+		default:
+			return OutcomeInconclusive, true
+		}
+	}
+	return OutcomeUnknown, false
+}
+
+// String renders the policy in the MIN:MAX:QUORUM form the bugdoc CLI
+// -trials flag accepts.
+func (p FlakyPolicy) String() string {
+	return fmt.Sprintf("%d:%d:%d", p.MinTrials, p.MaxTrials, p.Quorum)
+}

@@ -1,0 +1,87 @@
+package pipeline
+
+import "testing"
+
+func TestFlakyPolicyResolve(t *testing.T) {
+	p := FlakyPolicy{MinTrials: 3, MaxTrials: 7, Quorum: 3}
+	cases := []struct {
+		succ, fail int
+		want       Outcome
+		done       bool
+	}{
+		// Below MinTrials nothing resolves, however lopsided.
+		{0, 0, OutcomeUnknown, false},
+		{2, 0, OutcomeUnknown, false},
+		{0, 2, OutcomeUnknown, false},
+		// At MinTrials a quorum with strict majority resolves.
+		{3, 0, Succeed, true},
+		{0, 3, Fail, true},
+		{2, 1, OutcomeUnknown, false}, // majority but no quorum
+		{3, 2, Succeed, true},
+		{3, 3, OutcomeUnknown, false}, // quorum but no majority
+		{4, 3, Succeed, true},
+		{3, 4, Fail, true},
+		// At MaxTrials a simple majority suffices; an exact tie is
+		// inconclusive.
+		{4, 2, Succeed, true},
+		{2, 4, Fail, true},
+		{2, 5, Fail, true},
+		// 7 trials, tie impossible with odd cap — use 1:1 quorum-less
+		// shapes below for the tie.
+	}
+	for _, c := range cases {
+		out, done := p.Resolve(c.succ, c.fail)
+		if done != c.done || (done && out != c.want) {
+			t.Errorf("Resolve(%d, %d) = %v, %v; want %v, %v", c.succ, c.fail, out, done, c.want, c.done)
+		}
+	}
+
+	// Even MaxTrials can deadlock in an exact tie.
+	tie := FlakyPolicy{MinTrials: 2, MaxTrials: 4, Quorum: 2}
+	if out, done := tie.Resolve(2, 2); !done || out != OutcomeInconclusive {
+		t.Fatalf("Resolve(2, 2) under %v = %v, %v; want inconclusive, true", tie, out, done)
+	}
+	// Quorum short of the cap resolves early...
+	if out, done := tie.Resolve(2, 0); !done || out != Succeed {
+		t.Fatalf("Resolve(2, 0) = %v, %v; want succeed, true", out, done)
+	}
+	// ...but a split below the cap keeps trialling.
+	if _, done := tie.Resolve(1, 1); done {
+		t.Fatal("Resolve(1, 1) resolved below MaxTrials without a quorum")
+	}
+}
+
+func TestFlakyPolicyEnabledAndValidate(t *testing.T) {
+	var zero FlakyPolicy
+	if zero.Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero policy invalid: %v", err)
+	}
+	ok := FlakyPolicy{MinTrials: 3, MaxTrials: 7, Quorum: 3}
+	if !ok.Enabled() {
+		t.Fatalf("%v reports disabled", ok)
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("%v invalid: %v", ok, err)
+	}
+	bad := []FlakyPolicy{
+		{MinTrials: 0, MaxTrials: 5, Quorum: 2},
+		{MinTrials: 6, MaxTrials: 5, Quorum: 2},
+		{MinTrials: 1, MaxTrials: 5, Quorum: 0},
+		{MinTrials: 1, MaxTrials: 5, Quorum: 6},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid policy", p)
+		}
+	}
+}
+
+func TestFlakyPolicyString(t *testing.T) {
+	p := FlakyPolicy{MinTrials: 3, MaxTrials: 7, Quorum: 4}
+	if got := p.String(); got != "3:7:4" {
+		t.Fatalf("String() = %q, want 3:7:4", got)
+	}
+}

@@ -121,9 +121,10 @@ func (st *Store) buildShardEpoch(sh *shard, prev *shardEpoch) *shardEpoch {
 	}
 	for pos := prev.n; pos < n; pos++ {
 		r := &ne.recs[pos]
-		if r.Outcome == pipeline.Succeed {
+		switch r.Outcome {
+		case pipeline.Succeed:
 			ne.succBits.set(pos)
-		} else {
+		case pipeline.Fail:
 			ne.failBits.set(pos)
 		}
 		for i := 0; i < p; i++ {

@@ -75,6 +75,13 @@ type shard struct {
 	// covers the shard.
 	committed atomic.Int64
 
+	// Trial-vote state (flaky-oracle sessions only; see trials.go): maps
+	// instance identity to an index into trialRecs, whose entries hold the
+	// per-instance vote tallies accumulated across repeated oracle trials.
+	// Deterministic sessions never touch either field.
+	trialByKey *pipeline.InstanceMap[int32]
+	trialRecs  []trialState
+
 	// epoch is the shard's published index snapshot (see epoch.go), swapped
 	// atomically so readers never block. epochMu single-flights refreshes:
 	// a reader that finds the epoch stale and the mutex busy serves the
@@ -114,9 +121,10 @@ func (st *Store) commitLocked(sh *shard, rec Record) {
 	pos := int32(len(sh.recs))
 	sh.byKey.Put(rec.Instance, pos)
 	sh.recs = append(sh.recs, rec)
-	if rec.Outcome == pipeline.Succeed {
+	switch rec.Outcome {
+	case pipeline.Succeed:
 		sh.succSeqs = append(sh.succSeqs, pos)
-	} else {
+	case pipeline.Fail:
 		sh.failSeqs = append(sh.failSeqs, pos)
 	}
 	st.indexRecordBitsLocked(sh, int(pos), &rec)
@@ -129,10 +137,14 @@ func (st *Store) commitLocked(sh *shard, rec Record) {
 // ordered position lists are maintained by the callers, which differ in
 // where they append.
 func (st *Store) indexRecordBitsLocked(sh *shard, pos int, r *Record) {
-	if r.Outcome == pipeline.Succeed {
+	switch r.Outcome {
+	case pipeline.Succeed:
 		sh.succBits.set(pos)
-	} else {
+	case pipeline.Fail:
 		sh.failBits.set(pos)
+		// OutcomeInconclusive joins neither bitset: a tie carries no
+		// evidence, so bitset algebra sees the record only through the
+		// postings (and Lookup still memoizes it).
 	}
 	for i := 0; i < st.space.Len(); i++ {
 		c := int(r.Instance.Code(i))
@@ -258,10 +270,11 @@ func (st *Store) buildBaseIndex(base []Record) *baseIndex {
 	}
 	for pos := 0; pos < n; pos++ {
 		r := &base[pos]
-		if r.Outcome == pipeline.Succeed {
+		switch r.Outcome {
+		case pipeline.Succeed:
 			bi.succ = append(bi.succ, int32(pos))
 			bi.succBits.set(pos)
-		} else {
+		case pipeline.Fail:
 			bi.fail = append(bi.fail, int32(pos))
 			bi.failBits.set(pos)
 		}

@@ -95,6 +95,13 @@ type StagedSink interface {
 	Stage(recs []Record) (wait func() error, err error)
 }
 
+// recordableOutcome reports whether an outcome may be committed as a
+// record: the two evaluation results, plus OutcomeInconclusive for
+// quorum ties under a FlakyPolicy. OutcomeUnknown never commits.
+func recordableOutcome(o pipeline.Outcome) bool {
+	return o == pipeline.Succeed || o == pipeline.Fail || o == pipeline.OutcomeInconclusive
+}
+
 // Entry is one record-to-be of AddBatch: an instance, its evaluation, and
 // the component that ran it. Sequence numbers are assigned by the store.
 type Entry struct {
@@ -148,6 +155,11 @@ type Store struct {
 	// exactly in sequence order — the WAL stream position is the implicit
 	// sequence number. It is acquired after the shard locks, never before,
 	// and is not taken at all on the sink-less fast path.
+	// trialPolicy is the FlakyPolicy AddTrial/ClaimTrial resolve votes
+	// under (see trials.go). The zero value — every deterministic
+	// session — is disabled and never resolves.
+	trialPolicy pipeline.FlakyPolicy
+
 	wmu      sync.Mutex
 	sink     Sink
 	met      *Metrics    // nil when uninstrumented; see SetMetrics
@@ -294,7 +306,7 @@ func (st *Store) Add(in pipeline.Instance, out pipeline.Outcome, source string) 
 	if in.Space() != st.space {
 		return fmt.Errorf("provenance: instance belongs to a different space")
 	}
-	if out != pipeline.Succeed && out != pipeline.Fail {
+	if !recordableOutcome(out) {
 		return fmt.Errorf("provenance: cannot record outcome %v", out)
 	}
 	sh := st.shardOf(in.Hash())
@@ -417,7 +429,7 @@ func (st *Store) AddBatch(entries []Entry) (added int, err error) {
 		if entries[i].Instance.Space() != st.space {
 			return 0, fmt.Errorf("provenance: entry %d: instance belongs to a different space", i)
 		}
-		if o := entries[i].Outcome; o != pipeline.Succeed && o != pipeline.Fail {
+		if o := entries[i].Outcome; !recordableOutcome(o) {
 			return 0, fmt.Errorf("provenance: entry %d: cannot record outcome %v", i, o)
 		}
 	}
@@ -659,7 +671,7 @@ func (st *Store) loadValidateLocked(recs []Record) error {
 		if r.Instance.Space() != st.space {
 			return fmt.Errorf("provenance: record %d: instance belongs to a different space", i)
 		}
-		if r.Outcome != pipeline.Succeed && r.Outcome != pipeline.Fail {
+		if !recordableOutcome(r.Outcome) {
 			return fmt.Errorf("provenance: record %d: cannot record outcome %v", i, r.Outcome)
 		}
 		if r.Seq != base+i {

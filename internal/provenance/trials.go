@@ -1,0 +1,339 @@
+package provenance
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+)
+
+// TrialSink is an optional Sink extension for flaky-oracle sessions: a
+// sink that also persists individual trial votes. AppendTrial is called
+// with the owning shard's write lock held, before the vote is counted in
+// memory, and must not return until the vote is durable — write-ahead
+// semantics for votes, mirroring Append for records. Trial votes carry no
+// global sequence number (they are idempotent, keyed by instance and
+// trial index), so AppendTrial is not ordered by the store's
+// write-ordering lock and may interleave freely with record appends.
+type TrialSink interface {
+	AppendTrial(in pipeline.Instance, trial int, out pipeline.Outcome, source string) error
+}
+
+// TrialVote is one recorded oracle trial of an instance: the trial's raw
+// outcome (always Succeed or Fail — resolution happens over the tallies)
+// and the component that ran it.
+type TrialVote struct {
+	Outcome pipeline.Outcome
+	Source  string
+}
+
+// TrialRecord is one instance's accumulated trial votes, as returned by
+// TrialVotesAll for checkpoint re-emission.
+type TrialRecord struct {
+	Instance pipeline.Instance
+	Votes    []TrialVote
+}
+
+// TrialResult reports the vote tallies after an AddTrial call and the
+// resolution they imply under the store's trial policy.
+type TrialResult struct {
+	// Trial is the recorded vote's index, or -1 when the vote was
+	// discarded because a resolution already held.
+	Trial int
+	// Succ and Fail are the instance's vote tallies including this vote
+	// (or excluding it when Discarded).
+	Succ, Fail int
+	// Resolved reports whether the tallies now settle the outcome.
+	Resolved bool
+	// Outcome is the resolved outcome; valid only when Resolved.
+	Outcome pipeline.Outcome
+	// Discarded is set when the vote was refused: either the tallies had
+	// already resolved (a racing trial crossed the quorum first) or the
+	// instance's record is already committed. Refusing late votes is what
+	// keeps resolved outcomes stable — no trial can flip a resolution.
+	Discarded bool
+}
+
+// TrialClaim is the outcome of a ClaimTrial call: either a granted trial
+// slot, an already-settled resolution, or an instruction to wait.
+type TrialClaim struct {
+	// Granted means the caller owns trial slot Trial and should run the
+	// oracle once, then AddTrial the vote (or ReleaseTrial on error).
+	Granted bool
+	// Trial is the granted slot index; valid only when Granted.
+	Trial int
+	// Resolved means the instance's outcome is already settled (by votes
+	// or by a committed record); Outcome holds it.
+	Resolved bool
+	// Outcome is the settled outcome; valid only when Resolved.
+	Outcome pipeline.Outcome
+	// Wait is non-nil when the claim was neither granted nor resolved:
+	// every trial slot the policy allows is claimed by other goroutines
+	// and none has resolved yet. It closes on the next vote, release, or
+	// resolution; the caller re-claims after it fires.
+	Wait <-chan struct{}
+}
+
+// trialState is one instance's in-memory vote ledger: the durable votes
+// in trial order, plus the in-flight claim count that caps concurrent
+// re-dispatches at the policy's MaxTrials.
+type trialState struct {
+	in      pipeline.Instance
+	votes   []TrialVote
+	claimed int           // trial slots handed out, always >= len(votes)
+	waiters chan struct{} // closed and cleared on every state change
+}
+
+// tally counts the succeed and fail votes. Replay holes (see
+// LoadTrialVote) carry OutcomeUnknown and count as nothing.
+func (ts *trialState) tally() (succ, fail int) {
+	for _, v := range ts.votes {
+		switch v.Outcome {
+		case pipeline.Succeed:
+			succ++
+		case pipeline.Fail:
+			fail++
+		}
+	}
+	return succ, fail
+}
+
+// notifyLocked wakes every goroutine blocked on the state's Wait channel.
+func (ts *trialState) notifyLocked() {
+	if ts.waiters != nil {
+		close(ts.waiters)
+		ts.waiters = nil
+	}
+}
+
+// trialStateLocked returns the shard's vote ledger for in, creating it
+// when create is set. The caller holds the shard's write lock (read lock
+// suffices when create is false and only reads follow).
+func (sh *shard) trialStateLocked(in pipeline.Instance, create bool) *trialState {
+	if sh.trialByKey != nil {
+		if i, ok := sh.trialByKey.Get(in); ok {
+			return &sh.trialRecs[i]
+		}
+	}
+	if !create {
+		return nil
+	}
+	if sh.trialByKey == nil {
+		sh.trialByKey = pipeline.NewInstanceMap[int32](0)
+	}
+	sh.trialByKey.Put(in, int32(len(sh.trialRecs)))
+	sh.trialRecs = append(sh.trialRecs, trialState{in: in})
+	return &sh.trialRecs[len(sh.trialRecs)-1]
+}
+
+// SetTrialPolicy installs the FlakyPolicy that AddTrial and ClaimTrial
+// resolve votes under. Set it before handing the store to the executor;
+// it is not meant to change while trials are in flight. Deterministic
+// sessions never call it and the zero (disabled) policy never resolves.
+func (st *Store) SetTrialPolicy(p pipeline.FlakyPolicy) {
+	st.trialPolicy = p
+}
+
+// TrialPolicy returns the installed FlakyPolicy (zero when none).
+func (st *Store) TrialPolicy() pipeline.FlakyPolicy { return st.trialPolicy }
+
+// ClaimTrial reserves the next trial slot for the instance, enforcing the
+// policy's MaxTrials cap across concurrent re-dispatchers. Exactly one of
+// the claim's Granted, Resolved, or Wait fields is meaningful; see
+// TrialClaim. Claims are in-memory only — a crash releases them — while
+// votes are durable; after a restart the claim count resumes at the
+// replayed vote count, so a resumed session never runs trials beyond
+// MaxTrials minus the votes that survived.
+func (st *Store) ClaimTrial(in pipeline.Instance) TrialClaim {
+	sh := st.shardOf(in.Hash())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if pos, ok := sh.lookupPosLocked(in); ok {
+		return TrialClaim{Resolved: true, Outcome: sh.recs[pos].Outcome}
+	}
+	ts := sh.trialStateLocked(in, true)
+	if out, done := st.trialPolicy.Resolve(ts.tally()); done {
+		return TrialClaim{Resolved: true, Outcome: out}
+	}
+	if ts.claimed < st.trialPolicy.MaxTrials {
+		c := TrialClaim{Granted: true, Trial: ts.claimed}
+		ts.claimed++
+		return c
+	}
+	if ts.waiters == nil {
+		ts.waiters = make(chan struct{})
+	}
+	return TrialClaim{Wait: ts.waiters}
+}
+
+// ReleaseTrial returns a granted-but-unvoted trial slot (the oracle run
+// errored), so another goroutine — or a retry — may claim it.
+func (st *Store) ReleaseTrial(in pipeline.Instance) {
+	sh := st.shardOf(in.Hash())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ts := sh.trialStateLocked(in, false)
+	if ts == nil || ts.claimed <= len(ts.votes) {
+		return
+	}
+	ts.claimed--
+	ts.notifyLocked()
+}
+
+// AddTrial records one oracle trial's raw outcome as a vote. Votes are
+// durable before they count: with a TrialSink attached the vote's WAL
+// append (including its group-commit fsync) completes under the shard
+// lock, so a vote visible to any reader survives a crash. A vote arriving
+// after the tallies already resolve — or after the instance's record
+// committed — is discarded, never persisted, and never counted: the
+// resolution invariant is that recorded votes are exactly the pre-quorum
+// trials, so re-resolving the final tallies always reproduces the
+// committed outcome.
+func (st *Store) AddTrial(in pipeline.Instance, out pipeline.Outcome, source string) (TrialResult, error) {
+	if in.Space() != st.space {
+		return TrialResult{}, fmt.Errorf("provenance: instance belongs to a different space")
+	}
+	if out != pipeline.Succeed && out != pipeline.Fail {
+		return TrialResult{}, fmt.Errorf("provenance: cannot record trial outcome %v", out)
+	}
+	sh := st.shardOf(in.Hash())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if pos, ok := sh.lookupPosLocked(in); ok {
+		return TrialResult{Trial: -1, Discarded: true, Resolved: true, Outcome: sh.recs[pos].Outcome}, nil
+	}
+	ts := sh.trialStateLocked(in, true)
+	succ, fail := ts.tally()
+	if res, done := st.trialPolicy.Resolve(succ, fail); done {
+		return TrialResult{Trial: -1, Succ: succ, Fail: fail, Discarded: true, Resolved: true, Outcome: res}, nil
+	}
+	idx := len(ts.votes)
+	if tsink, ok := st.sink.(TrialSink); ok {
+		if st.poisoned.Load() {
+			return TrialResult{}, st.poisonErr()
+		}
+		if err := tsink.AppendTrial(in, idx, out, source); err != nil {
+			return TrialResult{}, fmt.Errorf("provenance: trial sink: %w", err)
+		}
+	}
+	ts.votes = append(ts.votes, TrialVote{Outcome: out, Source: source})
+	if ts.claimed < len(ts.votes) {
+		ts.claimed = len(ts.votes)
+	}
+	ts.notifyLocked()
+	if out == pipeline.Succeed {
+		succ++
+	} else {
+		fail++
+	}
+	res, done := st.trialPolicy.Resolve(succ, fail)
+	return TrialResult{Trial: idx, Succ: succ, Fail: fail, Resolved: done, Outcome: res}, nil
+}
+
+// LoadTrialVote applies one replayed trial vote without touching the
+// sink. Replay is idempotent and order-tolerant: a vote at an index
+// already loaded must agree with the loaded vote (checkpoint re-emission
+// duplicates the vote stream) and is otherwise ignored, and a vote past
+// the next free index leaves OutcomeUnknown holes that later frames fill
+// — a checkpoint's re-emitted votes can trail a concurrently appended
+// higher-index vote in the stream. Whenever the superseded originals were
+// collected, the re-emitted copies follow in the same stream, so a
+// completed replay always ends hole-free.
+func (st *Store) LoadTrialVote(in pipeline.Instance, trial int, out pipeline.Outcome, source string) error {
+	if in.Space() != st.space {
+		return fmt.Errorf("provenance: trial vote instance belongs to a different space")
+	}
+	if out != pipeline.Succeed && out != pipeline.Fail {
+		return fmt.Errorf("provenance: cannot load trial outcome %v", out)
+	}
+	sh := st.shardOf(in.Hash())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ts := sh.trialStateLocked(in, true)
+	for trial >= len(ts.votes) {
+		ts.votes = append(ts.votes, TrialVote{})
+	}
+	if prev := ts.votes[trial].Outcome; prev != pipeline.OutcomeUnknown {
+		if prev != out {
+			return fmt.Errorf("provenance: replayed trial %d of %v disagrees: %v vs %v",
+				trial, in, prev, out)
+		}
+		return nil
+	}
+	ts.votes[trial] = TrialVote{Outcome: out, Source: source}
+	if ts.claimed < len(ts.votes) {
+		ts.claimed = len(ts.votes)
+	}
+	ts.notifyLocked()
+	return nil
+}
+
+// TrialVotes returns a copy of the instance's recorded votes in trial
+// order (nil when the instance never ran a trial).
+func (st *Store) TrialVotes(in pipeline.Instance) []TrialVote {
+	sh := st.shardOf(in.Hash())
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ts := sh.trialStateLocked(in, false)
+	if ts == nil || len(ts.votes) == 0 {
+		return nil
+	}
+	out := make([]TrialVote, len(ts.votes))
+	copy(out, ts.votes)
+	return out
+}
+
+// TrialCount returns how many votes the instance has accumulated.
+func (st *Store) TrialCount(in pipeline.Instance) int {
+	sh := st.shardOf(in.Hash())
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ts := sh.trialStateLocked(in, false)
+	if ts == nil {
+		return 0
+	}
+	return len(ts.votes)
+}
+
+// TrialMargin returns the instance's absolute vote margin |succ - fail|,
+// the confidence weight flaky sessions hand to the decision tree. It is 0
+// for instances without votes (deterministic records), which the tree
+// treats as weight 1.
+func (st *Store) TrialMargin(in pipeline.Instance) int {
+	sh := st.shardOf(in.Hash())
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ts := sh.trialStateLocked(in, false)
+	if ts == nil {
+		return 0
+	}
+	succ, fail := ts.tally()
+	if succ > fail {
+		return succ - fail
+	}
+	return fail - succ
+}
+
+// TrialVotesAll snapshots every instance's vote ledger, in no particular
+// order. Checkpointing uses it to re-emit the vote stream into the
+// post-rotation WAL segment before superseded segments are collected, so
+// votes survive segment GC.
+func (st *Store) TrialVotesAll() []TrialRecord {
+	var all []TrialRecord
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		if sh.trialByKey != nil {
+			for j := range sh.trialRecs {
+				ts := &sh.trialRecs[j]
+				if len(ts.votes) == 0 {
+					continue
+				}
+				votes := make([]TrialVote, len(ts.votes))
+				copy(votes, ts.votes)
+				all = append(all, TrialRecord{Instance: ts.in, Votes: votes})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return all
+}

@@ -496,7 +496,7 @@ func decodeTierInto(path string, ref tierRef, space *pipeline.Space, par int, re
 			h := binary.LittleEndian.Uint64(row)
 			body := row[8:]
 			out := pipeline.Outcome(body[4*p])
-			if out != pipeline.Succeed && out != pipeline.Fail {
+			if out != pipeline.Succeed && out != pipeline.Fail && out != pipeline.OutcomeInconclusive {
 				return ckptInvalid(path, "row %d has outcome %d", r, body[4*p])
 			}
 			src := binary.LittleEndian.Uint16(body[4*p+1:])
@@ -709,10 +709,20 @@ func (l *Log) Checkpoint() error {
 	if w <= l.lastCkptSeq {
 		// Nothing new to fold, but a crash between a predecessor's manifest
 		// and its collection may have left superseded files; collect them.
-		var err error
-		if l.lastCkptSeq > 0 {
-			err = l.gcLocked(l.lastCkptSeq)
+		last := l.lastCkptSeq
+		l.mu.Unlock()
+		if last == 0 {
+			return nil
 		}
+		// The collectable segments may hold the only durable copies of the
+		// store's trial votes (a crash can land between a manifest publish
+		// and its GC), so the ledger re-emits into the post-rotation
+		// segment before anything is deleted, exactly as on the real path.
+		if err := l.reemitTrials(l.store.TrialVotesAll()); err != nil {
+			return err
+		}
+		l.mu.Lock()
+		err := l.gcLocked(last)
 		l.mu.Unlock()
 		return err
 	}
@@ -731,6 +741,15 @@ func (l *Log) Checkpoint() error {
 		sources[int(id)] = s
 	}
 	l.mu.Unlock()
+
+	// Re-emit the store's trial votes now that the active segment has
+	// rotated: every vote staged from here on lands at or past the
+	// rotation point, which gcLocked never collects, so partial quorums
+	// survive the checkpoint no matter where a crash lands. Flaky
+	// sessions only — the ledger is empty otherwise and this is free.
+	if err := l.reemitTrials(l.store.TrialVotesAll()); err != nil {
+		return fmt.Errorf("provlog: checkpoint: re-emitting trial votes: %w", err)
+	}
 
 	var ckptStart time.Time
 	if l.met != nil {

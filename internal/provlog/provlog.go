@@ -186,12 +186,13 @@ type Log struct {
 	// Group-commit state: staged frames accumulate in pending (sequence
 	// order — staging happens under mu) until a leader swaps the buffer out
 	// and flushes it, recycling it afterwards when no stager replaced it.
-	pending      []byte
-	pendingRecs  int
-	pendingFirst int // seq of the first pending record (segment rotation header)
-	cur          *commitGroup
-	flushing     bool
-	flushDone    chan struct{} // the active leader's done channel
+	pending       []byte
+	pendingRecs   int
+	pendingTrials int // trial frames staged in the window (no sequence numbers)
+	pendingFirst  int // seq of the first pending record (segment rotation header)
+	cur           *commitGroup
+	flushing      bool
+	flushDone     chan struct{} // the active leader's done channel
 
 	undo     []int                // persisted snapshot for rollback on a failed stage
 	addedSrc []string             // sources interned by the stage in progress, for rollback
@@ -450,7 +451,7 @@ func (l *Log) SegmentCount() int {
 // group-path flush failures always poison.
 func (l *Log) Append(r provenance.Record) error {
 	l.mu.Lock()
-	if l.cur == nil && !l.flushing && l.pendingRecs == 0 {
+	if l.cur == nil && !l.flushing && l.pendingRecs == 0 && l.pendingTrials == 0 {
 		defer l.mu.Unlock()
 		l.fastOne[0] = r
 		if err := l.stageLocked(l.fastOne[:1]); err != nil {
@@ -550,6 +551,11 @@ func (l *Log) stageLocked(recs []provenance.Record) error {
 			return rollback(fmt.Errorf("provlog: source %.32q... is %d bytes, limit %d",
 				r.Source, len(r.Source), math.MaxUint16))
 		}
+		if isTrialSource(r.Source) {
+			// The prefix is how replay tells trial frames from records;
+			// a record wearing it would be mistaken for a vote.
+			return rollback(fmt.Errorf("provlog: source %q uses the reserved trial prefix", r.Source))
+		}
 		for i := 0; i < l.space.Len(); i++ {
 			c := int(r.Instance.Code(i))
 			for l.persisted[i] <= c {
@@ -644,6 +650,7 @@ func (l *Log) leaderFlushLocked(g *commitGroup, window bool) {
 	l.cur = nil
 	l.pending = nil
 	l.pendingRecs = 0
+	l.pendingTrials = 0
 	l.mu.Unlock()
 
 	var err error
@@ -792,9 +799,9 @@ func (l *Log) Close() error {
 		<-ch
 		l.mu.Lock()
 	}
-	if l.pendingRecs > 0 {
-		// Staged records whose waiters have not flushed yet: write them out
-		// and wake the waiters with the window's fate.
+	if l.pendingRecs > 0 || l.pendingTrials > 0 {
+		// Staged records (or trial votes) whose waiters have not flushed
+		// yet: write them out and wake the waiters with the window's fate.
 		l.leaderFlushLocked(nil, false)
 	}
 	var err error

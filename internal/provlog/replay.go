@@ -89,6 +89,9 @@ type replayState struct {
 	batchOuts  []pipeline.Outcome
 	batchSrc   []uint16
 	batchIns   []pipeline.Instance // flush scratch
+
+	trialCodes []uint32             // one-row scratch for trial-vote frames
+	trialIns   [1]pipeline.Instance // trial-vote materialization scratch
 }
 
 func newReplayState(space *pipeline.Space, st *provenance.Store) *replayState {
@@ -290,6 +293,16 @@ func (rs *replayState) apply(typ byte, payload []byte) error {
 		rs.sourceID[src] = id
 	case frameExec:
 		p := rs.space.Len()
+		srcID := binary.LittleEndian.Uint16(payload[4*p+1:])
+		if int(srcID) >= len(rs.sources) {
+			return fmt.Errorf("provlog: record references source id %d before its entry", srcID)
+		}
+		if trial, src, ok := parseTrialSource(rs.sources[srcID]); ok {
+			// A trial vote reusing the exec frame under a repeat-source
+			// id: it consumes no sequence number (rs.seen untouched) and
+			// routes to the store's vote ledger instead of the record log.
+			return rs.applyTrialVote(payload, trial, src)
+		}
 		skip := rs.seen < rs.skipBelow
 		for i := 0; i < p; i++ {
 			c := binary.LittleEndian.Uint32(payload[4*i : 4*i+4])
@@ -301,12 +314,8 @@ func (rs *replayState) apply(typ byte, payload []byte) error {
 			}
 		}
 		out := pipeline.Outcome(payload[4*p])
-		if out != pipeline.Succeed && out != pipeline.Fail {
+		if out != pipeline.Succeed && out != pipeline.Fail && out != pipeline.OutcomeInconclusive {
 			return fmt.Errorf("provlog: record with invalid outcome %d", out)
-		}
-		srcID := binary.LittleEndian.Uint16(payload[4*p+1:])
-		if int(srcID) >= len(rs.sources) {
-			return fmt.Errorf("provlog: record references source id %d before its entry", srcID)
 		}
 		rs.seen++
 		if skip {
@@ -322,6 +331,32 @@ func (rs *replayState) apply(typ byte, payload []byte) error {
 		}
 	}
 	return nil
+}
+
+// applyTrialVote decodes one trial-vote exec frame and loads it into the
+// store's vote ledger. Votes are idempotent by (instance, trial index), so
+// the duplicates a checkpoint re-emission leaves in the stream are safe.
+func (rs *replayState) applyTrialVote(payload []byte, trial int, src string) error {
+	p := rs.space.Len()
+	if cap(rs.trialCodes) < p {
+		rs.trialCodes = make([]uint32, p)
+	}
+	codes := rs.trialCodes[:p]
+	for i := 0; i < p; i++ {
+		c := binary.LittleEndian.Uint32(payload[4*i : 4*i+4])
+		if int(c) >= rs.persisted[i] {
+			return fmt.Errorf("provlog: trial vote references code %d of parameter %d before its dict entry", c, i)
+		}
+		codes[i] = c
+	}
+	out := pipeline.Outcome(payload[4*p])
+	if out != pipeline.Succeed && out != pipeline.Fail {
+		return fmt.Errorf("provlog: trial vote with invalid outcome %d", out)
+	}
+	if err := rs.space.InstancesFromCodes(codes, rs.trialIns[:]); err != nil {
+		return fmt.Errorf("provlog: %w", err)
+	}
+	return rs.st.LoadTrialVote(rs.trialIns[0], trial, out, src)
 }
 
 // replaySegment replays one segment into rs and returns the number of
@@ -488,12 +523,19 @@ func replayDir(dir string, space *pipeline.Space, shards, par int) (*replayState
 }
 
 // pickStartSegment returns the index and first sequence of the segment
-// replay should enter the stream at: the newest segment whose first record
-// is at or below the watermark. Earlier segments are fully covered by the
-// checkpoint (their records end where the start segment's begin) and are
-// never opened. It returns index -1 when no segment qualifies — an empty
-// directory, or a lone final segment whose header tore mid-write. A lowest
-// segment starting past the watermark means earlier segments were lost.
+// replay should enter the stream at: the oldest segment carrying the
+// highest first sequence at or below the watermark. Earlier segments are
+// fully covered by the checkpoint (their records end where the start
+// segment's begin, and their trial votes were re-emitted past the
+// checkpoint's rotation) and are never opened. Several consecutive
+// segments may share a first sequence — trial-vote frames consume no
+// sequence number, so a segment holding only votes ends where it began —
+// and the tie resolves to the oldest: the later tie members hold no
+// records the earlier ones would double-apply, but the earlier ones hold
+// vote and dictionary frames replay must not skip. It returns index -1
+// when no segment qualifies — an empty directory, or a lone final segment
+// whose header tore mid-write. A lowest segment starting past the
+// watermark means earlier segments were lost.
 func pickStartSegment(segs []segFile, watermark int) (int, int, error) {
 	start, startSeq := -1, 0
 	for i, sf := range segs {
@@ -510,7 +552,7 @@ func pickStartSegment(segs []segFile, watermark int) (int, int, error) {
 			return 0, 0, fmt.Errorf("provlog: %s begins at record %d but the checkpoint covers only %d — earlier segments were lost",
 				filepath.Base(sf.path), fs, watermark)
 		}
-		if fs <= uint64(watermark) {
+		if fs <= uint64(watermark) && (start < 0 || int(fs) > startSeq) {
 			start, startSeq = i, int(fs)
 		}
 	}

@@ -1,0 +1,147 @@
+package synth
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/pipeline"
+	"repro/internal/predicate"
+)
+
+// FlakyConfig shapes a non-deterministic oracle over a synthetic pipeline:
+// each trial's true verdict (from the planted failure DNF) is corrupted
+// with a configurable probability, direction bias, and scope. The zero
+// value corrupts nothing — a FlakyOracle with the zero config behaves
+// exactly like Pipeline.Oracle.
+type FlakyConfig struct {
+	// FalsePassRate is the per-trial probability that a truly failing
+	// instance reports Succeed (the bug hides). FalseFailRate is the
+	// per-trial probability that a truly succeeding instance reports Fail
+	// (an unrelated crash). Setting only one of them biases the noise
+	// fully toward false passes or false fails; SymmetricNoise sets both.
+	FalsePassRate float64
+	FalseFailRate float64
+	// Region restricts the noise to instances satisfying the conjunction
+	// (a per-parameter noise region: e.g. "flaky only when p03 <= 4");
+	// nil means every instance is subject to noise.
+	Region predicate.Conjunction
+	// Seed keys the corruption draws. Two oracles with the same seed over
+	// the same pipeline lie identically on the same (instance, trial)
+	// pairs, so flaky sessions are reproducible.
+	Seed uint64
+}
+
+// SymmetricNoise is the unbiased config: every trial is corrupted with
+// probability rate regardless of its true verdict.
+func SymmetricNoise(rate float64, seed uint64) FlakyConfig {
+	return FlakyConfig{FalsePassRate: rate, FalseFailRate: rate, Seed: seed}
+}
+
+// FlakyOracle wraps an oracle's true verdicts with deterministic per-trial
+// noise. The n-th trial of an instance draws its corruption from a hash of
+// (seed, instance hash, n), so a verdict sequence depends only on how many
+// times the instance has been asked — not on wall clock, goroutine
+// interleaving across instances, or other instances' trials — which makes
+// quorum-resolution tests reproducible even under a racing worker pool.
+// Safe for concurrent use (given a concurrency-safe inner oracle).
+type FlakyOracle struct {
+	inner exec.Oracle
+	cfg   FlakyConfig
+
+	calls atomic.Int64
+	flips atomic.Int64
+
+	mu     sync.Mutex
+	trials *pipeline.InstanceMap[int32] // per-instance trial counter
+}
+
+// NoisyOracle wraps any oracle with the config's deterministic noise.
+func NoisyOracle(inner exec.Oracle, cfg FlakyConfig) *FlakyOracle {
+	return &FlakyOracle{inner: inner, cfg: cfg, trials: pipeline.NewInstanceMap[int32](64)}
+}
+
+// FlakyOracle builds the noisy oracle for the pipeline; the pipeline's
+// Truth and Minimal remain the ground truth the debugging session is
+// expected to recover despite the noise.
+func (p *Pipeline) FlakyOracle(cfg FlakyConfig) *FlakyOracle {
+	return NoisyOracle(p.Oracle(), cfg)
+}
+
+// Run implements exec.Oracle.
+func (o *FlakyOracle) Run(ctx context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
+	truth, err := o.inner.Run(ctx, in)
+	if err != nil {
+		return truth, err
+	}
+	o.mu.Lock()
+	n, _ := o.trials.Get(in)
+	o.trials.Put(in, n+1)
+	o.mu.Unlock()
+	o.calls.Add(1)
+
+	if o.cfg.Region != nil && !o.cfg.Region.Satisfied(in) {
+		return truth, nil
+	}
+	rate := o.cfg.FalseFailRate
+	if truth == pipeline.Fail {
+		rate = o.cfg.FalsePassRate
+	}
+	if rate > 0 && unitDraw(o.cfg.Seed, in.Hash(), uint64(n)) < rate {
+		o.flips.Add(1)
+		if truth == pipeline.Fail {
+			return pipeline.Succeed, nil
+		}
+		return pipeline.Fail, nil
+	}
+	return truth, nil
+}
+
+// Calls returns the total number of oracle trials run, across all
+// instances — the quantity the torture harness bounds by
+// MaxTrials × distinct instances.
+func (o *FlakyOracle) Calls() int64 { return o.calls.Load() }
+
+// Flips returns how many trials reported a corrupted verdict.
+func (o *FlakyOracle) Flips() int64 { return o.flips.Load() }
+
+// TrialsFor returns how many trials have been run for one instance.
+func (o *FlakyOracle) TrialsFor(in pipeline.Instance) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n, _ := o.trials.Get(in)
+	return int(n)
+}
+
+// GenerateFlaky draws one non-degenerate pipeline for the scenario (as
+// Generate) and pairs it with a flaky oracle over it. The pipeline's
+// exact ground truth rides along, so harnesses can assert that quorum
+// resolution still recovers the planted causes under noise.
+func GenerateFlaky(r *rand.Rand, cfg Config, sc Scenario, noise FlakyConfig) (*Pipeline, *FlakyOracle, error) {
+	p, err := Generate(r, cfg, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, p.FlakyOracle(noise), nil
+}
+
+// unitDraw maps (seed, instance, trial) to a uniform draw in [0, 1) via a
+// splitmix64 finalizer chain; it is the oracle's only randomness, so two
+// runs with equal seeds corrupt identically.
+func unitDraw(seed, inst, trial uint64) float64 {
+	x := splitmix64(seed ^ splitmix64(inst^splitmix64(trial)))
+	return float64(x>>11) / (1 << 53)
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al.), a strong
+// integer mixer with no state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+var _ exec.Oracle = (*FlakyOracle)(nil)
