@@ -1,0 +1,114 @@
+// Command buglint runs the project's static analyzers (internal/analysis)
+// over the given packages and reports unsuppressed findings. It exits 0
+// when the tree is clean, 1 when any finding survives suppression, and 2
+// when packages fail to load or typecheck.
+//
+// Usage:
+//
+//	buglint [-checks lockorder,crossspace,...] [-list] [packages]
+//
+// Packages are directories or "dir/..." patterns; the default is ./...
+// relative to the current module. Findings print as
+// file:line:col: [check] message. Intentional violations are silenced in
+// source with `//buglint:ignore <check> <reason>`; the reason is
+// mandatory, and malformed or mistyped directives are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: buglint [-checks c1,c2] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	enabled := all
+	if *checks != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		enabled = nil
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "buglint: unknown check %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			enabled = append(enabled, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := analysis.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "buglint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "buglint: no packages matched")
+		os.Exit(2)
+	}
+
+	ld, err := analysis.NewLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "buglint: %v\n", err)
+		os.Exit(2)
+	}
+	total := 0
+	for _, dir := range dirs {
+		pkg, err := ld.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "buglint: %v\n", err)
+			os.Exit(2)
+		}
+		findings, err := analysis.Run(pkg, enabled)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "buglint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			rel := f
+			if wd, err := os.Getwd(); err == nil {
+				if r, err := relPath(wd, f.Position.Filename); err == nil {
+					rel.Position.Filename = r
+				}
+			}
+			fmt.Println(rel)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "buglint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// relPath shortens name relative to wd when it lies beneath it.
+func relPath(wd, name string) (string, error) {
+	if !strings.HasPrefix(name, wd) {
+		return name, nil
+	}
+	return "." + strings.TrimPrefix(name, wd), nil
+}

@@ -23,12 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"repro/internal/analysis"
 )
 
 func main() {
@@ -38,10 +39,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: doclint [-docs files] <package dir>...")
 		os.Exit(2)
 	}
+	// All packages parse through the shared analysis loader (one FileSet,
+	// same build-tag filtering as buglint); doclint stays syntax-only, so
+	// it never pays for typechecking.
+	ld, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
 	bad := 0
 	exports := map[string]map[string]bool{}
 	for _, dir := range flag.Args() {
-		offenders, err := lintDir(dir, exports)
+		offenders, err := lintDir(ld, dir, exports)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "doclint:", err)
 			os.Exit(2)
@@ -68,30 +77,32 @@ func main() {
 	}
 }
 
-// lintDir parses one package directory and returns an entry per exported
-// declaration without a doc comment. As a side effect it records the
-// package's exported surface into exports — top-level names plus
-// "Type.Method" pairs — for the -docs reference check.
-func lintDir(dir string, exports map[string]map[string]bool) ([]string, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
+// lintDir parses one package directory through the shared loader and
+// returns an entry per exported declaration without a doc comment. As a
+// side effect it records the package's exported surface into exports —
+// top-level names plus "Type.Method" pairs — for the -docs reference
+// check.
+func lintDir(ld *analysis.Loader, dir string, exports map[string]map[string]bool) ([]string, error) {
+	files, err := ld.ParseDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
 	var out []string
 	report := func(pos token.Pos, kind, name string) {
-		p := fset.Position(pos)
+		p := ld.Fset.Position(pos)
 		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
 	}
-	for _, pkg := range pkgs {
-		syms := exports[pkg.Name]
+	{
+		pkgName := files[0].Name.Name
+		syms := exports[pkgName]
 		if syms == nil {
 			syms = map[string]bool{}
-			exports[pkg.Name] = syms
+			exports[pkgName] = syms
 		}
-		for _, f := range pkg.Files {
+		for _, f := range files {
 			for _, decl := range f.Decls {
 				switch d := decl.(type) {
 				case *ast.FuncDecl:

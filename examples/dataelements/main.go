@@ -62,9 +62,9 @@ func main() {
 	// test runs the pipeline on a subset of the feed. The splitting rounds
 	// are independent hypothesis sets, so Parallel dispatches each round
 	// across workers, the way the executor parallelizes instance batches.
-	var runs int64
+	var runs atomic.Int64
 	tester := grouptest.TesterFunc(func(_ context.Context, rows []int) (bool, error) {
-		atomic.AddInt64(&runs, 1)
+		runs.Add(1)
 		for _, r := range rows {
 			if corruptRows[r] {
 				return true, nil
@@ -77,7 +77,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nStep 2 — group testing over %d rows: corrupt rows %v found in %d pipeline runs\n",
-		datasetRows, res.Defective, res.Tests)
+		datasetRows, res.Defective, runs.Load())
 	fmt.Printf("         (naive row-at-a-time debugging would need %d runs)\n", datasetRows)
 
 	// Step 3: enrich the explanation with observed variables logged during

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe matches one expectation inside a // want comment; expectations
+// are quoted Go strings holding a regexp the finding message must match.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// RunGolden loads the fixture package testdata/src/<fixture> with a
+// fixture loader, runs the analyzer (suppressions applied, as in buglint),
+// and matches the findings 1:1 against `// want "regexp"` comments: a
+// finding must occur on every want line with a message matching the
+// regexp, and no finding may occur on a line without one. Gutting a check
+// therefore fails its golden test in both directions.
+func RunGolden(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	ld := NewFixtureLoader("testdata/src")
+	pkg, err := ld.Load(fixture)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixture, err)
+	}
+	findings, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, fixture, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+				for _, q := range wantRe.FindAllString(rest, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := f.Position.Filename + ":" + strconv.Itoa(f.Position.Line)
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q, got none", key, w.re)
+			}
+		}
+	}
+}

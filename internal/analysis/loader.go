@@ -1,0 +1,371 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and (optionally) typechecked package. Analyzers
+// receive it through Pass and must treat it as read-only.
+type Package struct {
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// ImportPath is the path the package is imported as ("repro/internal/provenance",
+	// or the fixture-relative path in golden tests).
+	ImportPath string
+	// Name is the package name from the package clause.
+	Name string
+	// Fset is the loader's shared FileSet; all positions resolve through it.
+	Fset *token.FileSet
+	// Files holds the package's non-test files, sorted by file name, parsed
+	// with comments.
+	Files []*ast.File
+	// Types and Info are nil when the package was loaded syntax-only.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and typechecks packages with one shared FileSet, so every
+// tool built on it (buglint, doclint, the golden-test harness) resolves
+// positions and module-local imports the same way. Standard-library imports
+// go through the compiler's export data when available and fall back to
+// typechecking from source, so the loader needs nothing beyond the Go
+// toolchain already present for builds.
+type Loader struct {
+	// Fset is the FileSet every package is parsed into.
+	Fset *token.FileSet
+
+	moduleRoot  string // directory containing go.mod ("" in fixture mode)
+	modulePath  string // module path declared in go.mod
+	fixtureRoot string // when set, import paths resolve as <fixtureRoot>/<path>
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	gc      types.Importer
+	src     types.Importer
+}
+
+// NewLoader returns a loader rooted at the module containing dir: it walks
+// up from dir to the nearest go.mod and resolves imports under the declared
+// module path to directories beneath it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := modulePath(string(data))
+	if mod == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	ld := newLoader()
+	ld.moduleRoot = root
+	ld.modulePath = mod
+	return ld, nil
+}
+
+// NewFixtureLoader returns a loader that resolves every non-stdlib import
+// path p to <root>/p. The golden-test harness uses it with
+// testdata/src as the root, mirroring the layout used by analysistest in
+// x/tools without depending on it.
+func NewFixtureLoader(root string) *Loader {
+	ld := newLoader()
+	ld.fixtureRoot = root
+	return ld
+}
+
+func newLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		gc:      importer.Default(),
+		src:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// ModuleRoot returns the directory containing go.mod, or "" for fixture
+// loaders.
+func (ld *Loader) ModuleRoot() string { return ld.moduleRoot }
+
+// resolve maps an import path to a local directory, reporting whether the
+// path is local to the module (or fixture root) at all.
+func (ld *Loader) resolve(path string) (string, bool) {
+	if ld.fixtureRoot != "" {
+		dir := filepath.Join(ld.fixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+	if path == ld.modulePath {
+		return ld.moduleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, ld.modulePath+"/"); ok {
+		return filepath.Join(ld.moduleRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// importPathOf maps a directory back to its import path.
+func (ld *Loader) importPathOf(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	if ld.fixtureRoot != "" {
+		rel, err := filepath.Rel(ld.fixtureRoot, abs)
+		if err != nil {
+			return "", err
+		}
+		return filepath.ToSlash(rel), nil
+	}
+	rel, err := filepath.Rel(ld.moduleRoot, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return ld.modulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, ld.modulePath)
+	}
+	return ld.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// ParseDir parses the non-test Go files of one directory with comments and
+// no typechecking. doclint runs in this mode: its checks are purely
+// syntactic and must not require the tree to typecheck.
+func (ld *Loader) ParseDir(dir string) ([]*ast.File, error) {
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadDir loads and typechecks the package in dir, memoizing by import
+// path. Imports below the module path load recursively through the same
+// loader; everything else resolves through the stdlib importer chain.
+func (ld *Loader) LoadDir(dir string) (*Package, error) {
+	path, err := ld.importPathOf(dir)
+	if err != nil {
+		return nil, err
+	}
+	return ld.Load(path)
+}
+
+// Load loads and typechecks the package with the given import path, which
+// must resolve inside the module (or fixture root).
+func (ld *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := ld.resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: import path %q does not resolve locally", path)
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	files, err := ld.ParseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			return ld.importPkg(importPath)
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, ld.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{
+		Dir:        dir,
+		ImportPath: path,
+		Name:       files[0].Name.Name,
+		Fset:       ld.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves one import for the typechecker: module-local paths
+// recurse through Load; others try compiler export data first (fast) and
+// fall back to typechecking the dependency from source.
+func (ld *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := ld.resolve(path); ok {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if tp, err := ld.gc.Import(path); err == nil {
+		return tp, nil
+	}
+	return ld.src.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ExpandPatterns turns buglint-style package patterns into package
+// directories. "dir/..." (most commonly "./...") walks for every directory
+// holding non-test Go files, skipping testdata, hidden directories, and
+// vendor; anything else names a single directory. Results are absolute,
+// sorted, and deduplicated.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) error {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return err
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		root, rec := strings.CutSuffix(pat, "/...")
+		if !rec {
+			names, err := goFilesIn(pat)
+			if err != nil {
+				return nil, err
+			}
+			if len(names) == 0 {
+				return nil, fmt.Errorf("analysis: no Go files in %s", pat)
+			}
+			if err := add(pat); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if root == "" || root == "." {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(p)
+			if p != root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") ||
+				base == "testdata" || base == "vendor") {
+				return filepath.SkipDir
+			}
+			names, err := goFilesIn(p)
+			if err != nil {
+				return err
+			}
+			if len(names) > 0 {
+				return add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// goFilesIn lists the buildable non-test Go file names in dir, sorted.
+// Build constraints (file suffixes and //go:build lines) are honored for
+// the current GOOS/GOARCH, so only one of lock_unix.go / lock_other.go is
+// loaded, exactly as the compiler would.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockOrder enforces the provenance locking protocol from PR 5: the store's
+// writer mutex (a field named wmu) is acquired after the shard locks, never
+// before — so no shard lock may be taken while wmu is held — and every
+// Lock/RLock on a sync.Mutex or sync.RWMutex field must have a matching
+// Unlock/RUnlock somewhere in the same function (deferred, on an error
+// path, or inside a closure the function builds, as lockAll does).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "wmu is acquired after shard locks, and every Lock has a matching Unlock",
+	Run:  runLockOrder,
+}
+
+// lockEvent is one mutex operation found in source order.
+type lockEvent struct {
+	key      string // (receiver type, field) identity
+	method   string // Lock, RLock, Unlock, RUnlock
+	field    string // selector field or identifier name
+	recv     string // name of the defined type holding the mutex field, "" for locals
+	deferred bool   // the call sits in a defer statement
+	call     *ast.CallExpr
+}
+
+func runLockOrder(pass *Pass) error {
+	info := pass.Pkg.Info
+	eachFuncDecl(pass.Pkg, func(fn *ast.FuncDecl) {
+		var events []lockEvent
+		deferredCalls := make(map[*ast.CallExpr]bool)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				deferredCalls[d.Call] = true
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ev, ok := lockEventOf(info, call); ok {
+				ev.deferred = deferredCalls[call]
+				events = append(events, ev)
+			}
+			return true
+		})
+		checkWmuOrder(pass, events)
+		checkPairing(pass, fn, events)
+	})
+	return nil
+}
+
+// lockEventOf recognizes m.Lock / m.RLock / m.Unlock / m.RUnlock calls on
+// sync.Mutex / sync.RWMutex values. TryLock variants are ignored: a failed
+// TryLock legitimately has no matching unlock.
+func lockEventOf(info *types.Info, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockEvent{}, false
+	}
+	recvT := deref(info.TypeOf(sel.X))
+	if !isPkgType(recvT, "sync", "Mutex") && !isPkgType(recvT, "sync", "RWMutex") {
+		return lockEvent{}, false
+	}
+	ev := lockEvent{method: method, call: call}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		ev.field = x.Sel.Name
+		// Key by (defined type of the base, field name) so sh.mu.Unlock
+		// pairs with st.shards[i].mu.Lock: both are (shard, mu).
+		if n := namedOf(info.TypeOf(x.X)); n != nil {
+			ev.recv = n.Obj().Name()
+		}
+	case *ast.Ident:
+		ev.field = x.Name
+	default:
+		return lockEvent{}, false
+	}
+	ev.key = ev.recv + "." + ev.field
+	return ev, true
+}
+
+// checkWmuOrder walks the events in source order and reports any shard
+// lock (a mutex field named mu on a type whose name ends in "shard")
+// acquired while wmu is held.
+func checkWmuOrder(pass *Pass, events []lockEvent) {
+	wmuHeld := false
+	for _, ev := range events {
+		switch {
+		case ev.field == "wmu" && ev.method == "Lock":
+			wmuHeld = true
+		case ev.field == "wmu" && ev.method == "Unlock":
+			// A deferred unlock runs at return, not here in source order;
+			// wmu stays held for everything after it.
+			if !ev.deferred {
+				wmuHeld = false
+			}
+		case wmuHeld && isShardLock(ev) && (ev.method == "Lock" || ev.method == "RLock"):
+			pass.Reportf(ev.call.Pos(),
+				"shard lock %s.%s acquired while holding wmu; the protocol is shard locks first, wmu last",
+				ev.recv, ev.field)
+		}
+	}
+}
+
+func isShardLock(ev lockEvent) bool {
+	return ev.field == "mu" && strings.HasSuffix(strings.ToLower(ev.recv), "shard")
+}
+
+// checkPairing requires at least one matching unlock per locked key. This
+// is deliberately flow-insensitive: it catches the real bug class (a lock
+// with no unlock anywhere, including all return paths) without false
+// positives on hand-over-hand or closure-deferred unlocking.
+func checkPairing(pass *Pass, fn *ast.FuncDecl, events []lockEvent) {
+	type state struct {
+		first    *lockEvent
+		unlocked bool
+	}
+	unlockOf := map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+	for lock, unlock := range unlockOf {
+		held := make(map[string]*state)
+		for i := range events {
+			ev := &events[i]
+			switch ev.method {
+			case lock:
+				if held[ev.key] == nil {
+					held[ev.key] = &state{first: ev}
+				}
+			case unlock:
+				if s := held[ev.key]; s != nil {
+					s.unlocked = true
+				} else {
+					held[ev.key] = &state{unlocked: true}
+				}
+			}
+		}
+		for key, s := range held {
+			if s.first != nil && !s.unlocked {
+				pass.Reportf(s.first.call.Pos(),
+					"%s on %s has no matching %s in %s", lock, key, unlock, fn.Name.Name)
+			}
+		}
+	}
+}

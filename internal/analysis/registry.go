@@ -1,0 +1,13 @@
+package analysis
+
+// Analyzers returns all project analyzers in the order buglint runs them.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LockOrder,
+		CrossSpace,
+		AtomicMix,
+		HotPath,
+		RenameSync,
+		StickyErr,
+	}
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// publishDirective marks a function as an atomic-publication helper: the
+// one place allowed to call os.Rename, and obligated to do the full
+// tmp → fsync → rename → dirsync dance from PR 4/8.
+const publishDirective = "//bugdoc:publish"
+
+// RenameSync enforces atomic file publication: os.Rename may appear only
+// inside functions annotated //bugdoc:publish, and such a function must
+// fsync the temp file (a .Sync() call) before the rename and fsync the
+// directory (a syncDir call) after it. A rename without those fsyncs can
+// surface an empty or missing file after a crash even though the rename
+// "succeeded" — the exact failure mode the provlog recovery tests inject.
+var RenameSync = &Analyzer{
+	Name: "renamesync",
+	Doc:  "os.Rename only in //bugdoc:publish helpers, which must fsync file before and dir after",
+	Run:  runRenameSync,
+}
+
+func runRenameSync(pass *Pass) error {
+	info := pass.Pkg.Info
+	eachFuncDecl(pass.Pkg, func(fn *ast.FuncDecl) {
+		isPublish := funcDocHas(fn, publishDirective)
+		var renames []*ast.CallExpr
+		syncBefore, dirSyncAfter := false, false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj, path := isPkgFunc(info, call); obj != nil && path == "os" && obj.Name() == "Rename" {
+				renames = append(renames, call)
+				return true
+			}
+			switch callName(call) {
+			case "Sync":
+				if len(renames) == 0 {
+					syncBefore = true
+				}
+			case "syncDir", "SyncDir":
+				if len(renames) > 0 {
+					dirSyncAfter = true
+				}
+			}
+			return true
+		})
+		if !isPublish {
+			for _, call := range renames {
+				pass.Reportf(call.Pos(),
+					"os.Rename outside a //bugdoc:publish helper; route publication through the annotated helper")
+			}
+			return
+		}
+		if len(renames) == 0 {
+			return
+		}
+		if !syncBefore {
+			pass.Reportf(renames[0].Pos(),
+				"publish helper renames without fsyncing the temp file first")
+		}
+		if !dirSyncAfter {
+			pass.Reportf(renames[len(renames)-1].Pos(),
+				"publish helper renames without fsyncing the directory afterwards")
+		}
+	})
+	return nil
+}
+
+// callName returns the bare name of the called function or method.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The grammar is
+//
+//	//buglint:ignore <check> <reason>
+//
+// where <check> is an analyzer name and <reason> is required free text
+// explaining why the violation is intentional. A directive suppresses
+// findings of that check on its own line, on the line directly below it,
+// or — when it appears in a function's doc comment — anywhere in that
+// function. A directive with an empty reason or an unknown check name is
+// itself reported as a finding, so suppressions cannot silently rot.
+const ignorePrefix = "//buglint:ignore"
+
+// suppression is one parsed directive.
+type suppression struct {
+	check  string
+	reason string
+	pos    token.Pos
+	file   string
+	line   int
+	// fnStart/fnEnd bound the enclosing function when the directive sits
+	// in a FuncDecl doc comment; both are NoPos otherwise.
+	fnStart, fnEnd token.Pos
+}
+
+// parseSuppressions collects every directive in the package, attaching
+// doc-comment directives to their function's source range.
+func parseSuppressions(pkg *Package) []suppression {
+	// Map doc-comment positions to the function they document.
+	type span struct{ start, end token.Pos }
+	docOwner := make(map[token.Pos]span)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				docOwner[c.Pos()] = span{fn.Pos(), fn.End()}
+			}
+		}
+	}
+	var sups []suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignorePrefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // some other directive, e.g. //buglint:ignorexyz
+				}
+				fields := strings.Fields(rest)
+				s := suppression{pos: c.Pos()}
+				if len(fields) > 0 {
+					s.check = fields[0]
+				}
+				if len(fields) > 1 {
+					s.reason = strings.Join(fields[1:], " ")
+				}
+				p := pkg.Fset.Position(c.Pos())
+				s.file, s.line = p.Filename, p.Line
+				if sp, ok := docOwner[c.Pos()]; ok {
+					s.fnStart, s.fnEnd = sp.start, sp.end
+				}
+				sups = append(sups, s)
+			}
+		}
+	}
+	return sups
+}
+
+// applySuppressions filters findings through the package's directives and
+// appends meta-findings for malformed directives. known holds the enabled
+// check names; a directive naming a check outside it is reported so typos
+// cannot mute anything.
+func applySuppressions(pkg *Package, findings []Finding, known map[string]bool) []Finding {
+	sups := parseSuppressions(pkg)
+	var out []Finding
+	for _, f := range findings {
+		if !suppressed(pkg, sups, f) {
+			out = append(out, f)
+		}
+	}
+	for _, s := range sups {
+		switch {
+		case s.check == "" || s.reason == "":
+			out = append(out, Finding{
+				Check:    "ignore",
+				Pos:      s.pos,
+				Position: pkg.Fset.Position(s.pos),
+				Message:  "buglint:ignore directive needs a check name and a non-empty reason",
+			})
+		case !known[s.check]:
+			out = append(out, Finding{
+				Check:    "ignore",
+				Pos:      s.pos,
+				Position: pkg.Fset.Position(s.pos),
+				Message:  "buglint:ignore names unknown check " + strconv.Quote(s.check),
+			})
+		}
+	}
+	return out
+}
+
+// suppressed reports whether any directive covers the finding.
+func suppressed(pkg *Package, sups []suppression, f Finding) bool {
+	for _, s := range sups {
+		if s.check != f.Check || s.reason == "" {
+			continue
+		}
+		if s.fnStart.IsValid() && s.fnStart <= f.Pos && f.Pos <= s.fnEnd {
+			return true
+		}
+		if s.file == f.Position.Filename && (s.line == f.Position.Line || s.line == f.Position.Line-1) {
+			return true
+		}
+	}
+	return false
+}

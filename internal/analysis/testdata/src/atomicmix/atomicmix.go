@@ -1,0 +1,57 @@
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	flag atomic.Bool
+}
+
+// goodAtomic only touches hits through sync/atomic.
+func (c *counters) goodAtomic() int64 {
+	atomic.AddInt64(&c.hits, 1)
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) badPlainRead() int64 {
+	return c.hits // want "accessed via sync/atomic elsewhere"
+}
+
+func (c *counters) badPlainWrite() {
+	c.hits = 0 // want "accessed via sync/atomic elsewhere"
+}
+
+// goodTyped uses the typed atomic through its methods.
+func (c *counters) goodTyped() bool {
+	c.flag.Store(true)
+	return c.flag.Load()
+}
+
+func (c *counters) badTypedCopy() atomic.Bool {
+	return c.flag // want "typed atomic"
+}
+
+// goodAddress hands the atomic to a helper by pointer; the pointee is
+// still only reachable through methods.
+func (c *counters) goodAddress() {
+	raise(&c.flag)
+}
+
+func raise(b *atomic.Bool) { b.Store(true) }
+
+func badLocal() int64 {
+	var n int64
+	atomic.AddInt64(&n, 1)
+	n++ // want "accessed via sync/atomic elsewhere"
+	return atomic.LoadInt64(&n)
+}
+
+// plainOnly is never touched atomically, so plain access is fine.
+type plainOnly struct {
+	n int64
+}
+
+func (p *plainOnly) bump() int64 {
+	p.n++
+	return p.n
+}

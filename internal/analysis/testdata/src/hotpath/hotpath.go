@@ -1,0 +1,82 @@
+package hotpath
+
+import "fmt"
+
+type table struct {
+	m map[uint64]int
+}
+
+// goodLookup reads a prebuilt map; indexing allocates nothing.
+//
+//bugdoc:hotpath
+func goodLookup(t *table, k uint64) (int, bool) {
+	v, ok := t.m[k]
+	return v, ok
+}
+
+// coldFmt is unannotated, so anything goes.
+func coldFmt(k uint64) string {
+	return fmt.Sprintf("%d", k)
+}
+
+//bugdoc:hotpath
+func badFmt(k uint64) {
+	fmt.Println(k) // want "calls fmt.Println"
+}
+
+//bugdoc:hotpath
+func badMake() map[int]int {
+	return make(map[int]int) // want "allocates a map with make"
+}
+
+//bugdoc:hotpath
+func badMapLit() map[int]int {
+	return map[int]int{} // want "allocates a map literal"
+}
+
+//bugdoc:hotpath
+func badClosure(n int) func() int {
+	return func() int { return n } // want "allocates a closure"
+}
+
+//bugdoc:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "concatenates strings"
+}
+
+//bugdoc:hotpath
+func badConcatAssign(a, b string) string {
+	a += b // want "concatenates strings"
+	return a
+}
+
+//bugdoc:hotpath
+func badReturnBox(v int) any {
+	return v // want "returns a concrete value as an interface"
+}
+
+// I and T exercise explicit interface conversion.
+type I interface{ M() }
+
+type T struct{}
+
+func (T) M() {}
+
+//bugdoc:hotpath
+func badConv(t T) I {
+	return I(t) // want "converts a concrete value to an interface"
+}
+
+func sink(v any) { _ = v }
+
+//bugdoc:hotpath
+func badArgBox(n int) {
+	sink(n) // want "passes a concrete value to an interface parameter"
+}
+
+// goodIface passes along a value that is already an interface: no boxing.
+//
+//bugdoc:hotpath
+func goodIface(v any) {
+	sink(v)
+}

@@ -1,0 +1,73 @@
+package lockorder
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+}
+
+type store struct {
+	shards []shard
+	wmu    sync.Mutex
+}
+
+// good follows the protocol: shard locks first, wmu last.
+func (st *store) good() {
+	st.shards[0].mu.Lock()
+	st.wmu.Lock()
+	st.wmu.Unlock()
+	st.shards[0].mu.Unlock()
+}
+
+// deferGood pairs via defer.
+func (st *store) deferGood() {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+}
+
+// aliasGood locks through the slice and unlocks through a pointer alias;
+// pairing is keyed by (type, field), not by spelling.
+func (st *store) aliasGood() {
+	for i := range st.shards {
+		st.shards[i].mu.Lock()
+	}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Unlock()
+	}
+}
+
+// closureGood unlocks inside the closure it returns, lockAll-style.
+func (st *store) closureGood() func() {
+	st.shards[0].mu.Lock()
+	return func() { st.shards[0].mu.Unlock() }
+}
+
+// tryGood ignores TryLock: a failed TryLock has no unlock.
+func (st *store) tryGood() {
+	if st.wmu.TryLock() {
+		st.wmu.Unlock()
+	}
+}
+
+func (st *store) badOrder() {
+	st.wmu.Lock()
+	st.shards[0].mu.Lock() // want "acquired while holding wmu"
+	st.shards[0].mu.Unlock()
+	st.wmu.Unlock()
+}
+
+func (st *store) badOrderRead() {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	st.shards[0].mu.RLock() // want "acquired while holding wmu"
+	st.shards[0].mu.RUnlock()
+}
+
+func (st *store) badPairing() {
+	st.wmu.Lock() // want "no matching Unlock"
+}
+
+func (sh *shard) badReadPairing() {
+	sh.mu.RLock() // want "no matching RUnlock"
+}

@@ -1,0 +1,29 @@
+// Package pipeline is a golden-test stand-in for the real pipeline
+// package: just enough surface (Space, Instance) for analyzers that match
+// by package and type name.
+package pipeline
+
+// Space identifies a parameter space.
+type Space struct {
+	Name string
+}
+
+// Instance is a concrete assignment of values within one Space.
+type Instance struct {
+	space *Space
+}
+
+// Space returns the owning space.
+func (in Instance) Space() *Space { return in.space }
+
+// Hash returns a stand-in identity hash.
+func (in Instance) Hash() uint64 { return 0 }
+
+// Equal guards with the in-package field form, like the real package.
+func (in Instance) Equal(other Instance) bool {
+	return in.space == other.space
+}
+
+func (in Instance) Mixed(other Instance) bool { // want "never compares other.Space"
+	return in.space != nil && other.space != nil
+}

@@ -1,0 +1,59 @@
+package renamesync
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func badStray(dir string) error {
+	return os.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")) // want "outside a //bugdoc:publish helper"
+}
+
+// publish does the full tmp-fsync-rename-dirsync dance.
+//
+//bugdoc:publish
+func publish(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// badPublish is annotated but skips both fsyncs.
+//
+//bugdoc:publish
+func badPublish(dir, name string) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, name)) // want "without fsyncing the temp file" "without fsyncing the directory"
+}

@@ -1,0 +1,43 @@
+package stickyerr
+
+type wal struct {
+	stageErr error
+	data     []int
+}
+
+// commitLocked is the committing function; the checks live in its callers.
+func (l *wal) commitLocked(v int) {
+	l.data = append(l.data, v)
+}
+
+// goodCommit checks the sticky field first.
+func (l *wal) goodCommit(v int) error {
+	if l.stageErr != nil {
+		return l.stageErr
+	}
+	l.commitLocked(v)
+	return nil
+}
+
+func (l *wal) badCommit(v int) {
+	l.commitLocked(v) // want "without first checking a sticky error"
+}
+
+// validate reads the sticky field, so calling it counts as a check.
+func (l *wal) validate() error {
+	return l.stageErr
+}
+
+// goodIndirect checks through validate, LoadRecords-style.
+func (l *wal) goodIndirect(v int) error {
+	if err := l.validate(); err != nil {
+		return err
+	}
+	l.commitLocked(v)
+	return nil
+}
+
+func (l *wal) badLate(v int) error {
+	l.commitLocked(v) // want "without first checking a sticky error"
+	return l.stageErr
+}

@@ -1,0 +1,26 @@
+package suppress
+
+import "os"
+
+// move is an intentional renamesync violation with a documented reason;
+// the golden test expects zero findings here.
+func move(dir string) error {
+	//buglint:ignore renamesync fixture exercises a documented line suppression
+	return os.Rename(dir+"/a", dir+"/b")
+}
+
+// moveTrailing suppresses on the same line.
+func moveTrailing(dir string) error {
+	return os.Rename(dir+"/a", dir+"/b") //buglint:ignore renamesync fixture exercises a trailing suppression
+}
+
+// moveDoc carries the suppression in its doc comment, covering the whole
+// function body.
+//
+//buglint:ignore renamesync fixture exercises a function-scope suppression
+func moveDoc(dir string) error {
+	if err := os.Rename(dir+"/a", dir+"/b"); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/b", dir+"/c")
+}

@@ -1,0 +1,16 @@
+package suppressbad
+
+import "os"
+
+// move tries to suppress without giving a reason: the violation stays AND
+// the directive itself becomes a finding.
+func move(dir string) error {
+	//buglint:ignore renamesync
+	return os.Rename(dir+"/a", dir+"/b")
+}
+
+// moveTypo names a check that does not exist.
+func moveTypo(dir string) error {
+	//buglint:ignore renamesink typo in the check name
+	return os.Rename(dir+"/a", dir+"/b")
+}

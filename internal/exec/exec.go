@@ -283,6 +283,8 @@ func (e *Executor) release() {
 // already known, otherwise by running the oracle (consuming budget) and
 // recording the result. Evaluation is deterministic per Definition 2, so
 // memoization is sound.
+//
+//bugdoc:hotpath
 func (e *Executor) Evaluate(ctx context.Context, in pipeline.Instance) (pipeline.Outcome, error) {
 	if out, ok := e.store.Lookup(in); ok {
 		if t := e.tel; t != nil {

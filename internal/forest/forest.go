@@ -187,9 +187,11 @@ func (n *node) predict(in pipeline.Instance) float64 {
 }
 
 // Predict returns the ensemble mean and variance for one instance. An
-// empty forest predicts (0, 0).
+// empty forest predicts (0, 0), as does an instance from a different
+// space: tree tests index parameters by this space's positions, so a
+// foreign instance could panic or silently misread.
 func (f *Forest) Predict(in pipeline.Instance) (mu, variance float64) {
-	if len(f.trees) == 0 {
+	if len(f.trees) == 0 || in.Space() != f.space {
 		return 0, 0
 	}
 	preds := make([]float64, len(f.trees))

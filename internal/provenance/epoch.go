@@ -40,6 +40,8 @@ type shardEpoch struct {
 // consistent, slightly older horizon) rather than block — except on the
 // very first call, when nothing is published yet and everyone waits. i is
 // the shard's index, a telemetry stripe hint for the staleness histogram.
+//
+//bugdoc:hotpath
 func (st *Store) epochOf(i int, sh *shard) *shardEpoch {
 	ep := sh.epoch.Load()
 	if ep != nil && int64(ep.n) >= sh.committed.Load() {
@@ -218,6 +220,8 @@ func prefixLen(list []int32, cut int) int {
 }
 
 // Outcomes counts succeeding and failing records below the horizon.
+//
+//bugdoc:hotpath
 func (e *Epoch) Outcomes() (succeed, fail int) {
 	for i, ep := range e.shards {
 		cut := e.cuts[i]
@@ -337,6 +341,8 @@ func (e *Epoch) MutuallyDisjointSucceeding(ref pipeline.Instance, k int, pad boo
 // AnySucceedingSatisfying returns the earliest visible succeeding instance
 // whose parameter values satisfy the conjunction, if one exists — the
 // Shortcut sanity check.
+//
+//bugdoc:hotpath
 func (e *Epoch) AnySucceedingSatisfying(c predicate.Conjunction) (pipeline.Instance, bool) {
 	best, bestSeq := pipeline.Instance{}, -1
 	for s, ep := range e.shards {
@@ -364,6 +370,8 @@ func (e *Epoch) AnySucceedingSatisfying(c predicate.Conjunction) (pipeline.Insta
 }
 
 // CountSatisfying counts visible records satisfying c, split by outcome.
+//
+//bugdoc:hotpath
 func (e *Epoch) CountSatisfying(c predicate.Conjunction) (succeed, fail int) {
 	if len(c) == 0 {
 		return e.Outcomes()

@@ -107,6 +107,8 @@ func (st *Store) shardIndex(h uint64) int {
 // the default store, and the memoization hot path of every session that
 // does not opt into sharding — resolves to the Store's own embedded shard
 // with no loads at all.
+//
+//bugdoc:hotpath
 func (st *Store) shardOf(h uint64) *shard {
 	if len(st.shards) == 1 {
 		return &st.one[0]
@@ -117,6 +119,8 @@ func (st *Store) shardOf(h uint64) *shard {
 // commitLocked appends a record to the shard (continuing the ascending
 // sequence order) and updates every shard index. The caller holds the
 // shard's write lock.
+//
+//bugdoc:hotpath
 func (st *Store) commitLocked(sh *shard, rec Record) {
 	pos := int32(len(sh.recs))
 	sh.byKey.Put(rec.Instance, pos)
@@ -136,6 +140,8 @@ func (st *Store) commitLocked(sh *shard, rec Record) {
 // position pos. It is the single home of the posting-growth rule; the
 // ordered position lists are maintained by the callers, which differ in
 // where they append.
+//
+//bugdoc:hotpath
 func (st *Store) indexRecordBitsLocked(sh *shard, pos int, r *Record) {
 	switch r.Outcome {
 	case pipeline.Succeed:
@@ -158,6 +164,8 @@ func (st *Store) indexRecordBitsLocked(sh *shard, pos int, r *Record) {
 // lookupPosLocked resolves an instance to its local log position through
 // both identity tiers: the hash map over incrementally added records, then
 // a binary search of the base run adopted from a checkpoint.
+//
+//bugdoc:hotpath
 func (sh *shard) lookupPosLocked(in pipeline.Instance) (int32, bool) {
 	if i, ok := sh.byKey.Get(in); ok {
 		return i, true
@@ -177,6 +185,8 @@ type baseRun struct {
 // multi-tier checkpoint load behave exactly like the single merged run.
 // Kept out of the map-hit path: Lookup's memoization hit is the hottest
 // operation in the system and pays only a length check for the base tiers.
+//
+//bugdoc:hotpath
 func (sh *shard) baseLookupLocked(in pipeline.Instance) (int32, bool) {
 	h := in.Hash()
 	for ri := range sh.baseRuns {
@@ -353,6 +363,8 @@ func (sh *shard) stagePushLocked(e *stagedRec) {
 // later wait fails too), and dropping a record burns its sequence, so any
 // later staged record of the shard drops as well rather than commit out of
 // order.
+//
+//buglint:ignore stickyerr staged entries were validated against stageErr when staged; failures arrive as e.failed/dropTail here, after the sticky error is already set under wmu
 func (st *Store) drainStagedLocked(sh *shard) {
 	for len(sh.staged) > 0 {
 		e := sh.staged[0]

@@ -904,6 +904,9 @@ func (st *Store) ensureShardIndexed(sh *shard) {
 // precomputed hash, through the shard's identity map (and, for
 // checkpoint-loaded stores, a binary search of the sorted base run),
 // followed by an integer code-vector compare.
+//
+//buglint:ignore crossspace read-only hash+Equal probe: a foreign instance can only miss (Equal compares spaces), and the guard's pointer load is measurable on the hottest path
+//bugdoc:hotpath
 func (st *Store) Lookup(in pipeline.Instance) (pipeline.Outcome, bool) {
 	sh := st.shardOf(in.Hash())
 	// Manual unlocks, not defer: the memoization hit is the hottest

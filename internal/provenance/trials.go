@@ -144,6 +144,12 @@ func (st *Store) TrialPolicy() pipeline.FlakyPolicy { return st.trialPolicy }
 // replayed vote count, so a resumed session never runs trials beyond
 // MaxTrials minus the votes that survived.
 func (st *Store) ClaimTrial(in pipeline.Instance) TrialClaim {
+	if in.Space() != st.space {
+		// A cross-space instance must never touch this store's ledger:
+		// resolve it as unknown so the caller's commit path (which
+		// re-validates the space) surfaces the error.
+		return TrialClaim{Resolved: true, Outcome: pipeline.OutcomeUnknown}
+	}
 	sh := st.shardOf(in.Hash())
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -168,6 +174,9 @@ func (st *Store) ClaimTrial(in pipeline.Instance) TrialClaim {
 // ReleaseTrial returns a granted-but-unvoted trial slot (the oracle run
 // errored), so another goroutine — or a retry — may claim it.
 func (st *Store) ReleaseTrial(in pipeline.Instance) {
+	if in.Space() != st.space {
+		return
+	}
 	sh := st.shardOf(in.Hash())
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -270,6 +279,9 @@ func (st *Store) LoadTrialVote(in pipeline.Instance, trial int, out pipeline.Out
 // TrialVotes returns a copy of the instance's recorded votes in trial
 // order (nil when the instance never ran a trial).
 func (st *Store) TrialVotes(in pipeline.Instance) []TrialVote {
+	if in.Space() != st.space {
+		return nil
+	}
 	sh := st.shardOf(in.Hash())
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -284,6 +296,9 @@ func (st *Store) TrialVotes(in pipeline.Instance) []TrialVote {
 
 // TrialCount returns how many votes the instance has accumulated.
 func (st *Store) TrialCount(in pipeline.Instance) int {
+	if in.Space() != st.space {
+		return 0
+	}
 	sh := st.shardOf(in.Hash())
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -299,6 +314,9 @@ func (st *Store) TrialCount(in pipeline.Instance) int {
 // for instances without votes (deterministic records), which the tree
 // treats as weight 1.
 func (st *Store) TrialMargin(in pipeline.Instance) int {
+	if in.Space() != st.space {
+		return 0
+	}
 	sh := st.shardOf(in.Hash())
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()

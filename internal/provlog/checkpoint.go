@@ -319,39 +319,23 @@ func writeCheckpointFile(dir string, buf []byte, watermark int) error {
 	return writeTierFile(dir, buf, 0, watermark)
 }
 
-// writeTierFile makes an encoded tier durable: temp file, fsync, atomic
-// rename into the canonical name, directory fsync. A crash at any point
-// leaves either no tier (a stray temp file Open sweeps up) or a complete
-// valid one — never a partial file under the real name. The tier becomes
-// live only when a later manifest references it.
+// writeTierFile makes an encoded tier durable through atomicPublish (temp
+// file, fsync, atomic rename into the canonical name, directory fsync). A
+// crash at any point leaves either no tier (a stray temp file Open sweeps
+// up) or a complete valid one — never a partial file under the real name.
+// The tier becomes live only when a later manifest references it.
 func writeTierFile(dir string, buf []byte, firstSeq, watermark int) error {
 	pattern := "ckpt-*.tmp"
 	if firstSeq > 0 {
 		pattern = "tier-*.tmp"
 	}
-	tmp, err := os.CreateTemp(dir, pattern)
+	err := atomicPublish(dir, pattern, tierPath(dir, firstSeq, watermark),
+		func(tmp *os.File) error {
+			_, err := tmp.Write(buf)
+			return err
+		},
+		func() error { return ckptStage("tmp-written") })
 	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := ckptStage("tmp-written"); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), tierPath(dir, firstSeq, watermark)); err != nil {
-		return err
-	}
-	if err := syncDir(dir); err != nil {
 		return err
 	}
 	return ckptStage("renamed")

@@ -215,26 +215,12 @@ func readManifest(dir string, fingerprint uint64) ([]tierRef, error) {
 // a partial file; checkpoints and merges become visible only here.
 func publishManifest(dir string, fingerprint uint64, tiers []tierRef) error {
 	buf := encodeManifest(fingerprint, tiers)
-	tmp, err := os.CreateTemp(dir, manifestName+".tmp*")
+	err := atomicPublish(dir, manifestName+".tmp*", filepath.Join(dir, manifestName),
+		func(tmp *os.File) error {
+			_, err := tmp.Write(buf)
+			return err
+		}, nil)
 	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, manifestName)); err != nil {
-		return err
-	}
-	if err := syncDir(dir); err != nil {
 		return err
 	}
 	return ckptStage("manifest")

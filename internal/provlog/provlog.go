@@ -328,8 +328,11 @@ func Open(dir string, space *pipeline.Space, opts ...Option) (*Log, *provenance.
 	return l, st, nil
 }
 
-// persistSpace writes space.json if absent, via a temp file and rename so a
-// crash never leaves a half-written spec.
+// persistSpace writes space.json if absent, through atomicPublish so a
+// crash never leaves a half-written spec. Earlier versions renamed without
+// fsyncing the file or the directory, so a crash shortly after Create
+// could surface an empty or missing spec; the shared helper closes that
+// hole (found by the renamesync analyzer).
 func (l *Log) persistSpace() error {
 	path := filepath.Join(l.dir, spaceFile)
 	if _, err := os.Stat(path); err == nil {
@@ -337,19 +340,8 @@ func (l *Log) persistSpace() error {
 	} else if !errors.Is(err, fs.ErrNotExist) {
 		return err
 	}
-	tmp, err := os.CreateTemp(l.dir, spaceFile+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := spec.Write(tmp, l.space); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicPublish(l.dir, spaceFile+".tmp*", path,
+		func(tmp *os.File) error { return spec.Write(tmp, l.space) }, nil)
 }
 
 func segPath(dir string, index uint32) string {

@@ -53,6 +53,8 @@ func parseTrialSource(s string) (trial int, source string, ok bool) {
 // vote as an exec frame under the vote's repeat-source name, joining the
 // pending commit window exactly like a staged record (one buffered write,
 // one fsync per window) and returning once the window is durable.
+//
+//buglint:ignore crossspace the space guard lives in stageTrialLocked, shared by every staging path; nothing is staged for a foreign instance
 func (l *Log) AppendTrial(in pipeline.Instance, trial int, out pipeline.Outcome, source string) error {
 	l.mu.Lock()
 	if err := l.stageTrialLocked(in, out, trialSourceName(trial, source)); err != nil {
